@@ -1,0 +1,138 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   A. PPF on/off            — dynamic rearrangement vs fixed priorities
+//                              under loss (Z-Raft is exactly "PPF off").
+//   B. confClock rule on/off — stale recovered servers splitting votes
+//                              (the Figure 5b hazard).
+//   C. timeout gap k         — Eq. 1 sensitivity: too small reintroduces
+//                              simultaneous expiry; too large slows the
+//                              fallback candidate when the best one fails.
+//   D. patrol interval       — config piggyback on every heartbeat vs a
+//                              lower-rate patrol (Section IV-C messaging-
+//                              cost remark).
+#include "bench_util.h"
+
+using namespace escape;
+using namespace escape::bench;
+
+namespace {
+
+core::EscapeOptions with(std::function<void(core::EscapeOptions&)> tweak) {
+  auto o = sim::presets::paper_escape_options();
+  tweak(o);
+  return o;
+}
+
+// Case B scenario — the Figure 5b hazard made realizable: the top-priority
+// follower crashes, the patrol re-issues its priority to a responsive
+// server, the crashed one recovers and catches its log up, and the leader
+// dies *before* the recovered server refreshes its configuration. Two
+// servers now hold the same priority in different confClocks, so both
+// campaign in the same term. With the confClock vote rule the stale one is
+// refused and the fresh one wins cleanly; without it the duplicate priority
+// re-creates exactly the split votes ESCAPE exists to prevent.
+//
+// With the paper-default per-heartbeat piggyback the vulnerable window is a
+// single heartbeat wide and the race is essentially unobservable — itself a
+// finding (see case D) — so this scenario runs with patrol_every=8, where
+// configuration refresh lags recovery by up to ~4 s.
+FailoverStats recovery_interference(core::EscapeOptions opts, std::size_t count) {
+  opts.patrol_every = 8;
+  FailoverStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::SimCluster cluster(
+        sim::presets::paper_cluster(7, sim::presets::escape_policy(opts), 0xAB10 + i * 17));
+    if (sim::bootstrap(cluster) == kNoServer) {
+      stats.add({});
+      continue;
+    }
+    // Wait out the first (slow, patrol_every=8) patrol round so the pool
+    // {2..n} is distributed, then crash the holder of the *top* priority —
+    // the stale copy it keeps must be the one that races the reassigned
+    // fresh copy, or the race is preempted by a shorter timeout.
+    cluster.loop().run_until(cluster.loop().now() + from_ms(5'000));
+    ServerId top = kNoServer;
+    Priority best = 0;
+    for (ServerId id : cluster.members()) {
+      if (id == cluster.leader()) continue;
+      const auto p = cluster.node(id).policy().current_config().priority;
+      if (p > best) {
+        best = p;
+        top = id;
+      }
+    }
+    if (top == kNoServer || best != static_cast<Priority>(cluster.size())) {
+      stats.add({});
+      continue;
+    }
+    cluster.crash(top);
+    // Traffic makes the crashed follower lag materially, so a patrol round
+    // re-issues its top priority to someone responsive.
+    sim::drive_traffic(cluster, from_ms(6'000), from_ms(100));
+    cluster.recover(top);
+    // Log catch-up happens within a heartbeat via the repair path (which
+    // does not piggyback configurations); the next patrol round is up to
+    // 4 s away, so the stale priority survives into the measurement.
+    sim::drive_traffic(cluster, from_ms(1'000), from_ms(100));
+    if (cluster.leader() == kNoServer) {
+      stats.add({});
+      continue;
+    }
+    stats.add(sim::measure_failover(cluster, from_ms(120'000)));
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kRuns = runs(100);
+  std::printf("ESCAPE ablation benches (runs per point=%zu)\n", kRuns);
+
+  print_header("A. Probing patrol function: ESCAPE vs Z-Raft (PPF off), s=50, loss sweep");
+  std::printf("%-8s %14s %16s %12s\n", "Delta", "PPF on (ms)", "PPF off (ms)", "penalty");
+  for (double delta : {0.0, 0.2, 0.4}) {
+    const auto on = measure_series(
+        sim::presets::paper_cluster(50, sim::presets::escape_policy(), 0xA100, delta), kRuns);
+    const auto off = measure_series(
+        sim::presets::paper_cluster(50, sim::presets::zraft_policy(), 0xA200, delta), kRuns);
+    std::printf("%-8.0f %14.1f %16.1f %11.1f%%\n", delta * 100, on.total_ms.mean(),
+                off.total_ms.mean(),
+                100.0 * (off.total_ms.mean() - on.total_ms.mean()) / on.total_ms.mean());
+  }
+
+  print_header("B. confClock staleness rule under crash-recovery interference, s=7");
+  {
+    const auto with_rule = recovery_interference(sim::presets::paper_escape_options(), kRuns);
+    const auto without_rule = recovery_interference(
+        with([](core::EscapeOptions& o) { o.conf_clock_vote_rule = false; }), kRuns);
+    std::printf("%-22s %12s %14s %14s\n", "variant", "total(ms)", "p99(ms)", "avg campaigns");
+    std::printf("%-22s %12.1f %14.1f %14.2f\n", "confClock on", with_rule.total_ms.mean(),
+                with_rule.total_ms.percentile(99), with_rule.campaigns.mean());
+    std::printf("%-22s %12.1f %14.1f %14.2f\n", "confClock off", without_rule.total_ms.mean(),
+                without_rule.total_ms.percentile(99), without_rule.campaigns.mean());
+  }
+
+  print_header("C. Eq.1 timeout gap k sensitivity, s=16");
+  std::printf("%-10s %12s %14s %14s\n", "k (ms)", "total(ms)", "p99(ms)", "avg campaigns");
+  for (std::int64_t gap : {50, 100, 250, 500, 1000, 2000}) {
+    const auto opts = with([&](core::EscapeOptions& o) { o.gap = from_ms(gap); });
+    const auto stats = measure_series(
+        sim::presets::paper_cluster(16, sim::presets::escape_policy(opts),
+                                    0xC000 + static_cast<std::uint64_t>(gap)),
+        kRuns);
+    std::printf("%-10lld %12.1f %14.1f %14.2f\n", static_cast<long long>(gap),
+                stats.total_ms.mean(), stats.total_ms.percentile(99), stats.campaigns.mean());
+  }
+
+  print_header("D. Patrol interval (heartbeat rounds between rearrangements), s=16, Delta=20%");
+  std::printf("%-10s %12s %14s\n", "interval", "total(ms)", "avg campaigns");
+  for (int every : {1, 2, 4, 8}) {
+    const auto opts = with([&](core::EscapeOptions& o) { o.patrol_every = every; });
+    const auto stats = measure_series(
+        sim::presets::paper_cluster(16, sim::presets::escape_policy(opts),
+                                    0xD000 + static_cast<std::uint64_t>(every), 0.2),
+        kRuns);
+    std::printf("%-10d %12.1f %14.2f\n", every, stats.total_ms.mean(), stats.campaigns.mean());
+  }
+  return 0;
+}

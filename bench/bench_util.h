@@ -1,0 +1,103 @@
+// Shared plumbing for the figure-reproduction harnesses: run-count control,
+// aligned table printing, and the common measure loop (bootstrap -> crash
+// leader -> record detection/election/total), which is the measurement
+// protocol of Section VI.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/presets.h"
+#include "sim/scenario.h"
+
+namespace escape::bench {
+
+/// Number of measured runs per experiment point. The paper uses 1000;
+/// defaults here are chosen so the whole bench suite finishes in minutes and
+/// can be raised with ESCAPE_BENCH_RUNS=1000 for full fidelity.
+inline std::size_t runs(std::size_t fallback) {
+  if (const char* env = std::getenv("ESCAPE_BENCH_RUNS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+/// Election-time statistics for one experiment point.
+struct FailoverStats {
+  Sample detection_ms;
+  Sample election_ms;
+  Sample total_ms;
+  Sample campaigns;
+  std::size_t runs = 0;
+  std::size_t unconverged = 0;
+
+  void add(const sim::FailoverResult& r) {
+    ++runs;
+    if (!r.converged) {
+      ++unconverged;
+      return;
+    }
+    detection_ms.add(to_ms_f(r.detection));
+    election_ms.add(to_ms_f(r.election));
+    total_ms.add(to_ms_f(r.total));
+    campaigns.add(static_cast<double>(r.campaigns));
+  }
+};
+
+/// Runs `count` independent leader-crash measurements (fresh cluster per
+/// run, seeds varied deterministically) and aggregates them. `prepare`, when
+/// set, runs between bootstrap and the crash (e.g. drive_traffic so logs
+/// diverge under loss).
+inline FailoverStats measure_many(std::size_t count, std::uint64_t seed_base,
+                                  const std::function<sim::ClusterOptions(std::uint64_t)>& make,
+                                  Duration max_wait = from_ms(120'000),
+                                  const std::function<void(sim::SimCluster&)>& prepare = {}) {
+  FailoverStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::SimCluster cluster(make(seed_base + i));
+    if (sim::bootstrap(cluster) == kNoServer) {
+      stats.add({});  // bootstrap failure counts as unconverged
+      continue;
+    }
+    if (prepare) {
+      prepare(cluster);
+      if (cluster.leader() == kNoServer &&
+          cluster.run_until_leader(cluster.loop().now() + from_ms(60'000)) == kNoServer) {
+        stats.add({});
+        continue;
+      }
+    }
+    stats.add(sim::measure_failover(cluster, max_wait));
+  }
+  return stats;
+}
+
+/// The paper's repeated crash-recover protocol on one long-lived cluster
+/// (Section VI: "we repeatedly crashed the leader ... for 1000 runs").
+inline FailoverStats measure_series(sim::ClusterOptions options, std::size_t count,
+                                    sim::SeriesOptions series = {}) {
+  series.runs = count;
+  sim::SimCluster cluster(std::move(options));
+  FailoverStats stats;
+  for (const auto& r : sim::measure_failover_series(cluster, series)) stats.add(r);
+  while (stats.runs < count) stats.add({});  // bootstrap failure: all unconverged
+  return stats;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Prints a CDF line: fraction of samples completed within each bound.
+inline void print_cdf_row(const std::string& label, const Sample& total_ms,
+                          const std::vector<double>& bounds_ms) {
+  std::printf("%-18s", label.c_str());
+  for (double b : bounds_ms) std::printf("  <=%.0fms:%5.1f%%", b, 100.0 * total_ms.cdf_at(b));
+  std::printf("\n");
+}
+
+}  // namespace escape::bench

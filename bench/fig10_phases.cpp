@@ -1,0 +1,68 @@
+// Figure 10 (Section VI-C): leader election time when configurations force
+// zero to three phases with competing candidates (C.C.), at five scales.
+//
+// The harness scripts two rival followers to time out simultaneously for m
+// consecutive phases (deterministically split by biased per-pair latency,
+// the Section II-B geo effect). Under Raft each forced phase costs roughly a
+// full election timeout — a provisional livelock (~6.5 s at 3 phases in the
+// paper). ESCAPE resolves the same collisions in a single campaign because
+// simultaneous candidacies land in different terms; the paper reports
+// 1812-1976 ms regardless of phase count (44.9/64.2/74.3% faster than Raft
+// at s=128 for 1/2/3 phases).
+#include "bench_util.h"
+
+using namespace escape;
+using namespace escape::bench;
+
+namespace {
+
+FailoverStats measure_phases(const std::string& policy, std::size_t scale, int phases,
+                             std::size_t count) {
+  FailoverStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = 0xF10000 + scale * 1000 + static_cast<std::uint64_t>(phases) +
+                               i * 131;
+    auto options = policy == "raft"
+                       ? sim::presets::paper_cluster(scale, sim::presets::raft_policy(), seed)
+                       : sim::presets::paper_cluster(scale, sim::presets::escape_policy(), seed);
+    sim::SimCluster cluster(options);
+    if (sim::bootstrap(cluster) == kNoServer) {
+      stats.add({});
+      continue;
+    }
+    sim::CompetitionOptions comp;
+    comp.phases = phases;
+    stats.add(sim::measure_failover_with_competition(cluster, comp));
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kRuns = runs(40);
+  const std::vector<std::size_t> scales = {8, 16, 32, 64, 128};
+
+  std::printf("Figure 10 reproduction: election time under forced competing candidates\n");
+  std::printf("runs per point=%zu (detection | election | total, ms)\n", kRuns);
+
+  for (int phases = 0; phases <= 3; ++phases) {
+    print_header(std::to_string(phases) + " phase(s) with competing candidates");
+    std::printf("%-6s | %28s | %28s | %9s\n", "s", "Raft det/elect/total", "Escape det/elect/total",
+                "reduction");
+    for (std::size_t s : scales) {
+      const auto raft = measure_phases("raft", s, phases, kRuns);
+      const auto esc = measure_phases("escape", s, phases, kRuns);
+      const double r_total = raft.total_ms.mean();
+      const double e_total = esc.total_ms.mean();
+      std::printf("%-6zu | %8.0f %8.0f %9.0f | %8.0f %8.0f %9.0f | %8.1f%%\n", s,
+                  raft.detection_ms.mean(), raft.election_ms.mean(), r_total,
+                  esc.detection_ms.mean(), esc.election_ms.mean(), e_total,
+                  100.0 * (r_total - e_total) / r_total);
+    }
+  }
+
+  std::printf("\nPaper anchors: parity without competition (1812-1976 ms); Raft ~6535 ms at\n"
+              "s=8 with 3 phases vs ESCAPE <2000 ms; ESCAPE flat across phase counts.\n");
+  return 0;
+}

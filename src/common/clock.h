@@ -1,0 +1,55 @@
+// Virtual/real clock abstraction.
+//
+// The protocol core receives `now` explicitly on every input, so it never
+// queries a clock itself. Clock exists for the runtimes: the simulator's
+// event loop implements it over virtual time, and the TCP runtime implements
+// it over steady_clock. Code that must sleep (only the real runtime does)
+// goes through Clock too, keeping the rest of the library time-source free.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.h"
+
+namespace escape {
+
+/// Abstract monotonic clock in the library's microsecond virtual-time unit.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time. Monotonic, not necessarily related to wall time.
+  virtual TimePoint now() const = 0;
+};
+
+/// Clock backed by std::chrono::steady_clock (used by the TCP runtime).
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  TimePoint now() const override {
+    const auto d = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Manually advanced clock (used by the simulator and unit tests).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0) : now_(start) {}
+
+  TimePoint now() const override { return now_; }
+
+  /// Moves time forward; never backwards.
+  void advance_to(TimePoint t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace escape

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace escape {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mu;
+Logger::Sink& sink_ref() {
+  static Logger::Sink sink;  // empty => default stderr sink
+  return sink;
+}
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mu);
+  sink_ref() = std::move(sink);
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_sink_mu);
+  if (sink_ref()) {
+    sink_ref()(level, msg);
+  } else {
+    std::cerr << '[' << level_tag(level) << "] " << msg << '\n';
+  }
+}
+
+}  // namespace escape

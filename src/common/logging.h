@@ -1,0 +1,60 @@
+// Minimal leveled logger.
+//
+// The protocol core never logs on the hot path unconditionally; log calls
+// compile down to a level check plus (when enabled) a formatted line to a
+// sink. The default sink is stderr; tests and the simulator may install a
+// capturing sink. Thread-safe: sink writes are serialized by a mutex.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace escape {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global logging configuration. Intentionally tiny: a level threshold and a
+/// replaceable sink.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Current threshold; messages below it are dropped before formatting.
+  static LogLevel level();
+
+  /// Sets the threshold for all subsequent log calls.
+  static void set_level(LogLevel level);
+
+  /// Replaces the sink (default writes "[LVL] msg" to stderr). Passing a
+  /// null function restores the default sink.
+  static void set_sink(Sink sink);
+
+  /// Emits a pre-formatted message at `level` (no level check; use LOG_*).
+  static void write(LogLevel level, const std::string& msg);
+};
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogLine(LogLevel l) : level(l) {}
+  ~LogLine() { Logger::write(level, os.str()); }
+};
+}  // namespace detail
+
+#define ESCAPE_LOG(lvl, expr)                                  \
+  do {                                                         \
+    if (static_cast<int>(lvl) >= static_cast<int>(::escape::Logger::level())) { \
+      ::escape::detail::LogLine line_(lvl);                    \
+      line_.os << expr;                                        \
+    }                                                          \
+  } while (0)
+
+#define LOG_TRACE(expr) ESCAPE_LOG(::escape::LogLevel::kTrace, expr)
+#define LOG_DEBUG(expr) ESCAPE_LOG(::escape::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) ESCAPE_LOG(::escape::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) ESCAPE_LOG(::escape::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) ESCAPE_LOG(::escape::LogLevel::kError, expr)
+
+}  // namespace escape

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the library (election timeouts, network latency,
+// loss, shuffles) flows through Rng so that a (seed, scenario) pair replays
+// bit-identically. The generator is xoshiro256** seeded via SplitMix64 —
+// fast, high quality, and trivially serializable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace escape {
+
+/// Deterministic random number generator (xoshiro256**).
+///
+/// Not thread-safe; each simulated component owns its own stream, usually
+/// derived from a root seed with Rng::fork() so streams are decorrelated.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield equal streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability p in [0,1].
+  bool chance(double p);
+
+  /// Derives an independent child stream; deterministic in (this, salt).
+  Rng fork(std::uint64_t salt);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace escape

@@ -1,0 +1,141 @@
+// Bounds-checked binary serialization.
+//
+// Fixed-width little-endian primitives plus length-prefixed strings/blobs.
+// Decoding failures throw DecodeError — a frame from the network is untrusted
+// input and every read is range-checked. The format is deliberately simple
+// (no varints) so the wire layout is auditable byte-by-byte in tests.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace escape {
+
+/// Thrown when a buffer is malformed (truncated, oversized length prefix...).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only byte sink.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Length-prefixed (u32) byte string.
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Length-prefixed (u32) raw bytes.
+  void bytes(const std::vector<std::uint8_t>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Range-checked byte source over a borrowed buffer.
+class Decoder {
+ public:
+  Decoder(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<std::uint8_t>& buf) : Decoder(buf.data(), buf.size()) {}
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint16_t u16() { return take_le<std::uint16_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(take_le<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take_le<std::uint64_t>()); }
+  bool boolean() {
+    const auto v = u8();
+    if (v > 1) throw DecodeError("invalid boolean");
+    return v == 1;
+  }
+  double f64() {
+    const auto bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const auto n = u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<std::uint8_t> bytes() {
+    const auto n = u32();
+    require(n);
+    std::vector<std::uint8_t> b(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return size_ - pos_; }
+
+  /// Fails decoding unless the buffer was fully consumed (detects trailing
+  /// garbage — a frame must parse exactly).
+  void expect_end() const {
+    if (pos_ != size_) throw DecodeError("trailing bytes in frame");
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (size_ - pos_ < n) throw DecodeError("buffer underrun");
+  }
+
+  template <typename T>
+  T take_le() {
+    require(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC32 (IEEE, reflected) over a byte range; used by the WAL and wire frames
+/// to reject torn or corrupted records.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& b) { return crc32(b.data(), b.size()); }
+
+}  // namespace escape

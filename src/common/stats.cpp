@@ -1,0 +1,118 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace escape {
+
+void Sample::add(double v) {
+  values_.push_back(v);
+  sorted_valid_ = false;
+}
+
+double Sample::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Sample::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+void Sample::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Sample::min() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Sample::max() const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Sample::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank definition: smallest value with at least p% of mass at or
+  // below it.
+  const auto n = sorted_.size();
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  const auto idx = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(idx, n - 1)];
+}
+
+double Sample::cdf_at(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Sample::cdf_series(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty() || points == 0) return out;
+  ensure_sorted();
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  out.reserve(points);
+  if (points == 1 || hi == lo) {
+    out.emplace_back(hi, 1.0);
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    out.emplace_back(x, cdf_at(x));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double v) {
+  ++total_;
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge case at hi
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+std::string summarize(const Sample& s, const std::string& unit) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "mean=" << s.mean() << unit << " p50=" << s.percentile(50) << unit
+     << " p95=" << s.percentile(95) << unit << " p99=" << s.percentile(99) << unit
+     << " max=" << s.max() << unit << " n=" << s.count();
+  return os.str();
+}
+
+}  // namespace escape

@@ -1,0 +1,83 @@
+// Measurement helpers used by benches, tests and EXPERIMENTS.md generation.
+//
+// Sample keeps raw observations (election times are small counts — at most a
+// few thousand per experiment point) and derives mean/stddev/percentiles and
+// CDF series exactly, matching how the paper reports Figures 3, 4, 9, 10, 11.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace escape {
+
+/// A batch of scalar observations with exact order statistics.
+class Sample {
+ public:
+  /// Adds one observation.
+  void add(double v);
+
+  /// Number of observations recorded.
+  std::size_t count() const { return values_.size(); }
+
+  /// Arithmetic mean; 0 for an empty sample.
+  double mean() const;
+
+  /// Sample standard deviation (n-1 denominator); 0 when count() < 2.
+  double stddev() const;
+
+  /// Smallest / largest observation; 0 for an empty sample.
+  double min() const;
+  double max() const;
+
+  /// Exact percentile in [0,100] via nearest-rank; 0 for an empty sample.
+  double percentile(double p) const;
+
+  /// Fraction of observations <= x, in [0,1]. This is the empirical CDF the
+  /// paper plots in Figures 3 and 9.
+  double cdf_at(double x) const;
+
+  /// Evaluates the CDF on an evenly spaced grid of `points` xs spanning
+  /// [min, max]; returns (x, fraction<=x) pairs.
+  std::vector<std::pair<double, double>> cdf_series(std::size_t points) const;
+
+  /// Raw observations in insertion order.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi) with `buckets` bins plus overflow.
+/// Used by micro benches and network-model tests to check distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double v);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count_in_bucket(std::size_t i) const { return counts_[i]; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t total() const { return total_; }
+
+  /// Lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t overflow_ = 0, underflow_ = 0, total_ = 0;
+};
+
+/// Renders "mean=... p50=... p99=... n=..." for one-line experiment output.
+std::string summarize(const Sample& s, const std::string& unit);
+
+}  // namespace escape

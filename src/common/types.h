@@ -1,0 +1,71 @@
+// Core scalar types shared by every module.
+//
+// The protocol layer is written against *virtual time*: a signed 64-bit count
+// of microseconds since an arbitrary origin. The simulator advances this
+// clock deterministically; the real-time runtime derives it from
+// steady_clock. All public configuration surfaces speak milliseconds (the
+// unit the paper uses) through the from_ms/to_ms helpers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace escape {
+
+/// Identifies a server within a cluster. Server ids are dense, start at 1
+/// (matching the paper's S1..Sn notation) and never change for the lifetime
+/// of a cluster.
+using ServerId = std::uint32_t;
+
+/// Sentinel "no server" value (e.g. voted_for when no vote was cast).
+inline constexpr ServerId kNoServer = 0;
+
+/// Raft logical time. Monotonically non-decreasing on every server.
+/// In ESCAPE, terms advance by a candidate's priority (Eq. 2) instead of 1.
+using Term = std::int64_t;
+
+/// Index into the replicated log; 1-based, 0 means "empty log".
+using LogIndex = std::int64_t;
+
+/// ESCAPE's configuration clock: the logical clock of configuration
+/// rearrangements (Listing 1, `confClock`). 0 on protocols without ESCAPE.
+using ConfClock = std::int64_t;
+
+/// ESCAPE priority. Higher wins. Initially a server's id (SCA, Section IV-A).
+using Priority = std::int32_t;
+
+/// Virtual time point, microseconds since simulation/process start.
+using TimePoint = std::int64_t;
+
+/// Virtual duration in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr TimePoint kNever = std::numeric_limits<TimePoint>::max();
+
+/// Converts milliseconds (the paper's unit) to the internal microsecond unit.
+constexpr Duration from_ms(std::int64_t ms) { return ms * 1000; }
+
+/// Converts an internal microsecond duration to (truncated) milliseconds.
+constexpr std::int64_t to_ms(Duration d) { return d / 1000; }
+
+/// Converts an internal microsecond duration to fractional milliseconds.
+constexpr double to_ms_f(Duration d) { return static_cast<double>(d) / 1000.0; }
+
+/// Role of a server at any instant (Figure 1 of the paper).
+enum class Role : std::uint8_t { kFollower = 0, kCandidate = 1, kLeader = 2 };
+
+/// Human-readable role name, for logs and traces.
+inline const char* role_name(Role r) {
+  switch (r) {
+    case Role::kFollower: return "follower";
+    case Role::kCandidate: return "candidate";
+    case Role::kLeader: return "leader";
+  }
+  return "?";
+}
+
+/// Formats "S<id>" like the paper's server notation.
+inline std::string server_name(ServerId id) { return "S" + std::to_string(id); }
+
+}  // namespace escape

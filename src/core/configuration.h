@@ -1,0 +1,75 @@
+// Stochastic Configuration Assignment (SCA) arithmetic — Section IV-A.
+//
+// A configuration π(P, k) pairs a priority P with an election timeout derived
+// from Eq. 1:
+//
+//     period(P) = baseTime + gap · (n − P)
+//
+// so the highest priority (P = n) has the shortest timeout (baseTime) and
+// detects a failed leader first. A candidate's term advances by its priority
+// when it campaigns (Eq. 2), which scatters simultaneous campaigns into
+// different terms; received terms merge by max (Eq. 3 — standard Raft
+// behaviour, unchanged in RaftNode).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "rpc/messages.h"
+
+namespace escape::core {
+
+/// Parameters of ESCAPE's configuration scheme.
+struct EscapeOptions {
+  /// Eq. 1 baseTime: minimum election timeout; must comfortably exceed the
+  /// network latency. The paper's evaluation uses 1500 ms.
+  Duration base_time = from_ms(1500);
+
+  /// Eq. 1 k: per-priority timeout gap. The paper recommends at least 2x the
+  /// network latency and evaluates with 500 ms.
+  Duration gap = from_ms(500);
+
+  /// Enables the probing patrol function (Section IV-B). With PPF disabled
+  /// the policy degenerates to Z-Raft: fixed server-ID priorities, no
+  /// rearrangement, no configuration clock advancement (Section VI-D).
+  bool enable_ppf = true;
+
+  /// Enables the confClock staleness vote rule ("servers never vote for
+  /// candidates whose configuration clock is stale"). Disabling it is
+  /// ablation B: recovered servers with stale priorities can split votes.
+  bool conf_clock_vote_rule = true;
+
+  /// Rearrange + redistribute configurations every this many heartbeat
+  /// rounds. 1 = piggyback on every heartbeat (paper default); larger values
+  /// model the "separate heartbeat at a low interval rate" optimization of
+  /// Section IV-C (ablation D).
+  int patrol_every = 1;
+
+  /// Ranking hysteresis: a follower counts as *lagging* (and is demoted in
+  /// the patrol ranking) only when its reported log index trails the most
+  /// responsive follower's by more than this many entries. Followers within
+  /// the threshold keep their previous relative order, so ordinary
+  /// replication jitter (in-flight entries, one omitted heartbeat) does not
+  /// trigger spurious rearrangements — the configuration clock only advances
+  /// on material responsiveness changes, which keeps vote-time clock checks
+  /// meaningful under message loss.
+  LogIndex lag_threshold = 10;
+};
+
+/// Eq. 1: election timeout implied by priority `p` in an `n`-server cluster.
+constexpr Duration election_period(const EscapeOptions& opts, std::size_t n, Priority p) {
+  return opts.base_time + opts.gap * (static_cast<Duration>(n) - static_cast<Duration>(p));
+}
+
+/// The initial (clock-0) configuration a server self-assigns when joining:
+/// priority = server id (SCA "priorities implemented by server IDs").
+inline rpc::Configuration initial_configuration(const EscapeOptions& opts, std::size_t n,
+                                                ServerId id) {
+  rpc::Configuration c;
+  c.priority = static_cast<Priority>(id);
+  c.timer_period = election_period(opts, n, c.priority);
+  c.conf_clock = 0;
+  return c;
+}
+
+}  // namespace escape::core

@@ -1,0 +1,176 @@
+#include "core/escape_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace escape::core {
+
+EscapePolicy::EscapePolicy(ServerId self, std::size_t cluster_size, EscapeOptions options)
+    : self_(self), n_(cluster_size), options_(options) {
+  assert(cluster_size >= 1);
+  current_ = initial_configuration(options_, n_, self_);
+}
+
+Term EscapePolicy::campaign_term(Term current) const {
+  // Eq. 2: T <- T + P. Priority is always >= 1 by construction, but guard
+  // against a zeroed restore so terms keep advancing.
+  const Priority p = std::max<Priority>(1, current_.priority);
+  return current + p;
+}
+
+bool EscapePolicy::approve_candidate(const rpc::RequestVote& request) const {
+  if (!options_.conf_clock_vote_rule) return true;
+  // "Servers never vote for candidates whose configuration clock is stale":
+  // the candidate's clock must be at least the voter's (Section IV-B).
+  return request.conf_clock >= current_.conf_clock;
+}
+
+bool EscapePolicy::on_config_received(const rpc::Configuration& config) {
+  // Only strictly fresher assignments are adopted; replays and reordered
+  // heartbeats cannot roll the configuration back (Lemma 4 relies on clock
+  // monotonicity).
+  if (config.conf_clock <= current_.conf_clock) return false;
+  current_ = config;
+  if (config.conf_clock > max_clock_seen_) max_clock_seen_ = config.conf_clock;
+  leading_ = false;  // receiving a config means someone else leads
+  return true;
+}
+
+void EscapePolicy::restore(const rpc::Configuration& config) {
+  // A zeroed persisted config (fresh disk) keeps the SCA initial assignment.
+  if (config.priority != 0 || config.conf_clock != 0 || config.timer_period != 0) {
+    current_ = config;
+    max_clock_seen_ = std::max(max_clock_seen_, config.conf_clock);
+  }
+}
+
+Duration EscapePolicy::sample_election_timeout(Rng&) {
+  // Deterministic: the adopted configuration *is* the timeout (Eq. 1).
+  return current_.timer_period > 0 ? current_.timer_period
+                                   : election_period(options_, n_, current_.priority);
+}
+
+void EscapePolicy::on_become_leader(const std::vector<ServerId>& others, Term) {
+  leading_ = true;
+  followers_ = others;
+  std::sort(followers_.begin(), followers_.end());
+  probes_.clear();
+  assignments_.clear();
+  rounds_since_patrol_ = 0;
+  patrol_round_pending_ = false;
+  // Continue the clock from the freshest value this server has ever seen so
+  // followers holding configurations from a previous leadership still adopt
+  // ours (clock strictly increases across leaderships).
+  round_clock_ = std::max(round_clock_, max_clock_seen_);
+  for (ServerId f : followers_) probes_[f];  // default probe entries
+}
+
+void EscapePolicy::on_follower_status(ServerId from, const rpc::ConfigStatus& status) {
+  if (!leading_) return;
+  auto it = probes_.find(from);
+  if (it == probes_.end()) return;
+  it->second.log_index = status.log_index;
+  it->second.adopted_clock = status.conf_clock;
+  if (status.conf_clock > max_clock_seen_) max_clock_seen_ = status.conf_clock;
+}
+
+void EscapePolicy::begin_heartbeat_round() {
+  if (!leading_ || !options_.enable_ppf || followers_.empty()) {
+    patrol_round_pending_ = false;
+    return;
+  }
+  ++rounds_since_patrol_;
+  if (rounds_since_patrol_ < options_.patrol_every) {
+    patrol_round_pending_ = false;
+    return;
+  }
+  rounds_since_patrol_ = 0;
+  run_patrol();
+  patrol_round_pending_ = true;
+}
+
+void EscapePolicy::run_patrol() {
+  // Rank followers by log responsiveness (last log index reported in a
+  // heartbeat reply). Figure 5a: up-to-date servers take the higher-priority
+  // configurations; Figure 5b: a crashed follower stops reporting, its known
+  // index freezes below the advancing cluster, and its high priority is
+  // re-issued to a responsive server while its own copy goes stale.
+  //
+  // Hysteresis: followers within lag_threshold of the best reported index
+  // are "healthy" and keep their previous relative order; only material
+  // laggards are demoted. This keeps assignments (and hence the confClock)
+  // stable under replication jitter and message loss.
+  LogIndex best = 0;
+  for (ServerId f : followers_) best = std::max(best, probes_.at(f).log_index);
+  const auto lagging = [&](ServerId f) {
+    return best - probes_.at(f).log_index > options_.lag_threshold;
+  };
+  const auto previous_priority = [&](ServerId f) -> Priority {
+    const auto it = assignments_.find(f);
+    return it == assignments_.end() ? 0 : it->second.priority;
+  };
+  std::vector<ServerId> order = followers_;
+  std::sort(order.begin(), order.end(), [&](ServerId a, ServerId b) {
+    const bool la = lagging(a);
+    const bool lb = lagging(b);
+    if (la != lb) return !la;  // healthy followers outrank laggards
+    if (la) {                  // among laggards, least-behind first
+      const auto ia = probes_.at(a).log_index;
+      const auto ib = probes_.at(b).log_index;
+      if (ia != ib) return ia > ib;
+    }
+    const auto pa = previous_priority(a);
+    const auto pb = previous_priority(b);
+    if (pa != pb) return pa > pb;  // stable: keep the standing order
+    return a > b;                  // deterministic tiebreak (SCA id seed)
+  });
+
+  // Prospective distribution of the pool {n, n-1, ..., 2}; the leader parks
+  // itself at the bottom priority (1) with its timer effectively "NA/inf"
+  // while leading.
+  std::map<ServerId, Priority> proposed;
+  Priority p = static_cast<Priority>(n_);
+  for (ServerId f : order) proposed[f] = p--;
+
+  // The configuration clock stamps *rearrangement generations*: it advances
+  // only when the assignment actually changes (or when a follower reports a
+  // clock ahead of ours, e.g. inherited from a previous leadership that we
+  // missed). Re-broadcasting an unchanged assignment keeps the same clock,
+  // so followers that were omitted by a lossy round converge to it without
+  // penalizing everyone else's freshness.
+  bool changed = assignments_.empty() || max_clock_seen_ > round_clock_;
+  if (!changed) {
+    for (ServerId f : followers_) {
+      const auto it = assignments_.find(f);
+      if (it == assignments_.end() || it->second.priority != proposed.at(f)) {
+        changed = true;
+        break;
+      }
+    }
+  }
+  if (!changed) return;
+
+  round_clock_ = std::max(round_clock_, max_clock_seen_) + 1;
+  for (ServerId f : followers_) {
+    rpc::Configuration c;
+    c.priority = proposed.at(f);
+    c.timer_period = election_period(options_, n_, c.priority);
+    c.conf_clock = round_clock_;
+    assignments_[f] = c;
+  }
+  current_.priority = 1;
+  current_.timer_period = election_period(options_, n_, 1);
+  current_.conf_clock = round_clock_;
+  max_clock_seen_ = round_clock_;
+}
+
+std::optional<rpc::Configuration> EscapePolicy::config_for(ServerId dest) {
+  if (!leading_ || !options_.enable_ppf || !patrol_round_pending_) return std::nullopt;
+  const auto it = assignments_.find(dest);
+  if (it == assignments_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace escape::core

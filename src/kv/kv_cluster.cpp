@@ -1,0 +1,94 @@
+#include "kv/kv_cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace escape::kv {
+
+KvCluster::KvCluster(sim::SimCluster& cluster) : cluster_(cluster) {
+  for (ServerId id : cluster_.members()) stores_[id] = std::make_unique<KvStore>();
+  cluster_.set_apply_hook([this](ServerId id, const rpc::LogEntry& entry) {
+    // A replayed index means the node restarted and is rebuilding its state
+    // machine from the log; start from a fresh store.
+    auto& store = stores_[id];
+    auto& last = last_applied_[id];
+    if (entry.index <= last) store = std::make_unique<KvStore>();
+    last = entry.index;
+    const auto result_bytes = store->apply(entry);
+    if (const auto cmd = decode_command(entry.command)) {
+      if (const auto result = decode_result(result_bytes)) {
+        results_[id][{cmd->client_id, cmd->sequence}] = *result;
+      }
+    }
+  });
+}
+
+std::optional<CommandResult> KvCluster::put(const std::string& key, const std::string& value,
+                                            Duration timeout) {
+  Command c;
+  c.op = Op::kPut;
+  c.key = key;
+  c.value = value;
+  return run(std::move(c), timeout);
+}
+
+std::optional<CommandResult> KvCluster::get(const std::string& key, Duration timeout) {
+  Command c;
+  c.op = Op::kGet;
+  c.key = key;
+  return run(std::move(c), timeout);
+}
+
+std::optional<CommandResult> KvCluster::del(const std::string& key, Duration timeout) {
+  Command c;
+  c.op = Op::kDel;
+  c.key = key;
+  return run(std::move(c), timeout);
+}
+
+std::optional<CommandResult> KvCluster::cas(const std::string& key, const std::string& expected,
+                                            const std::string& value, Duration timeout) {
+  Command c;
+  c.op = Op::kCas;
+  c.key = key;
+  c.expected = expected;
+  c.value = value;
+  return run(std::move(c), timeout);
+}
+
+std::optional<CommandResult> KvCluster::run(Command cmd, Duration timeout) {
+  cmd.client_id = client_id_;
+  cmd.sequence = next_sequence_++;
+  const auto session_key = std::make_pair(cmd.client_id, cmd.sequence);
+  const auto bytes = encode_command(cmd);
+  const TimePoint deadline = cluster_.loop().now() + timeout;
+
+  auto find_result = [&]() -> std::optional<CommandResult> {
+    // Applied on any replica implies committed.
+    for (const auto& [id, by_session] : results_) {
+      const auto it = by_session.find(session_key);
+      if (it != by_session.end()) return it->second;
+    }
+    return std::nullopt;
+  };
+
+  // Submit to the current leader; when leadership moves, resubmit through
+  // the new leader (the original entry may have been truncated). Session
+  // dedup in KvStore makes resubmission exactly-once.
+  ServerId submitted_to = kNoServer;
+  while (cluster_.loop().now() < deadline) {
+    if (auto r = find_result()) return r;
+    const ServerId leader = cluster_.leader();
+    if (leader != kNoServer && leader != submitted_to) {
+      if (cluster_.node(leader).submit(bytes, cluster_.loop().now())) {
+        submitted_to = leader;
+        cluster_.pump(leader);
+      }
+    }
+    cluster_.loop().run_until(std::min(deadline, cluster_.loop().now() + from_ms(100)));
+  }
+  return find_result();
+}
+
+}  // namespace escape::kv

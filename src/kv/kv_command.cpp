@@ -1,0 +1,59 @@
+#include "kv/kv_command.h"
+
+#include "common/serde.h"
+
+namespace escape::kv {
+
+std::vector<std::uint8_t> encode_command(const Command& cmd) {
+  Encoder e;
+  e.u64(cmd.client_id);
+  e.u64(cmd.sequence);
+  e.u8(static_cast<std::uint8_t>(cmd.op));
+  e.str(cmd.key);
+  e.str(cmd.value);
+  e.str(cmd.expected);
+  return e.take();
+}
+
+std::optional<Command> decode_command(const std::vector<std::uint8_t>& bytes) {
+  try {
+    Decoder d(bytes);
+    Command c;
+    c.client_id = d.u64();
+    c.sequence = d.u64();
+    const auto op = d.u8();
+    if (op < static_cast<std::uint8_t>(Op::kPut) || op > static_cast<std::uint8_t>(Op::kNoop)) {
+      return std::nullopt;
+    }
+    c.op = static_cast<Op>(op);
+    c.key = d.str();
+    c.value = d.str();
+    c.expected = d.str();
+    d.expect_end();
+    return c;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> encode_result(const CommandResult& result) {
+  Encoder e;
+  e.boolean(result.ok);
+  e.str(result.value);
+  return e.take();
+}
+
+std::optional<CommandResult> decode_result(const std::vector<std::uint8_t>& bytes) {
+  try {
+    Decoder d(bytes);
+    CommandResult r;
+    r.ok = d.boolean();
+    r.value = d.str();
+    d.expect_end();
+    return r;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace escape::kv

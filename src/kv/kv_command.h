@@ -1,0 +1,55 @@
+// KV command wire format.
+//
+// Commands are the opaque bytes inside replicated log entries. Each command
+// carries the issuing client's session identity (client_id, sequence) so the
+// state machine can deduplicate retried submissions: a command committed
+// twice (e.g. resubmitted after a leader failover) is applied once and the
+// cached result is returned.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace escape::kv {
+
+enum class Op : std::uint8_t {
+  kPut = 1,     ///< key := value
+  kGet = 2,     ///< read key (replicated read; linearizable by construction)
+  kDel = 3,     ///< erase key
+  kCas = 4,     ///< key := value iff current == expected
+  kNoop = 5,    ///< no effect (leader barrier entries)
+};
+
+struct Command {
+  std::uint64_t client_id = 0;
+  std::uint64_t sequence = 0;
+  Op op = Op::kNoop;
+  std::string key;
+  std::string value;     ///< for kPut / kCas
+  std::string expected;  ///< for kCas
+
+  bool operator==(const Command&) const = default;
+};
+
+/// Result of applying a command.
+struct CommandResult {
+  bool ok = false;        ///< operation succeeded (CAS matched, GET found...)
+  std::string value;      ///< GET result / previous value where meaningful
+
+  bool operator==(const CommandResult&) const = default;
+};
+
+/// Serializes a command into log-entry bytes.
+std::vector<std::uint8_t> encode_command(const Command& cmd);
+
+/// Parses log-entry bytes; nullopt when malformed (a malformed committed
+/// entry is treated as a no-op rather than poisoning the state machine).
+std::optional<Command> decode_command(const std::vector<std::uint8_t>& bytes);
+
+/// Serializes / parses results carried back to clients.
+std::vector<std::uint8_t> encode_result(const CommandResult& result);
+std::optional<CommandResult> decode_result(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace escape::kv

@@ -1,0 +1,71 @@
+#include "kv/kv_store.h"
+
+namespace escape::kv {
+
+std::vector<std::uint8_t> KvStore::apply(const rpc::LogEntry& entry) {
+  const auto cmd = decode_command(entry.command);
+  if (!cmd) return encode_result({});  // malformed/no-op entries apply as no-ops
+  return encode_result(execute(*cmd));
+}
+
+CommandResult KvStore::execute(const Command& cmd) {
+  if (cmd.client_id != 0) {
+    auto& session = sessions_[cmd.client_id];
+    if (cmd.sequence <= session.last_sequence) {
+      return session.last_result;  // duplicate: return cached outcome
+    }
+    CommandResult result = do_execute(cmd);
+    session.last_sequence = cmd.sequence;
+    session.last_result = result;
+    return result;
+  }
+  return do_execute(cmd);
+}
+
+CommandResult KvStore::do_execute(const Command& cmd) {
+  CommandResult r;
+  switch (cmd.op) {
+    case Op::kPut: {
+      auto it = data_.find(cmd.key);
+      if (it != data_.end()) r.value = it->second;
+      data_[cmd.key] = cmd.value;
+      r.ok = true;
+      break;
+    }
+    case Op::kGet: {
+      auto it = data_.find(cmd.key);
+      if (it != data_.end()) {
+        r.ok = true;
+        r.value = it->second;
+      }
+      break;
+    }
+    case Op::kDel: {
+      r.ok = data_.erase(cmd.key) > 0;
+      break;
+    }
+    case Op::kCas: {
+      auto it = data_.find(cmd.key);
+      const std::string current = it == data_.end() ? std::string{} : it->second;
+      if (current == cmd.expected) {
+        data_[cmd.key] = cmd.value;
+        r.ok = true;
+      } else {
+        r.value = current;
+      }
+      break;
+    }
+    case Op::kNoop:
+      r.ok = true;
+      break;
+  }
+  return r;
+}
+
+std::optional<std::string> KvStore::peek(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace escape::kv

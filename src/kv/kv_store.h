@@ -1,0 +1,45 @@
+// Replicated key-value store (the example application substrate).
+//
+// One KvStore instance runs on every replica; the consensus layer feeds it
+// committed entries in log order. Sessions deduplicate client retries: a
+// command whose (client_id, sequence) is not newer than the session's last
+// applied sequence returns the cached result without re-executing, giving
+// exactly-once semantics over an at-least-once submission path.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "kv/kv_command.h"
+#include "kv/state_machine.h"
+
+namespace escape::kv {
+
+class KvStore final : public StateMachine {
+ public:
+  std::vector<std::uint8_t> apply(const rpc::LogEntry& entry) override;
+
+  /// Executes a decoded command with session dedup; exposed for direct
+  /// (non-replicated) unit testing.
+  CommandResult execute(const Command& cmd);
+
+  /// Local read (not linearizable; tests and inspection only).
+  std::optional<std::string> peek(const std::string& key) const;
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t session_count() const { return sessions_.size(); }
+
+ private:
+  CommandResult do_execute(const Command& cmd);
+
+  struct Session {
+    std::uint64_t last_sequence = 0;
+    CommandResult last_result;
+  };
+
+  std::map<std::string, std::string> data_;
+  std::map<std::uint64_t, Session> sessions_;
+};
+
+}  // namespace escape::kv

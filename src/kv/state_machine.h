@@ -1,0 +1,25 @@
+// Application state machine interface.
+//
+// Committed log entries are applied in log order, exactly once per
+// incarnation. Implementations must be deterministic: equal entry sequences
+// produce equal states and outputs on every replica (State-Machine Safety
+// turns that determinism into replica consistency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rpc/messages.h"
+
+namespace escape::kv {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Applies one committed entry and returns its output (returned to the
+  /// submitting client by the leader).
+  virtual std::vector<std::uint8_t> apply(const rpc::LogEntry& entry) = 0;
+};
+
+}  // namespace escape::kv

@@ -1,0 +1,134 @@
+#include "net/real_cluster.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace escape::net {
+
+RealNode::RealNode(ServerId id, std::map<ServerId, std::uint16_t> endpoints,
+                   PolicyFactory policy, Options options)
+    : id_(id), options_(std::move(options)) {
+  std::vector<ServerId> members;
+  for (const auto& [member, port] : endpoints) members.push_back(member);
+
+  std::vector<rpc::LogEntry> recovered;
+  if (options_.data_dir.empty()) {
+    store_ = std::make_unique<storage::MemoryStateStore>();
+    wal_ = std::make_unique<storage::NullWal>();
+  } else {
+    const std::string base = options_.data_dir + "/" + server_name(id_);
+    store_ = std::make_unique<storage::FileStateStore>(base + ".state");
+    auto file_wal = std::make_unique<storage::FileWal>(base + ".wal");
+    recovered = file_wal->recovered_entries();
+    wal_ = std::move(file_wal);
+  }
+
+  node_ = std::make_unique<raft::RaftNode>(id_, members, policy(id_, members.size()), *store_,
+                                           *wal_, Rng(options_.seed ^ (0xC0FFEEull + id_)),
+                                           options_.node, std::move(recovered));
+  transport_ = std::make_unique<TcpTransport>(id_, endpoints, [this](const rpc::Envelope& env) {
+    {
+      std::lock_guard lock(mu_);
+      mailbox_.push_back(env);
+    }
+    cv_.notify_one();
+  });
+}
+
+RealNode::RealNode(ServerId id, std::map<ServerId, std::uint16_t> endpoints,
+                   PolicyFactory policy)
+    : RealNode(id, std::move(endpoints), std::move(policy), Options()) {}
+
+RealNode::~RealNode() { stop(); }
+
+void RealNode::start() {
+  transport_->start();
+  running_.store(true);
+  {
+    std::lock_guard lock(mu_);
+    node_->start(clock_.now());
+  }
+  driver_ = std::thread([this] { run_loop(); });
+}
+
+void RealNode::stop() {
+  if (!running_.exchange(false)) return;
+  cv_.notify_all();
+  if (driver_.joinable()) driver_.join();
+  transport_->stop();
+}
+
+std::optional<LogIndex> RealNode::submit(std::vector<std::uint8_t> command) {
+  std::vector<rpc::Envelope> outbox;
+  std::optional<LogIndex> index;
+  {
+    std::lock_guard lock(mu_);
+    index = node_->submit(std::move(command), clock_.now());
+    outbox = node_->take_outbox();
+  }
+  for (const auto& env : outbox) transport_->send(env);
+  cv_.notify_one();
+  return index;
+}
+
+void RealNode::set_apply_hook(std::function<void(const rpc::LogEntry&)> hook) {
+  std::lock_guard lock(mu_);
+  apply_hook_ = std::move(hook);
+}
+
+Role RealNode::role() const {
+  std::lock_guard lock(mu_);
+  return node_->role();
+}
+
+Term RealNode::term() const {
+  std::lock_guard lock(mu_);
+  return node_->term();
+}
+
+ServerId RealNode::leader_hint() const {
+  std::lock_guard lock(mu_);
+  return node_->leader_hint();
+}
+
+LogIndex RealNode::commit_index() const {
+  std::lock_guard lock(mu_);
+  return node_->commit_index();
+}
+
+void RealNode::run_loop() {
+  using namespace std::chrono;
+  while (running_.load()) {
+    std::vector<rpc::Envelope> outbox;
+    std::vector<rpc::LogEntry> committed;
+    std::function<void(const rpc::LogEntry&)> hook;
+    {
+      std::unique_lock lock(mu_);
+      if (mailbox_.empty()) {
+        // Sleep until the next timer deadline (bounded so shutdown and
+        // clock drift are handled), or until a message arrives.
+        const TimePoint deadline = node_->next_deadline();
+        Duration wait_us = deadline == kNever ? from_ms(100) : deadline - clock_.now();
+        wait_us = std::clamp<Duration>(wait_us, 0, from_ms(100));
+        cv_.wait_for(lock, microseconds(wait_us));
+      }
+      if (!running_.load()) break;
+      while (!mailbox_.empty()) {
+        const rpc::Envelope env = std::move(mailbox_.front());
+        mailbox_.pop_front();
+        node_->on_message(env, clock_.now());
+      }
+      node_->on_tick(clock_.now());
+      outbox = node_->take_outbox();
+      committed = node_->take_committed();
+      hook = apply_hook_;
+    }
+    for (const auto& env : outbox) transport_->send(env);
+    if (hook) {
+      for (const auto& entry : committed) hook(entry);
+    }
+  }
+}
+
+}  // namespace escape::net

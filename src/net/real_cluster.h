@@ -1,0 +1,97 @@
+// Real-time runtime: one consensus server over TCP and steady_clock.
+//
+// RealNode wires a RaftNode to a TcpTransport and a driver thread. Inbound
+// messages land in a mailbox from the transport's poll thread; the driver
+// thread drains the mailbox, fires due timers, ships the outbox and applies
+// committed entries — so the consensus core itself stays single-threaded,
+// exactly as in the simulator.
+//
+// This is the deployment path a downstream user runs on a real cluster; the
+// repo's benches use the simulator instead (determinism and virtual time).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "net/tcp_transport.h"
+#include "raft/raft_node.h"
+#include "storage/state_store.h"
+#include "storage/wal.h"
+
+namespace escape::net {
+
+/// Builds an election policy for a member (same shape as sim::PolicyFactory).
+using PolicyFactory =
+    std::function<std::unique_ptr<raft::ElectionPolicy>(ServerId id, std::size_t cluster_size)>;
+
+class RealNode {
+ public:
+  struct Options {
+    Options() { node.commit_noop_on_elect = true; }  // production semantics
+
+    raft::NodeOptions node;
+    /// When non-empty, durable state lives in `<data_dir>/S<id>.state` and
+    /// `<data_dir>/S<id>.wal`; otherwise volatile in-memory stores are used.
+    std::string data_dir;
+    std::uint64_t seed = 1;
+  };
+
+  /// `endpoints` maps every member (including `id`) to a 127.0.0.1 port.
+  RealNode(ServerId id, std::map<ServerId, std::uint16_t> endpoints, PolicyFactory policy,
+           Options options);
+  RealNode(ServerId id, std::map<ServerId, std::uint16_t> endpoints, PolicyFactory policy);
+  ~RealNode();
+
+  RealNode(const RealNode&) = delete;
+  RealNode& operator=(const RealNode&) = delete;
+
+  /// Binds the transport and launches the driver thread.
+  void start();
+
+  /// Stops the driver thread and transport. Idempotent.
+  void stop();
+
+  /// Thread-safe command submission (leader only; nullopt otherwise).
+  std::optional<LogIndex> submit(std::vector<std::uint8_t> command);
+
+  /// Hook invoked (on the driver thread) for every committed entry.
+  void set_apply_hook(std::function<void(const rpc::LogEntry&)> hook);
+
+  // Thread-safe snapshots of node state.
+  Role role() const;
+  Term term() const;
+  ServerId leader_hint() const;
+  LogIndex commit_index() const;
+  ServerId id() const { return id_; }
+
+ private:
+  void run_loop();
+
+  const ServerId id_;
+  Options options_;
+  SteadyClock clock_;
+
+  std::unique_ptr<storage::StateStore> store_;
+  std::unique_ptr<storage::Wal> wal_;
+  std::unique_ptr<raft::RaftNode> node_;  // guarded by mu_
+  std::unique_ptr<TcpTransport> transport_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<rpc::Envelope> mailbox_;
+  std::function<void(const rpc::LogEntry&)> apply_hook_;
+
+  std::thread driver_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace escape::net

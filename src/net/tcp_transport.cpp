@@ -1,0 +1,265 @@
+#include "net/tcp_transport.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace escape::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Frames carry a one-u32 hello (the sender's id) as the first payload so the
+// acceptor can attribute inbound traffic to a ServerId.
+std::vector<std::uint8_t> hello_payload(ServerId self) {
+  Encoder e;
+  e.u32(self);
+  return e.take();
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(ServerId self, std::map<ServerId, std::uint16_t> endpoints,
+                           DeliverFn deliver)
+    : self_(self), endpoints_(std::move(endpoints)), deliver_(std::move(deliver)) {
+  if (endpoints_.find(self_) == endpoints_.end()) {
+    throw std::invalid_argument("endpoints must include self");
+  }
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoints_.at(self_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw std::runtime_error("bind() failed on port " + std::to_string(endpoints_.at(self_)) +
+                             ": " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) throw std::runtime_error("listen() failed");
+  set_nonblocking(listen_fd_);
+
+  if (::pipe(wake_pipe_) != 0) throw std::runtime_error("pipe() failed");
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  running_.store(true);
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+void TcpTransport::stop() {
+  if (!running_.exchange(false)) return;
+  wake();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mu_);
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  peer_conn_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void TcpTransport::wake() {
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+bool TcpTransport::connect_peer(ServerId peer) {
+  // mu_ held by caller.
+  const auto it = endpoints_.find(peer);
+  if (it == endpoints_.end()) return false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(it->second);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return false;
+  }
+  Conn conn;
+  conn.fd = fd;
+  conn.peer = peer;
+  conn.connecting = rc != 0;
+  // First frame on an outgoing connection identifies us to the acceptor.
+  const auto hello = rpc::frame_payload(hello_payload(self_));
+  conn.outbuf.insert(conn.outbuf.end(), hello.begin(), hello.end());
+  conns_.emplace(fd, std::move(conn));
+  peer_conn_[peer] = fd;
+  stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TcpTransport::send(const rpc::Envelope& envelope) {
+  const auto frame = rpc::frame_message(envelope.message);
+  {
+    std::lock_guard lock(mu_);
+    auto it = peer_conn_.find(envelope.to);
+    if (it == peer_conn_.end()) {
+      if (!connect_peer(envelope.to)) {
+        stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      it = peer_conn_.find(envelope.to);
+    }
+    auto& conn = conns_.at(it->second);
+    if (conn.outbuf.size() + frame.size() > kMaxOutboundBytes) {
+      stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    conn.outbuf.insert(conn.outbuf.end(), frame.begin(), frame.end());
+    stats_.sent.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake();
+}
+
+void TcpTransport::close_conn(int fd) {
+  // mu_ held by caller.
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (it->second.peer != kNoServer) {
+    const auto pit = peer_conn_.find(it->second.peer);
+    if (pit != peer_conn_.end() && pit->second == fd) peer_conn_.erase(pit);
+  }
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void TcpTransport::handle_readable(Conn& conn) {
+  std::uint8_t buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.reader.feed(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      close_conn(conn.fd);
+      return;
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn.fd);
+      return;
+    }
+  }
+  try {
+    while (auto payload = conn.reader.next()) {
+      if (conn.peer == kNoServer) {
+        // First inbound frame is the hello carrying the sender's id.
+        Decoder d(*payload);
+        conn.peer = d.u32();
+        d.expect_end();
+        continue;
+      }
+      rpc::Envelope env;
+      env.from = conn.peer;
+      env.to = self_;
+      env.message = rpc::decode_message(*payload);
+      stats_.received.fetch_add(1, std::memory_order_relaxed);
+      deliver_(env);
+    }
+  } catch (const DecodeError& e) {
+    LOG_WARN("transport " << server_name(self_) << ": closing connection after decode error: "
+                          << e.what());
+    close_conn(conn.fd);
+  }
+}
+
+void TcpTransport::flush_writable(Conn& conn) {
+  conn.connecting = false;
+  while (!conn.outbuf.empty()) {
+    // deque is not contiguous; copy a bounded chunk.
+    std::uint8_t chunk[1 << 16];
+    const std::size_t len = std::min(conn.outbuf.size(), sizeof(chunk));
+    for (std::size_t i = 0; i < len; ++i) chunk[i] = conn.outbuf[i];
+    const ssize_t n = ::send(conn.fd, chunk, len, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf.erase(conn.outbuf.begin(), conn.outbuf.begin() + n);
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else {
+      close_conn(conn.fd);
+      return;
+    }
+  }
+}
+
+void TcpTransport::poll_loop() {
+  while (running_.load()) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    {
+      std::lock_guard lock(mu_);
+      for (auto& [fd, conn] : conns_) {
+        short events = POLLIN;
+        if (!conn.outbuf.empty() || conn.connecting) events |= POLLOUT;
+        fds.push_back({fd, events, 0});
+      }
+    }
+    const int rc = ::poll(fds.data(), fds.size(), 100);
+    if (rc < 0 && errno != EINTR) break;
+    if (!running_.load()) break;
+
+    if (fds[0].revents & POLLIN) {
+      while (true) {
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        set_nonblocking(cfd);
+        const int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::lock_guard lock(mu_);
+        Conn conn;
+        conn.fd = cfd;
+        conns_.emplace(cfd, std::move(conn));
+      }
+    }
+    if (fds[1].revents & POLLIN) {
+      char drain[256];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      std::lock_guard lock(mu_);
+      auto it = conns_.find(fds[i].fd);
+      if (it == conns_.end()) continue;
+      if (fds[i].revents & (POLLERR | POLLHUP)) {
+        close_conn(fds[i].fd);
+        continue;
+      }
+      if (fds[i].revents & POLLOUT) flush_writable(it->second);
+      // flush may close; re-find.
+      it = conns_.find(fds[i].fd);
+      if (it == conns_.end()) continue;
+      if (fds[i].revents & POLLIN) handle_readable(it->second);
+    }
+  }
+}
+
+}  // namespace escape::net

@@ -1,0 +1,96 @@
+// Real TCP transport for deploying the consensus core outside the simulator.
+//
+// Each server owns one TcpTransport: a listening socket plus lazily
+// established outgoing connections to peers, serviced by a single background
+// poll() thread. Messages are framed with rpc::frame_message (length prefix +
+// CRC); a corrupt frame closes the connection, and outgoing sends reconnect
+// transparently — consensus tolerates lost messages by design, so the
+// transport drops rather than blocks when a peer is unreachable.
+//
+// Thread model: send() may be called from any thread (it enqueues and wakes
+// the poll loop via a self-pipe); the deliver callback runs on the poll
+// thread and must not block.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rpc/messages.h"
+#include "rpc/wire.h"
+
+namespace escape::net {
+
+/// Statistics for tests and diagnostics.
+struct TransportStats {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> reconnects{0};
+};
+
+class TcpTransport {
+ public:
+  using DeliverFn = std::function<void(const rpc::Envelope&)>;
+
+  /// `endpoints` maps every cluster member (including `self`) to a TCP port
+  /// on 127.0.0.1. The transport binds self's port in start().
+  TcpTransport(ServerId self, std::map<ServerId, std::uint16_t> endpoints, DeliverFn deliver);
+  ~TcpTransport();
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds, listens and launches the poll thread. Throws std::runtime_error
+  /// on bind failure.
+  void start();
+
+  /// Stops the poll thread and closes all sockets. Idempotent.
+  void stop();
+
+  /// Queues `envelope` for its destination. Never blocks; drops (and counts)
+  /// when the peer is unreachable and the outbound queue is saturated.
+  void send(const rpc::Envelope& envelope);
+
+  const TransportStats& stats() const { return stats_; }
+  ServerId self() const { return self_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    ServerId peer = kNoServer;        ///< known for outgoing; learned for incoming
+    rpc::FrameReader reader;
+    std::deque<std::uint8_t> outbuf;  ///< bytes awaiting writability
+    bool connecting = false;          ///< nonblocking connect() in flight
+  };
+
+  void poll_loop();
+  void handle_readable(Conn& conn);
+  void flush_writable(Conn& conn);
+  bool connect_peer(ServerId peer);
+  void close_conn(int fd);
+  void wake();
+
+  static constexpr std::size_t kMaxOutboundBytes = 8u << 20;
+
+  const ServerId self_;
+  const std::map<ServerId, std::uint16_t> endpoints_;
+  DeliverFn deliver_;
+
+  std::mutex mu_;                  // guards conns_, peer_conn_
+  std::map<int, Conn> conns_;      // by fd
+  std::map<ServerId, int> peer_conn_;  // outgoing connection per peer
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  TransportStats stats_;
+};
+
+}  // namespace escape::net

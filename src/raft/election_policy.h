@@ -1,0 +1,132 @@
+// The election-policy seam.
+//
+// ESCAPE's central claim (Lemma 2) is that its election protocol is
+// indistinguishable from Raft's on the wire: only *when* a server campaigns,
+// *how far* its term jumps (Eq. 2), and one extra vote predicate (the
+// confClock staleness rule) change. This interface captures exactly those
+// seams, so the replication core in RaftNode is shared verbatim by:
+//   * RaftRandomizedPolicy  — vanilla Raft (randomized timeouts, term+1),
+//   * core::ZRaftPolicy     — ZooKeeper-style fixed priorities (§VI-D),
+//   * core::EscapePolicy    — SCA + PPF + confClock (the paper's protocol).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "rpc/messages.h"
+
+namespace escape::raft {
+
+/// Strategy hooks that specialize leader election. All methods are invoked
+/// from the (single-threaded) RaftNode; implementations need no locking.
+class ElectionPolicy {
+ public:
+  virtual ~ElectionPolicy() = default;
+
+  /// Human-readable policy name for logs and bench output.
+  virtual std::string name() const = 0;
+
+  // --- follower / candidate side -----------------------------------------
+
+  /// Election timeout to arm when the timer is (re)set. Raft samples
+  /// uniformly; ESCAPE returns the period its adopted configuration imposes
+  /// (Eq. 1). A scripted override (see set_timeout_override) wins when set.
+  Duration next_election_timeout(Rng& rng) {
+    if (timeout_override_) {
+      if (auto d = timeout_override_()) return *d;
+    }
+    return sample_election_timeout(rng);
+  }
+
+  /// Term a new campaign runs in, given the current term.
+  /// Raft: current + 1. ESCAPE: current + priority (Eq. 2).
+  virtual Term campaign_term(Term current) const = 0;
+
+  /// Configuration clock stamped on outgoing RequestVote (0 under Raft).
+  virtual ConfClock vote_request_clock() const = 0;
+
+  /// Additional vote predicate evaluated after Raft's three rules pass.
+  /// ESCAPE: reject candidates whose confClock is older than the voter's.
+  virtual bool approve_candidate(const rpc::RequestVote& request) const = 0;
+
+  /// Follower adopts a configuration piggybacked on a heartbeat. Returns
+  /// true when the adopted configuration changed (node persists it and the
+  /// new timer period takes effect at the next timer arm).
+  virtual bool on_config_received(const rpc::Configuration& config) = 0;
+
+  /// Configuration currently in force on this server (zeros under Raft);
+  /// reported to the leader in AppendEntriesReply.status and persisted.
+  virtual rpc::Configuration current_config() const = 0;
+
+  /// Restores the adopted configuration after a restart.
+  virtual void restore(const rpc::Configuration& config) = 0;
+
+  // --- leader side (probing patrol function) -----------------------------
+
+  /// Leadership acquired; `others` are the remaining cluster members.
+  virtual void on_become_leader(const std::vector<ServerId>& others, Term term) = 0;
+
+  /// Records a follower's reply status (log responsiveness, adopted clock).
+  virtual void on_follower_status(ServerId from, const rpc::ConfigStatus& status) = 0;
+
+  /// Invoked once per heartbeat round before building AppendEntries. ESCAPE
+  /// performs the patrol rearrangement here and advances the confClock.
+  virtual void begin_heartbeat_round() = 0;
+
+  /// Configuration to piggyback to `dest` in the current round, if any.
+  virtual std::optional<rpc::Configuration> config_for(ServerId dest) = 0;
+
+  // --- test / scenario scripting ------------------------------------------
+
+  /// Overrides timeout sampling; used by scenario drivers (e.g. Figure 10's
+  /// forced simultaneous expirations). Return nullopt to fall through to the
+  /// policy's own sampling for that arm.
+  using TimeoutOverride = std::function<std::optional<Duration>()>;
+  void set_timeout_override(TimeoutOverride fn) { timeout_override_ = std::move(fn); }
+
+ protected:
+  /// Policy-specific timeout sampling (see next_election_timeout).
+  virtual Duration sample_election_timeout(Rng& rng) = 0;
+
+ private:
+  TimeoutOverride timeout_override_;
+};
+
+/// Vanilla Raft: timeouts uniform in [min, max], terms advance by one, no
+/// configurations, every qualified candidate approved.
+class RaftRandomizedPolicy final : public ElectionPolicy {
+ public:
+  /// Timeout range in internal time units; the paper's recommended setting
+  /// for 100–200 ms latency is 1500–3000 ms.
+  RaftRandomizedPolicy(Duration timeout_min, Duration timeout_max)
+      : timeout_min_(timeout_min), timeout_max_(timeout_max) {}
+
+  std::string name() const override { return "raft"; }
+
+  Term campaign_term(Term current) const override { return current + 1; }
+  ConfClock vote_request_clock() const override { return 0; }
+  bool approve_candidate(const rpc::RequestVote&) const override { return true; }
+  bool on_config_received(const rpc::Configuration&) override { return false; }
+  rpc::Configuration current_config() const override { return {}; }
+  void restore(const rpc::Configuration&) override {}
+
+  void on_become_leader(const std::vector<ServerId>&, Term) override {}
+  void on_follower_status(ServerId, const rpc::ConfigStatus&) override {}
+  void begin_heartbeat_round() override {}
+  std::optional<rpc::Configuration> config_for(ServerId) override { return std::nullopt; }
+
+ protected:
+  Duration sample_election_timeout(Rng& rng) override {
+    return rng.uniform_int(timeout_min_, timeout_max_);
+  }
+
+ private:
+  Duration timeout_min_;
+  Duration timeout_max_;
+};
+
+}  // namespace escape::raft

@@ -1,0 +1,453 @@
+#include "raft/raft_node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace escape::raft {
+
+RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
+                   std::unique_ptr<ElectionPolicy> policy, storage::StateStore& state_store,
+                   storage::Wal& wal, Rng rng, NodeOptions options,
+                   std::vector<rpc::LogEntry> recovered_log)
+    : id_(id),
+      members_(std::move(members)),
+      policy_(std::move(policy)),
+      state_store_(state_store),
+      wal_(wal),
+      rng_(rng),
+      options_(options) {
+  if (id_ == kNoServer) throw std::invalid_argument("server id 0 is reserved");
+  if (!policy_) throw std::invalid_argument("null election policy");
+  bool self_listed = false;
+  for (ServerId m : members_) {
+    if (m == id_) {
+      self_listed = true;
+    } else {
+      others_.push_back(m);
+    }
+  }
+  if (!self_listed) throw std::invalid_argument("member list must include self");
+  for (const auto& e : recovered_log) log_.append(e);
+}
+
+void RaftNode::start(TimePoint now) {
+  if (started_) throw std::logic_error("start() called twice");
+  if (auto persisted = state_store_.load()) {
+    current_term_ = persisted->current_term;
+    voted_for_ = persisted->voted_for;
+    policy_->restore(persisted->config);
+  }
+  started_ = true;
+  arm_election_timer(now);
+  LOG_DEBUG(server_name(id_) << " started t=" << current_term_ << " log=" << log_.last_index());
+}
+
+void RaftNode::on_message(const rpc::Envelope& envelope, TimePoint now) {
+  assert(started_);
+  ++counters_.messages_received;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, rpc::RequestVote>) {
+          handle_request_vote(m, now);
+        } else if constexpr (std::is_same_v<T, rpc::RequestVoteReply>) {
+          handle_request_vote_reply(m, now);
+        } else if constexpr (std::is_same_v<T, rpc::AppendEntries>) {
+          handle_append_entries(envelope.from, m, now);
+        } else if constexpr (std::is_same_v<T, rpc::AppendEntriesReply>) {
+          handle_append_entries_reply(m, now);
+        } else if constexpr (std::is_same_v<T, rpc::TimeoutNow>) {
+          handle_timeout_now(m, now);
+        } else {
+          // Client traffic is handled by the application layer (kv::Server);
+          // the consensus core only sees consensus RPCs.
+          LOG_WARN(server_name(id_) << " dropping non-consensus message");
+        }
+      },
+      envelope.message);
+}
+
+void RaftNode::on_tick(TimePoint now) {
+  assert(started_);
+  if (role_ != Role::kLeader && election_deadline_ != kNever && now >= election_deadline_) {
+    start_campaign(now);
+  }
+  if (role_ == Role::kLeader && heartbeat_deadline_ != kNever && now >= heartbeat_deadline_) {
+    broadcast_heartbeat_round(now);
+  }
+}
+
+std::optional<LogIndex> RaftNode::submit(std::vector<std::uint8_t> command, TimePoint now) {
+  assert(started_);
+  if (role_ != Role::kLeader) return std::nullopt;
+  rpc::LogEntry entry;
+  entry.term = current_term_;
+  entry.index = log_.last_index() + 1;
+  entry.command = std::move(command);
+  wal_.append(entry);
+  log_.append(entry);
+  // Replicate eagerly; heartbeats would pick it up anyway, but latency
+  // matters to clients.
+  for (ServerId peer : others_) send_append_entries(peer, /*include_config=*/false);
+  maybe_advance_commit();  // single-node clusters commit immediately
+  (void)now;
+  return entry.index;
+}
+
+bool RaftNode::transfer_leadership(ServerId target, TimePoint now) {
+  (void)now;
+  if (role_ != Role::kLeader || target == id_) return false;
+  const auto match = match_index_.find(target);
+  if (match == match_index_.end()) return false;
+  if (match->second < log_.last_index()) return false;  // target not caught up
+  rpc::TimeoutNow m;
+  m.term = current_term_;
+  m.leader_id = id_;
+  send(target, m);
+  LOG_DEBUG(server_name(id_) << " transfers leadership to " << server_name(target));
+  return true;
+}
+
+void RaftNode::handle_timeout_now(const rpc::TimeoutNow& m, TimePoint now) {
+  // Only honor a transfer from the current term's leader; stale or rogue
+  // requests are ignored (the campaign itself is still governed by the
+  // normal election rules, so even a honored stale one is safe).
+  if (m.term < current_term_ || role_ == Role::kLeader) return;
+  if (m.term > current_term_) become_follower(m.term, m.leader_id, now, /*reset_timer=*/false);
+  start_campaign(now);
+}
+
+std::vector<rpc::Envelope> RaftNode::take_outbox() { return std::exchange(outbox_, {}); }
+
+std::vector<rpc::LogEntry> RaftNode::take_committed() { return std::exchange(committed_out_, {}); }
+
+TimePoint RaftNode::next_deadline() const {
+  return std::min(election_deadline_, heartbeat_deadline_);
+}
+
+// --- role transitions --------------------------------------------------------
+
+void RaftNode::become_follower(Term term, ServerId leader, TimePoint now, bool reset_timer) {
+  assert(term >= current_term_);
+  const bool stepping_down = role_ != Role::kFollower;
+  bool dirty = false;
+  if (term > current_term_) {
+    // Eq. 3 / Raft: adopt the higher term and forget this term's vote.
+    current_term_ = term;
+    voted_for_ = kNoServer;
+    dirty = true;
+  }
+  role_ = Role::kFollower;
+  leader_id_ = leader;
+  votes_.clear();
+  heartbeat_deadline_ = kNever;
+  if (dirty) persist_state();
+  if (stepping_down) {
+    emit({.kind = NodeEvent::Kind::kSteppedDown, .term = current_term_, .at = now});
+  }
+  if (reset_timer || election_deadline_ == kNever) arm_election_timer(now);
+}
+
+void RaftNode::start_campaign(TimePoint now) {
+  role_ = Role::kCandidate;
+  leader_id_ = kNoServer;
+  current_term_ = policy_->campaign_term(current_term_);
+  voted_for_ = id_;
+  votes_.clear();
+  votes_.insert(id_);
+  persist_state();
+  ++counters_.campaigns_started;
+  emit({.kind = NodeEvent::Kind::kCampaignStarted, .term = current_term_, .at = now});
+  LOG_DEBUG(server_name(id_) << " campaigns in t=" << current_term_);
+
+  rpc::RequestVote rv;
+  rv.term = current_term_;
+  rv.candidate_id = id_;
+  rv.last_log_index = log_.last_index();
+  rv.last_log_term = log_.last_term();
+  rv.conf_clock = policy_->vote_request_clock();
+  for (ServerId peer : others_) {
+    send(peer, rv);
+    ++counters_.request_votes_sent;
+  }
+  arm_election_timer(now);
+  if (votes_.size() >= quorum()) become_leader(now);  // single-node cluster
+}
+
+void RaftNode::become_leader(TimePoint now) {
+  assert(role_ == Role::kCandidate);
+  role_ = Role::kLeader;
+  leader_id_ = id_;
+  election_deadline_ = kNever;
+  next_index_.clear();
+  match_index_.clear();
+  for (ServerId peer : others_) {
+    next_index_[peer] = log_.last_index() + 1;
+    match_index_[peer] = 0;
+  }
+  policy_->on_become_leader(others_, current_term_);
+  ++counters_.elections_won;
+  emit({.kind = NodeEvent::Kind::kBecameLeader, .term = current_term_, .at = now});
+  LOG_DEBUG(server_name(id_) << " elected leader t=" << current_term_);
+
+  if (options_.commit_noop_on_elect) {
+    // Barrier entry: commits everything from prior terms once it replicates
+    // (Raft §5.4.2 — prior-term entries never commit by counting alone).
+    rpc::LogEntry noop;
+    noop.term = current_term_;
+    noop.index = log_.last_index() + 1;
+    wal_.append(noop);
+    log_.append(noop);
+  }
+  broadcast_heartbeat_round(now);
+  maybe_advance_commit();  // single-node clusters
+}
+
+// --- message handlers --------------------------------------------------------
+
+void RaftNode::handle_request_vote(const rpc::RequestVote& m, TimePoint now) {
+  if (m.term > current_term_) {
+    become_follower(m.term, kNoServer, now, /*reset_timer=*/false);
+  }
+  bool granted = false;
+  if (m.term == current_term_ && (voted_for_ == kNoServer || voted_for_ == m.candidate_id) &&
+      log_.candidate_is_up_to_date(m.last_log_index, m.last_log_term) &&
+      policy_->approve_candidate(m)) {
+    granted = true;
+    if (voted_for_ != m.candidate_id) {
+      voted_for_ = m.candidate_id;
+      persist_state();
+    }
+    ++counters_.votes_granted;
+    emit({.kind = NodeEvent::Kind::kVoteGranted,
+          .peer = m.candidate_id,
+          .term = current_term_,
+          .at = now});
+    arm_election_timer(now);  // granting a vote defers our own candidacy
+  }
+  rpc::RequestVoteReply reply;
+  reply.term = current_term_;
+  reply.vote_granted = granted;
+  reply.voter_id = id_;
+  send(m.candidate_id, reply);
+}
+
+void RaftNode::handle_request_vote_reply(const rpc::RequestVoteReply& m, TimePoint now) {
+  if (m.term > current_term_) {
+    become_follower(m.term, kNoServer, now, /*reset_timer=*/false);
+    return;
+  }
+  if (role_ != Role::kCandidate || m.term < current_term_ || !m.vote_granted) return;
+  votes_.insert(m.voter_id);
+  if (votes_.size() >= quorum()) become_leader(now);
+}
+
+void RaftNode::handle_append_entries(ServerId from, const rpc::AppendEntries& m, TimePoint now) {
+  (void)from;
+  if (m.term < current_term_) {
+    rpc::AppendEntriesReply reply;
+    reply.term = current_term_;
+    reply.success = false;
+    reply.from = id_;
+    reply.status = own_status();
+    send(m.leader_id, reply);
+    return;
+  }
+  if (m.term > current_term_) {
+    become_follower(m.term, m.leader_id, now, /*reset_timer=*/false);
+  } else if (role_ == Role::kCandidate) {
+    become_follower(m.term, m.leader_id, now, /*reset_timer=*/false);
+  } else if (role_ == Role::kLeader) {
+    // Two leaders in one term violates Election Safety; refuse loudly.
+    LOG_ERROR(server_name(id_) << " saw AppendEntries from " << server_name(m.leader_id)
+                               << " in own leadership term " << current_term_);
+    return;
+  }
+  leader_id_ = m.leader_id;
+
+  // Adopt any piggybacked configuration before re-arming the timer so the
+  // new election-timeout period takes effect immediately (Section IV-B).
+  if (m.new_config && policy_->on_config_received(*m.new_config)) {
+    persist_state();
+    ++counters_.config_adoptions;
+    emit({.kind = NodeEvent::Kind::kConfigAdopted,
+          .term = current_term_,
+          .config = *m.new_config,
+          .at = now});
+  }
+  arm_election_timer(now);
+
+  rpc::AppendEntriesReply reply;
+  reply.term = current_term_;
+  reply.from = id_;
+
+  if (!log_.matches(m.prev_log_index, m.prev_log_term)) {
+    reply.success = false;
+    if (log_.last_index() < m.prev_log_index) {
+      // Log too short: leader should back up to our tail.
+      reply.conflict_index = log_.last_index() + 1;
+      reply.conflict_term = 0;
+    } else {
+      // Term mismatch at prev: report the whole conflicting term at once.
+      reply.conflict_term = log_.term_at(m.prev_log_index).value_or(0);
+      reply.conflict_index =
+          log_.first_index_of_term(reply.conflict_term).value_or(m.prev_log_index);
+    }
+    reply.status = own_status();
+    send(m.leader_id, reply);
+    return;
+  }
+
+  for (const auto& e : m.entries) {
+    const auto existing = log_.term_at(e.index);
+    if (existing && *existing != e.term) {
+      wal_.truncate_from(e.index);
+      log_.truncate_from(e.index);
+    }
+    if (e.index > log_.last_index()) {
+      wal_.append(e);
+      log_.append(e);
+    }
+  }
+
+  if (m.leader_commit > commit_index_) {
+    commit_index_ = std::min(m.leader_commit, log_.last_index());
+    apply_committed();
+    emit({.kind = NodeEvent::Kind::kCommitAdvanced,
+          .term = current_term_,
+          .index = commit_index_,
+          .at = now});
+  }
+
+  reply.success = true;
+  reply.match_index = m.prev_log_index + static_cast<LogIndex>(m.entries.size());
+  reply.status = own_status();
+  send(m.leader_id, reply);
+}
+
+void RaftNode::handle_append_entries_reply(const rpc::AppendEntriesReply& m, TimePoint now) {
+  if (m.term > current_term_) {
+    become_follower(m.term, kNoServer, now, /*reset_timer=*/false);
+    return;
+  }
+  if (role_ != Role::kLeader || m.term < current_term_) return;
+
+  // PPF input: track log responsiveness regardless of replication outcome.
+  policy_->on_follower_status(m.from, m.status);
+
+  if (m.success) {
+    match_index_[m.from] = std::max(match_index_[m.from], m.match_index);
+    next_index_[m.from] = std::max(next_index_[m.from], m.match_index + 1);
+    maybe_advance_commit();
+    if (next_index_[m.from] <= log_.last_index()) {
+      send_append_entries(m.from, /*include_config=*/false);  // continue catch-up
+    }
+  } else {
+    LogIndex next;
+    if (m.conflict_term != 0) {
+      // If we have entries of the conflicting term, probe just past our last
+      // one; otherwise skip the follower's entire conflicting term.
+      const auto last_of_term = log_.last_index_of_term(m.conflict_term);
+      next = last_of_term ? *last_of_term + 1 : m.conflict_index;
+    } else {
+      next = m.conflict_index;
+    }
+    next = std::clamp<LogIndex>(next, 1, log_.last_index() + 1);
+    // Guarantee progress even with a degenerate hint.
+    next_index_[m.from] = std::min(next, std::max<LogIndex>(1, next_index_[m.from] - 1));
+    send_append_entries(m.from, /*include_config=*/false);
+  }
+}
+
+// --- leader machinery ----------------------------------------------------------
+
+void RaftNode::broadcast_heartbeat_round(TimePoint now) {
+  ++counters_.heartbeat_rounds;
+  policy_->begin_heartbeat_round();
+  for (ServerId peer : others_) send_append_entries(peer, /*include_config=*/true);
+  heartbeat_deadline_ = now + options_.heartbeat_interval;
+}
+
+void RaftNode::send_append_entries(ServerId peer, bool include_config) {
+  rpc::AppendEntries ae;
+  ae.term = current_term_;
+  ae.leader_id = id_;
+  const LogIndex next = next_index_.at(peer);
+  ae.prev_log_index = next - 1;
+  ae.prev_log_term = log_.term_at(next - 1).value_or(0);
+  ae.entries = log_.slice(next, options_.max_entries_per_rpc);
+  ae.leader_commit = commit_index_;
+  if (include_config) ae.new_config = policy_->config_for(peer);
+  send(peer, std::move(ae));
+  ++counters_.append_entries_sent;
+}
+
+void RaftNode::maybe_advance_commit() {
+  // Raft §5.4.2: only entries of the current term commit by counting.
+  for (LogIndex n = log_.last_index(); n > commit_index_; --n) {
+    const auto t = log_.term_at(n);
+    if (!t || *t != current_term_) break;  // older-term entries commit transitively
+    std::size_t replicas = 1;              // self
+    for (const auto& [peer, match] : match_index_) {
+      if (match >= n) ++replicas;
+    }
+    if (replicas >= quorum()) {
+      commit_index_ = n;
+      apply_committed();
+      emit({.kind = NodeEvent::Kind::kCommitAdvanced, .term = current_term_, .index = n});
+      break;
+    }
+  }
+}
+
+// --- common machinery ------------------------------------------------------------
+
+void RaftNode::arm_election_timer(TimePoint now) {
+  if (role_ == Role::kLeader) {
+    election_deadline_ = kNever;
+    return;
+  }
+  election_deadline_ = now + policy_->next_election_timeout(rng_);
+}
+
+void RaftNode::persist_state() {
+  storage::PersistentState s;
+  s.current_term = current_term_;
+  s.voted_for = voted_for_;
+  s.config = policy_->current_config();
+  state_store_.save(s);
+}
+
+void RaftNode::apply_committed() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    const auto* e = log_.entry_at(last_applied_);
+    assert(e != nullptr);
+    committed_out_.push_back(*e);
+    ++counters_.entries_committed;
+  }
+}
+
+void RaftNode::send(ServerId to, rpc::Message message) {
+  outbox_.push_back({id_, to, std::move(message)});
+}
+
+void RaftNode::emit(NodeEvent event) {
+  event.node = id_;
+  if (event_hook_) event_hook_(event);
+}
+
+rpc::ConfigStatus RaftNode::own_status() const {
+  const auto cfg = policy_->current_config();
+  rpc::ConfigStatus s;
+  s.log_index = log_.last_index();
+  s.timer_period = cfg.timer_period;
+  s.conf_clock = cfg.conf_clock;
+  return s;
+}
+
+}  // namespace escape::raft

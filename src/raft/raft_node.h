@@ -1,0 +1,224 @@
+// The consensus core: a deterministic, I/O-free replicated state machine
+// participant implementing Raft's leader election and log replication
+// (Ongaro & Ousterhout, USENIX ATC'14) with the election behaviour delegated
+// to an ElectionPolicy (vanilla Raft, Z-Raft, or ESCAPE).
+//
+// RaftNode performs no I/O and owns no threads or clocks. A runtime (the
+// discrete-event simulator, the TCP runtime, or a unit test) drives it:
+//
+//   node.start(now);
+//   node.on_message(envelope, now);     // deliver a message
+//   node.on_tick(now);                  // fire due timers
+//   node.submit(command, now);          // leader-side client command
+//   for (auto& env : node.take_outbox()) transport.send(env);
+//   for (auto& e : node.take_committed()) state_machine.apply(e);
+//   schedule_wakeup_at(node.next_deadline());
+//
+// Determinism: identical input sequences (messages, times, RNG seed) yield
+// identical behaviour, which is what makes 1000-run election sweeps and
+// seed-parameterized property tests reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "raft/election_policy.h"
+#include "rpc/messages.h"
+#include "storage/log.h"
+#include "storage/state_store.h"
+#include "storage/wal.h"
+
+namespace escape::raft {
+
+/// Tunables that are not election-policy specific.
+struct NodeOptions {
+  /// Leader-to-follower heartbeat period. The paper's PPF advances the
+  /// configuration clock once per heartbeat round.
+  Duration heartbeat_interval = from_ms(500);
+
+  /// Cap on entries shipped per AppendEntries (flow control).
+  std::size_t max_entries_per_rpc = 128;
+
+  /// Append and replicate a no-op entry on winning an election (commits
+  /// prior-term entries per Raft §5.4.2). Off by default so election-latency
+  /// experiments keep scripted log contents; the real-time runtime
+  /// (net::RealNode) turns it on — without it a fresh leader cannot commit
+  /// entries recovered from prior terms until new client traffic arrives.
+  bool commit_noop_on_elect = false;
+};
+
+/// Observable state transitions, consumed by measurement observers and the
+/// invariant checkers. Delivered synchronously from within the node.
+struct NodeEvent {
+  enum class Kind : std::uint8_t {
+    kCampaignStarted,   ///< became candidate / re-candidate; term is the campaign term
+    kBecameLeader,      ///< won an election
+    kSteppedDown,       ///< leader or candidate reverted to follower
+    kConfigAdopted,     ///< ESCAPE configuration adopted (config field valid)
+    kCommitAdvanced,    ///< commit_index moved (index field valid)
+    kVoteGranted,       ///< this node granted its vote (to `peer`) in `term`
+  };
+  Kind kind{};
+  ServerId node = kNoServer;
+  ServerId peer = kNoServer;
+  Term term = 0;
+  LogIndex index = 0;
+  rpc::Configuration config{};
+  TimePoint at = 0;
+};
+
+/// Monotonic counters for observability and bench reporting.
+struct NodeCounters {
+  std::uint64_t campaigns_started = 0;
+  std::uint64_t votes_granted = 0;
+  std::uint64_t elections_won = 0;
+  std::uint64_t heartbeat_rounds = 0;
+  std::uint64_t append_entries_sent = 0;
+  std::uint64_t request_votes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t entries_committed = 0;
+  std::uint64_t config_adoptions = 0;
+};
+
+/// One consensus participant. Single-threaded; not internally synchronized.
+class RaftNode {
+ public:
+  /// `members` lists every cluster member including `id`. `state_store` and
+  /// `wal` must outlive the node; `recovered_log` seeds the in-memory log
+  /// (e.g. FileWal::recovered_entries() after a restart).
+  RaftNode(ServerId id, std::vector<ServerId> members,
+           std::unique_ptr<ElectionPolicy> policy, storage::StateStore& state_store,
+           storage::Wal& wal, Rng rng, NodeOptions options = {},
+           std::vector<rpc::LogEntry> recovered_log = {});
+
+  RaftNode(const RaftNode&) = delete;
+  RaftNode& operator=(const RaftNode&) = delete;
+
+  /// Loads persisted state and arms the election timer. Must be called once
+  /// before any other input.
+  void start(TimePoint now);
+
+  /// Delivers one protocol message addressed to this node.
+  void on_message(const rpc::Envelope& envelope, TimePoint now);
+
+  /// Fires any timer whose deadline is <= now.
+  void on_tick(TimePoint now);
+
+  /// Leader-side command submission. Returns the assigned log index, or
+  /// nullopt when this node is not the leader (caller redirects using
+  /// leader_hint()).
+  std::optional<LogIndex> submit(std::vector<std::uint8_t> command, TimePoint now);
+
+  /// Proactive leadership handoff: sends TimeoutNow to `target`, which
+  /// campaigns immediately (no election-timeout wait), turning a planned
+  /// shutdown into a sub-RTT view change. Requires this node to lead and
+  /// `target` to be fully caught up (otherwise returns false and no message
+  /// is sent — an uncaught-up target could not win anyway).
+  bool transfer_leadership(ServerId target, TimePoint now);
+
+  /// Drains messages produced since the last call.
+  std::vector<rpc::Envelope> take_outbox();
+
+  /// Drains entries newly committed since the last call, in log order.
+  std::vector<rpc::LogEntry> take_committed();
+
+  /// Earliest pending timer deadline (election or heartbeat); kNever when
+  /// no timer is armed. The runtime must call on_tick no later than this.
+  TimePoint next_deadline() const;
+
+  /// Installs a hook receiving NodeEvents; pass nullptr to remove.
+  void set_event_hook(std::function<void(const NodeEvent&)> hook) {
+    event_hook_ = std::move(hook);
+  }
+
+  // --- introspection -------------------------------------------------------
+  ServerId id() const { return id_; }
+  Role role() const { return role_; }
+  Term term() const { return current_term_; }
+  /// The leader this node currently believes in (kNoServer when unknown).
+  ServerId leader_hint() const { return leader_id_; }
+  LogIndex commit_index() const { return commit_index_; }
+  const storage::Log& log() const { return log_; }
+  std::size_t cluster_size() const { return members_.size(); }
+  std::size_t quorum() const { return members_.size() / 2 + 1; }
+  const ElectionPolicy& policy() const { return *policy_; }
+  ElectionPolicy& mutable_policy() { return *policy_; }
+  const NodeCounters& counters() const { return counters_; }
+  /// Configuration clock currently adopted (0 under vanilla Raft).
+  ConfClock conf_clock() const { return policy_->current_config().conf_clock; }
+
+ private:
+  // Role transitions.
+  void become_follower(Term term, ServerId leader, TimePoint now, bool reset_timer);
+  void start_campaign(TimePoint now);
+  void become_leader(TimePoint now);
+
+  // Message handlers.
+  void handle_request_vote(const rpc::RequestVote& m, TimePoint now);
+  void handle_request_vote_reply(const rpc::RequestVoteReply& m, TimePoint now);
+  void handle_append_entries(ServerId from, const rpc::AppendEntries& m, TimePoint now);
+  void handle_append_entries_reply(const rpc::AppendEntriesReply& m, TimePoint now);
+  void handle_timeout_now(const rpc::TimeoutNow& m, TimePoint now);
+
+  // Leader machinery.
+  void broadcast_heartbeat_round(TimePoint now);
+  void send_append_entries(ServerId peer, bool include_config);
+  void maybe_advance_commit();
+
+  // Common machinery.
+  void arm_election_timer(TimePoint now);
+  void persist_state();
+  void apply_committed();
+  void send(ServerId to, rpc::Message message);
+  void emit(NodeEvent event);
+  rpc::ConfigStatus own_status() const;
+
+  // Identity & collaborators.
+  const ServerId id_;
+  const std::vector<ServerId> members_;
+  std::vector<ServerId> others_;
+  std::unique_ptr<ElectionPolicy> policy_;
+  storage::StateStore& state_store_;
+  storage::Wal& wal_;
+  Rng rng_;
+  const NodeOptions options_;
+
+  // Persistent state (mirrored to state_store_ on change).
+  Term current_term_ = 0;
+  ServerId voted_for_ = kNoServer;
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  ServerId leader_id_ = kNoServer;
+  storage::Log log_;
+  LogIndex commit_index_ = 0;
+  LogIndex last_applied_ = 0;
+
+  // Candidate state.
+  std::set<ServerId> votes_;
+
+  // Leader state.
+  std::unordered_map<ServerId, LogIndex> next_index_;
+  std::unordered_map<ServerId, LogIndex> match_index_;
+
+  // Timers (deadlines in virtual time; kNever = disarmed).
+  TimePoint election_deadline_ = kNever;
+  TimePoint heartbeat_deadline_ = kNever;
+
+  // Outputs.
+  std::vector<rpc::Envelope> outbox_;
+  std::vector<rpc::LogEntry> committed_out_;
+  std::function<void(const NodeEvent&)> event_hook_;
+
+  NodeCounters counters_;
+  bool started_ = false;
+};
+
+}  // namespace escape::raft

@@ -1,0 +1,262 @@
+#include "rpc/messages.h"
+
+#include <sstream>
+
+namespace escape::rpc {
+namespace {
+
+enum class Tag : std::uint8_t {
+  kRequestVote = 1,
+  kRequestVoteReply = 2,
+  kAppendEntries = 3,
+  kAppendEntriesReply = 4,
+  kClientRequest = 5,
+  kClientReply = 6,
+  kTimeoutNow = 7,
+};
+
+void encode(Encoder& e, const Configuration& c) {
+  e.i64(c.timer_period);
+  e.i32(c.priority);
+  e.i64(c.conf_clock);
+}
+
+Configuration decode_config(Decoder& d) {
+  Configuration c;
+  c.timer_period = d.i64();
+  c.priority = d.i32();
+  c.conf_clock = d.i64();
+  return c;
+}
+
+void encode(Encoder& e, const LogEntry& le) {
+  e.i64(le.term);
+  e.i64(le.index);
+  e.bytes(le.command);
+}
+
+LogEntry decode_entry(Decoder& d) {
+  LogEntry le;
+  le.term = d.i64();
+  le.index = d.i64();
+  le.command = d.bytes();
+  return le;
+}
+
+void encode(Encoder& e, const ConfigStatus& s) {
+  e.i64(s.log_index);
+  e.i64(s.timer_period);
+  e.i64(s.conf_clock);
+}
+
+ConfigStatus decode_status(Decoder& d) {
+  ConfigStatus s;
+  s.log_index = d.i64();
+  s.timer_period = d.i64();
+  s.conf_clock = d.i64();
+  return s;
+}
+
+// Caps a decoded element count: a frame that claims more entries than bytes
+// available is rejected before any allocation.
+std::uint32_t checked_count(Decoder& d) {
+  const auto n = d.u32();
+  if (n > d.remaining()) throw DecodeError("element count exceeds frame size");
+  return n;
+}
+
+}  // namespace
+
+bool is_heartbeat(const Message& m) {
+  const auto* ae = std::get_if<AppendEntries>(&m);
+  return ae != nullptr && ae->entries.empty();
+}
+
+std::vector<std::uint8_t> encode_message(const Message& m) {
+  Encoder e;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, RequestVote>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kRequestVote));
+          e.i64(msg.term);
+          e.u32(msg.candidate_id);
+          e.i64(msg.last_log_index);
+          e.i64(msg.last_log_term);
+          e.i64(msg.conf_clock);
+        } else if constexpr (std::is_same_v<T, RequestVoteReply>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kRequestVoteReply));
+          e.i64(msg.term);
+          e.boolean(msg.vote_granted);
+          e.u32(msg.voter_id);
+        } else if constexpr (std::is_same_v<T, AppendEntries>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kAppendEntries));
+          e.i64(msg.term);
+          e.u32(msg.leader_id);
+          e.i64(msg.prev_log_index);
+          e.i64(msg.prev_log_term);
+          e.u32(static_cast<std::uint32_t>(msg.entries.size()));
+          for (const auto& le : msg.entries) encode(e, le);
+          e.i64(msg.leader_commit);
+          e.boolean(msg.new_config.has_value());
+          if (msg.new_config) encode(e, *msg.new_config);
+        } else if constexpr (std::is_same_v<T, AppendEntriesReply>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kAppendEntriesReply));
+          e.i64(msg.term);
+          e.boolean(msg.success);
+          e.u32(msg.from);
+          e.i64(msg.match_index);
+          e.i64(msg.conflict_index);
+          e.i64(msg.conflict_term);
+          encode(e, msg.status);
+        } else if constexpr (std::is_same_v<T, ClientRequest>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kClientRequest));
+          e.u64(msg.client_id);
+          e.u64(msg.sequence);
+          e.bytes(msg.command);
+        } else if constexpr (std::is_same_v<T, ClientReply>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kClientReply));
+          e.u64(msg.client_id);
+          e.u64(msg.sequence);
+          e.u8(static_cast<std::uint8_t>(msg.status));
+          e.u32(msg.leader_hint);
+          e.bytes(msg.result);
+        } else if constexpr (std::is_same_v<T, TimeoutNow>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kTimeoutNow));
+          e.i64(msg.term);
+          e.u32(msg.leader_id);
+        }
+      },
+      m);
+  return e.take();
+}
+
+Message decode_message(const std::uint8_t* data, std::size_t size) {
+  Decoder d(data, size);
+  const auto tag = static_cast<Tag>(d.u8());
+  Message out;
+  switch (tag) {
+    case Tag::kRequestVote: {
+      RequestVote m;
+      m.term = d.i64();
+      m.candidate_id = d.u32();
+      m.last_log_index = d.i64();
+      m.last_log_term = d.i64();
+      m.conf_clock = d.i64();
+      out = m;
+      break;
+    }
+    case Tag::kRequestVoteReply: {
+      RequestVoteReply m;
+      m.term = d.i64();
+      m.vote_granted = d.boolean();
+      m.voter_id = d.u32();
+      out = m;
+      break;
+    }
+    case Tag::kAppendEntries: {
+      AppendEntries m;
+      m.term = d.i64();
+      m.leader_id = d.u32();
+      m.prev_log_index = d.i64();
+      m.prev_log_term = d.i64();
+      const auto n = checked_count(d);
+      m.entries.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) m.entries.push_back(decode_entry(d));
+      m.leader_commit = d.i64();
+      if (d.boolean()) m.new_config = decode_config(d);
+      out = m;
+      break;
+    }
+    case Tag::kAppendEntriesReply: {
+      AppendEntriesReply m;
+      m.term = d.i64();
+      m.success = d.boolean();
+      m.from = d.u32();
+      m.match_index = d.i64();
+      m.conflict_index = d.i64();
+      m.conflict_term = d.i64();
+      m.status = decode_status(d);
+      out = m;
+      break;
+    }
+    case Tag::kClientRequest: {
+      ClientRequest m;
+      m.client_id = d.u64();
+      m.sequence = d.u64();
+      m.command = d.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kTimeoutNow: {
+      TimeoutNow m;
+      m.term = d.i64();
+      m.leader_id = d.u32();
+      out = m;
+      break;
+    }
+    case Tag::kClientReply: {
+      ClientReply m;
+      m.client_id = d.u64();
+      m.sequence = d.u64();
+      const auto st = d.u8();
+      if (st > static_cast<std::uint8_t>(ClientStatus::kTimeout)) {
+        throw DecodeError("invalid client status");
+      }
+      m.status = static_cast<ClientStatus>(st);
+      m.leader_hint = d.u32();
+      m.result = d.bytes();
+      out = m;
+      break;
+    }
+    default:
+      throw DecodeError("unknown message tag");
+  }
+  d.expect_end();
+  return out;
+}
+
+std::string to_string(const Configuration& c) {
+  std::ostringstream os;
+  os << "pi(P=" << c.priority << ",k=" << c.conf_clock << ",timeout=" << to_ms(c.timer_period)
+     << "ms)";
+  return os.str();
+}
+
+std::string to_string(const Message& m) {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, RequestVote>) {
+          os << "RequestVote{t=" << msg.term << " cand=" << server_name(msg.candidate_id)
+             << " lastIdx=" << msg.last_log_index << " lastTerm=" << msg.last_log_term
+             << " confClock=" << msg.conf_clock << "}";
+        } else if constexpr (std::is_same_v<T, RequestVoteReply>) {
+          os << "RequestVoteReply{t=" << msg.term << " granted=" << msg.vote_granted
+             << " voter=" << server_name(msg.voter_id) << "}";
+        } else if constexpr (std::is_same_v<T, AppendEntries>) {
+          os << "AppendEntries{t=" << msg.term << " ldr=" << server_name(msg.leader_id)
+             << " prev=" << msg.prev_log_index << "/" << msg.prev_log_term
+             << " n=" << msg.entries.size() << " commit=" << msg.leader_commit;
+          if (msg.new_config) os << " cfg=" << to_string(*msg.new_config);
+          os << "}";
+        } else if constexpr (std::is_same_v<T, AppendEntriesReply>) {
+          os << "AppendEntriesReply{t=" << msg.term << " ok=" << msg.success
+             << " from=" << server_name(msg.from) << " match=" << msg.match_index
+             << " status={idx=" << msg.status.log_index << ",k=" << msg.status.conf_clock << "}}";
+        } else if constexpr (std::is_same_v<T, ClientRequest>) {
+          os << "ClientRequest{client=" << msg.client_id << " seq=" << msg.sequence
+             << " bytes=" << msg.command.size() << "}";
+        } else if constexpr (std::is_same_v<T, ClientReply>) {
+          os << "ClientReply{client=" << msg.client_id << " seq=" << msg.sequence
+             << " status=" << static_cast<int>(msg.status) << "}";
+        } else if constexpr (std::is_same_v<T, TimeoutNow>) {
+          os << "TimeoutNow{t=" << msg.term << " ldr=" << server_name(msg.leader_id) << "}";
+        }
+      },
+      m);
+  return os.str();
+}
+
+}  // namespace escape::rpc

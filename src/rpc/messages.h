@@ -1,0 +1,175 @@
+// Protocol messages.
+//
+// The set mirrors Raft's RPCs extended exactly as the paper's Listing 1
+// describes: AppendEntries carries an optional `new_config` (the PPF
+// assignment for the destination follower) and its reply carries a
+// `ConfigStatus` (the follower's log responsiveness and currently adopted
+// configuration). RequestVote additionally carries the candidate's
+// configuration clock so voters can apply ESCAPE's staleness rule.
+//
+// Every message serializes to a tagged binary frame (see encode/decode) used
+// by both the simulator's copy-by-value delivery (cheap structs) and the TCP
+// transport (bytes on the wire).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace escape::rpc {
+
+/// One replicated log slot. `index` is implicit in storage but carried on the
+/// wire so receivers can sanity-check contiguity.
+struct LogEntry {
+  Term term = 0;
+  LogIndex index = 0;
+  std::vector<std::uint8_t> command;
+
+  bool operator==(const LogEntry&) const = default;
+};
+
+/// ESCAPE configuration π(P, k) plus its paired election timeout (Listing 1
+/// `Configurations`). For vanilla Raft these fields stay at their defaults.
+struct Configuration {
+  Duration timer_period = 0;  ///< election timeout this config imposes
+  Priority priority = 0;      ///< term-growth increment (Eq. 2)
+  ConfClock conf_clock = 0;   ///< rearrangement logical clock (k in π(P,k))
+
+  bool operator==(const Configuration&) const = default;
+};
+
+/// Candidate -> all: solicit a vote (Raft §5.2, extended with conf_clock).
+struct RequestVote {
+  Term term = 0;
+  ServerId candidate_id = kNoServer;
+  LogIndex last_log_index = 0;
+  Term last_log_term = 0;
+  ConfClock conf_clock = 0;  ///< ESCAPE staleness check; 0 under vanilla Raft
+
+  bool operator==(const RequestVote&) const = default;
+};
+
+/// Voter -> candidate.
+struct RequestVoteReply {
+  Term term = 0;
+  bool vote_granted = false;
+  ServerId voter_id = kNoServer;
+
+  bool operator==(const RequestVoteReply&) const = default;
+};
+
+/// Follower -> leader status piggybacked on AppendEntries replies
+/// (Listing 1 `configStatus`): the input PPF uses to rank responsiveness.
+struct ConfigStatus {
+  LogIndex log_index = 0;      ///< follower's last log index
+  Duration timer_period = 0;   ///< election timeout currently in force
+  ConfClock conf_clock = 0;    ///< configuration clock currently adopted
+
+  bool operator==(const ConfigStatus&) const = default;
+};
+
+/// Leader -> follower: heartbeat / replication (Raft §5.3, extended with the
+/// optional per-destination configuration assignment).
+struct AppendEntries {
+  Term term = 0;
+  ServerId leader_id = kNoServer;
+  LogIndex prev_log_index = 0;
+  Term prev_log_term = 0;
+  std::vector<LogEntry> entries;
+  LogIndex leader_commit = 0;
+  std::optional<Configuration> new_config;  ///< PPF assignment (Listing 1)
+
+  bool operator==(const AppendEntries&) const = default;
+};
+
+/// Follower -> leader.
+struct AppendEntriesReply {
+  Term term = 0;
+  bool success = false;
+  ServerId from = kNoServer;
+  /// Highest index known replicated when success; enables leader match_index
+  /// advancement without re-deriving from prev+|entries|.
+  LogIndex match_index = 0;
+  /// Fast conflict backtracking hints (Raft §5.3 optimization): when
+  /// !success, the first index of the conflicting term (or the follower's
+  /// log length + 1 when its log is simply short).
+  LogIndex conflict_index = 0;
+  Term conflict_term = 0;
+  ConfigStatus status;  ///< Listing 1 `status`
+
+  bool operator==(const AppendEntriesReply&) const = default;
+};
+
+/// Client -> any server: submit one state-machine command. `client_id` and
+/// `sequence` implement exactly-once application (session dedup).
+struct ClientRequest {
+  std::uint64_t client_id = 0;
+  std::uint64_t sequence = 0;
+  std::vector<std::uint8_t> command;
+
+  bool operator==(const ClientRequest&) const = default;
+};
+
+/// Leader -> follower: leadership transfer (the proactive complement of
+/// ESCAPE's precautionary elections — e.g. planned maintenance hands the
+/// cluster to the groomed top-priority follower before shutting down).
+/// The recipient campaigns immediately, skipping its election timeout; all
+/// normal election rules still apply, so safety is unaffected.
+struct TimeoutNow {
+  Term term = 0;
+  ServerId leader_id = kNoServer;
+
+  bool operator==(const TimeoutNow&) const = default;
+};
+
+/// Server -> client.
+enum class ClientStatus : std::uint8_t {
+  kOk = 0,          ///< committed and applied; `result` is the SM output
+  kNotLeader = 1,   ///< retry at `leader_hint` (kNoServer when unknown)
+  kTimeout = 2,     ///< could not commit in time (e.g. lost leadership)
+};
+
+struct ClientReply {
+  std::uint64_t client_id = 0;
+  std::uint64_t sequence = 0;
+  ClientStatus status = ClientStatus::kTimeout;
+  ServerId leader_hint = kNoServer;
+  std::vector<std::uint8_t> result;
+
+  bool operator==(const ClientReply&) const = default;
+};
+
+/// Any protocol message.
+using Message = std::variant<RequestVote, RequestVoteReply, AppendEntries, AppendEntriesReply,
+                             ClientRequest, ClientReply, TimeoutNow>;
+
+/// A routed message: what the node hands to the transport.
+struct Envelope {
+  ServerId from = kNoServer;
+  ServerId to = kNoServer;
+  Message message;
+};
+
+/// True when `m` holds an AppendEntries with no entries (pure heartbeat).
+bool is_heartbeat(const Message& m);
+
+/// Serializes any message into a self-describing tagged buffer.
+std::vector<std::uint8_t> encode_message(const Message& m);
+
+/// Parses a buffer produced by encode_message. Throws DecodeError on any
+/// malformed input; never reads out of bounds.
+Message decode_message(const std::uint8_t* data, std::size_t size);
+inline Message decode_message(const std::vector<std::uint8_t>& buf) {
+  return decode_message(buf.data(), buf.size());
+}
+
+/// Compact single-line rendering for traces and test failure messages.
+std::string to_string(const Message& m);
+std::string to_string(const Configuration& c);
+
+}  // namespace escape::rpc

@@ -1,0 +1,56 @@
+#include "rpc/wire.h"
+
+namespace escape::rpc {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 2 + 1 + 1 + 4 + 4;
+}
+
+std::vector<std::uint8_t> frame_payload(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxFrameBytes) throw DecodeError("frame payload too large");
+  Encoder e;
+  e.u16(kWireMagic);
+  e.u8(kWireVersion);
+  e.u8(0);
+  e.u32(static_cast<std::uint32_t>(payload.size()));
+  e.u32(crc32(payload));
+  auto out = e.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t size) {
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReader::next() {
+  if (buf_.size() < kHeaderBytes) return std::nullopt;
+
+  // Parse the header without consuming, so a partial frame stays buffered.
+  std::uint8_t hdr[kHeaderBytes];
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) hdr[i] = buf_[i];
+  Decoder d(hdr, kHeaderBytes);
+  const auto magic = d.u16();
+  const auto version = d.u8();
+  const auto flags = d.u8();
+  const auto length = d.u32();
+  const auto crc = d.u32();
+
+  if (magic != kWireMagic) throw DecodeError("bad frame magic");
+  if (version != kWireVersion) throw DecodeError("unsupported frame version");
+  if (flags != 0) throw DecodeError("nonzero reserved flags");
+  if (length > kMaxFrameBytes) throw DecodeError("frame length exceeds limit");
+
+  if (buf_.size() < kHeaderBytes + length) return std::nullopt;
+
+  std::vector<std::uint8_t> payload;
+  payload.reserve(length);
+  auto it = buf_.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes);
+  payload.insert(payload.end(), it, it + static_cast<std::ptrdiff_t>(length));
+  if (crc32(payload) != crc) throw DecodeError("frame CRC mismatch");
+
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes + length));
+  return payload;
+}
+
+}  // namespace escape::rpc

@@ -1,0 +1,42 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace escape::sim {
+
+void EventLoop::schedule_at(TimePoint at, Callback fn) {
+  if (at < now_) at = now_;  // no time travel; deliver "immediately"
+  queue_.push(Event{at, seq_++, std::move(fn)});
+}
+
+std::size_t EventLoop::run_until(TimePoint until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++n;
+    ++processed_;
+  }
+  if (queue_.empty() || queue_.top().at > until) {
+    if (until > now_) now_ = until;
+  }
+  return n;
+}
+
+std::size_t EventLoop::run_until_stopped(TimePoint until) {
+  stop_requested_ = false;
+  std::size_t n = 0;
+  while (!stop_requested_ && !queue_.empty() && queue_.top().at <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++n;
+    ++processed_;
+  }
+  return n;
+}
+
+}  // namespace escape::sim

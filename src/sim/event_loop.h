@@ -1,0 +1,70 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded priority queue of (time, sequence, closure). Ties in
+// time break by insertion order, which — together with seeded RNG everywhere
+// else — makes entire cluster runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace escape::sim {
+
+/// Deterministic virtual-time event scheduler.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time (time of the event being processed, or the last
+  /// processed event).
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `at` (clamped to now()).
+  void schedule_at(TimePoint at, Callback fn);
+
+  /// Schedules `fn` after `delay` from now().
+  void schedule_after(Duration delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Runs events until the queue is empty or virtual time would exceed
+  /// `until`. Returns the number of events processed. Events scheduled
+  /// exactly at `until` are processed.
+  std::size_t run_until(TimePoint until);
+
+  /// Runs until `stop()` is requested from within a callback, the queue
+  /// drains, or virtual time exceeds `until`.
+  std::size_t run_until_stopped(TimePoint until);
+
+  /// Requests run_until_stopped to return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  /// True when no events are pending.
+  bool empty() const { return queue_.empty(); }
+
+  /// Total events processed over the loop's lifetime.
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimePoint now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace escape::sim

@@ -1,0 +1,124 @@
+#include "sim/invariants.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace escape::sim {
+
+InvariantChecker::InvariantChecker(SimCluster& cluster, bool check_configs)
+    : cluster_(cluster), check_configs_(check_configs) {
+  cluster_.add_event_listener([this](const raft::NodeEvent& e) { on_event(e); });
+}
+
+void InvariantChecker::add_violation(std::string v) {
+  LOG_ERROR("INVARIANT VIOLATION: " << v);
+  violations_.push_back(std::move(v));
+}
+
+void InvariantChecker::on_event(const raft::NodeEvent& event) {
+  if (event.kind == raft::NodeEvent::Kind::kBecameLeader) {
+    const auto [it, inserted] = leaders_by_term_.try_emplace(event.term, event.node);
+    if (!inserted && it->second != event.node) {
+      std::ostringstream os;
+      os << "election safety: term " << event.term << " led by both "
+         << server_name(it->second) << " and " << server_name(event.node);
+      add_violation(os.str());
+    }
+    if (check_configs_) check_config_uniqueness();
+  } else if (event.kind == raft::NodeEvent::Kind::kConfigAdopted && check_configs_) {
+    check_config_uniqueness();
+  }
+}
+
+void InvariantChecker::check_config_uniqueness() {
+  // Lemma 3: same configuration clock implies different configurations.
+  std::map<ConfClock, std::map<Priority, ServerId>> seen;
+  for (ServerId id : cluster_.members()) {
+    if (!cluster_.alive(id)) continue;
+    const auto cfg = cluster_.node(id).policy().current_config();
+    if (cfg.priority == 0 && cfg.conf_clock == 0) continue;  // non-ESCAPE policy
+    auto& owners = seen[cfg.conf_clock];
+    const auto [it, inserted] = owners.try_emplace(cfg.priority, id);
+    if (!inserted) {
+      std::ostringstream os;
+      os << "config uniqueness (Lemma 3): pi(P=" << cfg.priority << ",k=" << cfg.conf_clock
+         << ") held by both " << server_name(it->second) << " and " << server_name(id);
+      add_violation(os.str());
+    }
+  }
+}
+
+void InvariantChecker::deep_check() {
+  const auto& members = cluster_.members();
+
+  // Log Matching: if two logs agree on (index, term) they agree on the whole
+  // prefix up to that index.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (!cluster_.alive(members[i]) || !cluster_.alive(members[j])) continue;
+      const auto& la = cluster_.node(members[i]).log();
+      const auto& lb = cluster_.node(members[j]).log();
+      const LogIndex common = std::min(la.last_index(), lb.last_index());
+      LogIndex agree = 0;
+      for (LogIndex x = common; x >= 1; --x) {
+        if (la.term_at(x) == lb.term_at(x)) {
+          agree = x;
+          break;
+        }
+      }
+      for (LogIndex x = 1; x <= agree; ++x) {
+        const auto* ea = la.entry_at(x);
+        const auto* eb = lb.entry_at(x);
+        if (ea == nullptr || eb == nullptr || !(*ea == *eb)) {
+          std::ostringstream os;
+          os << "log matching: " << server_name(members[i]) << " and " << server_name(members[j])
+             << " diverge at index " << x << " despite agreeing at " << agree;
+          add_violation(os.str());
+          break;
+        }
+      }
+    }
+  }
+
+  // State-Machine Safety: applied sequences are prefixes of one another.
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      const auto& aa = cluster_.applied(members[i]);
+      const auto& ab = cluster_.applied(members[j]);
+      const std::size_t common = std::min(aa.size(), ab.size());
+      for (std::size_t x = 0; x < common; ++x) {
+        if (!(aa[x] == ab[x])) {
+          std::ostringstream os;
+          os << "state-machine safety: " << server_name(members[i]) << " and "
+             << server_name(members[j]) << " applied different entries at position " << x;
+          add_violation(os.str());
+          break;
+        }
+      }
+    }
+  }
+
+  // Leader Completeness: every applied (hence committed) entry must be in
+  // the current leader's log at the same index and term.
+  const ServerId leader = cluster_.leader();
+  if (leader != kNoServer) {
+    const auto& llog = cluster_.node(leader).log();
+    for (ServerId id : members) {
+      for (const auto& entry : cluster_.applied(id)) {
+        const auto* in_leader = llog.entry_at(entry.index);
+        if (in_leader == nullptr || !(*in_leader == entry)) {
+          std::ostringstream os;
+          os << "leader completeness: entry " << entry.index << "/t" << entry.term
+             << " applied by " << server_name(id) << " missing from leader "
+             << server_name(leader);
+          add_violation(os.str());
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace escape::sim

@@ -1,0 +1,50 @@
+// Safety invariant checkers.
+//
+// Continuously (via event listeners) and on demand (deep_check) verifies the
+// properties the paper argues in Section V:
+//   * Election Safety    — at most one leader per term (Theorem 2 substrate)
+//   * Log Matching       — equal (index, term) implies equal prefixes
+//   * Leader Completeness— committed entries appear in every later leader log
+//   * State-Machine Safety — applied sequences are mutually consistent
+//   * Configuration uniqueness (Lemma 3) — servers sharing a confClock hold
+//     distinct priorities
+// Violations are recorded as human-readable strings; tests assert ok().
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/sim_cluster.h"
+
+namespace escape::sim {
+
+class InvariantChecker {
+ public:
+  /// Attaches listeners to `cluster` (which must outlive the checker).
+  /// When `check_configs` is set, Lemma 3 uniqueness is verified on every
+  /// configuration adoption and leadership change.
+  explicit InvariantChecker(SimCluster& cluster, bool check_configs = true);
+
+  /// Expensive full-state checks: pairwise log matching, applied-prefix
+  /// consistency, and leader completeness. Call at quiescent points.
+  void deep_check();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  /// Leaders observed per term (useful to assert single-campaign claims).
+  const std::map<Term, ServerId>& leaders_by_term() const { return leaders_by_term_; }
+
+ private:
+  void on_event(const raft::NodeEvent& event);
+  void check_config_uniqueness();
+  void add_violation(std::string v);
+
+  SimCluster& cluster_;
+  bool check_configs_;
+  std::map<Term, ServerId> leaders_by_term_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace escape::sim

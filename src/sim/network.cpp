@@ -1,0 +1,85 @@
+#include "sim/network.h"
+
+#include <cmath>
+
+namespace escape::sim {
+
+LatencyFn uniform_latency(Duration lo, Duration hi) {
+  return [lo, hi](ServerId, ServerId, Rng& rng) { return rng.uniform_int(lo, hi); };
+}
+
+LatencyFn constant_latency(Duration d) {
+  return [d](ServerId, ServerId, Rng&) { return d; };
+}
+
+LatencyFn grouped_latency(std::function<int(ServerId)> group_of, Duration intra_lo,
+                          Duration intra_hi, Duration inter_lo, Duration inter_hi) {
+  return [=](ServerId from, ServerId to, Rng& rng) {
+    if (group_of(from) == group_of(to)) return rng.uniform_int(intra_lo, intra_hi);
+    return rng.uniform_int(inter_lo, inter_hi);
+  };
+}
+
+SimNetwork::SimNetwork(EventLoop& loop, NetworkOptions options, Rng rng,
+                       std::function<void(const rpc::Envelope&)> deliver)
+    : loop_(loop), options_(std::move(options)), rng_(rng), deliver_(std::move(deliver)) {
+  if (!options_.latency) options_.latency = uniform_latency(from_ms(100), from_ms(200));
+}
+
+bool SimNetwork::link_up(ServerId from, ServerId to) const {
+  if (isolated_.count(from) > 0 || isolated_.count(to) > 0) return false;
+  return cut_.count(ordered(from, to)) == 0;
+}
+
+void SimNetwork::send(const rpc::Envelope& envelope) {
+  ++stats_.sent;
+  if (!link_up(envelope.from, envelope.to)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  if (options_.uniform_loss > 0.0 && rng_.chance(options_.uniform_loss)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  transmit(envelope);
+}
+
+void SimNetwork::send_batch(const std::vector<rpc::Envelope>& batch) {
+  // Identify broadcast groups: maximal runs of consecutive envelopes with
+  // the same sender and the same message alternative. The paper's Δ model
+  // omits an exact fraction of the receivers of each broadcast.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    std::size_t j = i + 1;
+    while (j < batch.size() && batch[j].from == batch[i].from &&
+           batch[j].message.index() == batch[i].message.index()) {
+      ++j;
+    }
+    const std::size_t group = j - i;
+    if (group >= 2 && options_.broadcast_omission > 0.0) {
+      const auto omit_count = static_cast<std::size_t>(
+          std::floor(options_.broadcast_omission * static_cast<double>(group) + 0.5));
+      auto omit = rng_.sample_without_replacement(group, std::min(omit_count, group));
+      std::set<std::size_t> omitted(omit.begin(), omit.end());
+      for (std::size_t k = 0; k < group; ++k) {
+        if (omitted.count(k) > 0) {
+          ++stats_.sent;
+          ++stats_.dropped_omission;
+        } else {
+          send(batch[i + k]);
+        }
+      }
+    } else {
+      for (std::size_t k = i; k < j; ++k) send(batch[k]);
+    }
+    i = j;
+  }
+}
+
+void SimNetwork::transmit(const rpc::Envelope& envelope) {
+  const Duration delay = options_.latency(envelope.from, envelope.to, rng_);
+  ++stats_.delivered;
+  loop_.schedule_after(delay, [this, envelope] { deliver_(envelope); });
+}
+
+}  // namespace escape::sim

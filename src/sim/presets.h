@@ -1,0 +1,49 @@
+// Canonical experiment configurations matching the paper's setup
+// (Section VI-A): Compute Canada VMs with NetEm latency uniform in
+// 100–200 ms, Raft election timeouts 1500–3000 ms (the range Raft
+// recommends for that latency), ESCAPE baseTime 1500 ms with k = 500 ms,
+// and 500 ms leader heartbeats. Shared by benches, examples and tests.
+#pragma once
+
+#include "core/escape_policy.h"
+#include "sim/sim_cluster.h"
+
+namespace escape::sim::presets {
+
+inline core::EscapeOptions paper_escape_options() {
+  core::EscapeOptions o;
+  o.base_time = from_ms(1500);
+  o.gap = from_ms(500);
+  return o;
+}
+
+inline PolicyFactory escape_policy(core::EscapeOptions opts = paper_escape_options()) {
+  return [opts](ServerId id, std::size_t n) {
+    return std::make_unique<core::EscapePolicy>(id, n, opts);
+  };
+}
+
+inline PolicyFactory zraft_policy(core::EscapeOptions opts = paper_escape_options()) {
+  return [opts](ServerId id, std::size_t n) { return core::make_zraft_policy(id, n, opts); };
+}
+
+inline PolicyFactory raft_policy(Duration timeout_min = from_ms(1500),
+                                 Duration timeout_max = from_ms(3000)) {
+  return raft_policy_factory(timeout_min, timeout_max);
+}
+
+/// The paper's base deployment: `n` servers, 100–200 ms latency, 500 ms
+/// heartbeats, and Δ = `broadcast_omission` receiver-omission loss.
+inline ClusterOptions paper_cluster(std::size_t n, PolicyFactory policy, std::uint64_t seed,
+                                    double broadcast_omission = 0.0) {
+  ClusterOptions o;
+  o.size = n;
+  o.policy = std::move(policy);
+  o.seed = seed;
+  o.network.latency = uniform_latency(from_ms(100), from_ms(200));
+  o.network.broadcast_omission = broadcast_omission;
+  o.node.heartbeat_interval = from_ms(500);
+  return o;
+}
+
+}  // namespace escape::sim::presets

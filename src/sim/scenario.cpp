@@ -1,0 +1,197 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace escape::sim {
+
+ServerId bootstrap(SimCluster& cluster, Duration max_wait, Duration settle) {
+  if (!cluster.started()) cluster.start_all();
+  const TimePoint deadline = cluster.loop().now() + max_wait;
+  while (cluster.loop().now() < deadline) {
+    if (cluster.run_until_leader(deadline) == kNoServer) return kNoServer;
+    // Let heartbeats flow and (for ESCAPE) patrol rounds distribute fresh
+    // configurations before any experiment begins.
+    cluster.loop().run_until(cluster.loop().now() + settle);
+    // Under message loss, leadership can be in flux at the settle boundary;
+    // only return once a leader is in place at observation time.
+    if (const ServerId leader = cluster.leader(); leader != kNoServer) return leader;
+  }
+  return cluster.leader();
+}
+
+FailoverResult measure_failover(SimCluster& cluster, Duration max_wait) {
+  const ServerId old_leader = cluster.leader();
+  if (old_leader == kNoServer) throw std::logic_error("measure_failover: no leader to crash");
+  const TimePoint crash_at = cluster.loop().now();
+  cluster.crash(old_leader);
+
+  const auto elected = cluster.run_until_event(
+      [](const raft::NodeEvent& e) { return e.kind == raft::NodeEvent::Kind::kBecameLeader; },
+      crash_at + max_wait);
+
+  FailoverResult result;
+  TimePoint first_campaign = kNever;
+  for (const auto& e : cluster.event_log()) {
+    if (e.at < crash_at) continue;
+    if (e.kind == raft::NodeEvent::Kind::kCampaignStarted) {
+      ++result.campaigns;
+      if (first_campaign == kNever) first_campaign = e.at;
+    }
+  }
+  if (elected) {
+    result.converged = true;
+    result.new_leader = elected->node;
+    result.new_term = elected->term;
+    result.total = elected->at - crash_at;
+    if (first_campaign != kNever && first_campaign <= elected->at) {
+      result.detection = first_campaign - crash_at;
+      result.election = elected->at - first_campaign;
+    } else {
+      // The winning campaign predated the crash (possible under heavy
+      // message loss); attribute everything to the election period.
+      result.election = result.total;
+    }
+  }
+  return result;
+}
+
+FailoverResult measure_failover_with_competition(SimCluster& cluster,
+                                                 const CompetitionOptions& options,
+                                                 Duration max_wait) {
+  const ServerId leader = cluster.leader();
+  if (leader == kNoServer) {
+    throw std::logic_error("measure_failover_with_competition: no leader");
+  }
+  std::vector<ServerId> followers;
+  for (ServerId id : cluster.members()) {
+    if (id != leader && cluster.alive(id)) followers.push_back(id);
+  }
+  if (followers.size() < 2) {
+    throw std::logic_error("competition scenario needs at least two followers");
+  }
+  // Rivals: the two followers whose configurations are most likely to expire
+  // first (highest priority). Under vanilla Raft all priorities are 0 and the
+  // id tiebreak picks a deterministic pair.
+  std::sort(followers.begin(), followers.end(), [&](ServerId a, ServerId b) {
+    const auto pa = cluster.node(a).policy().current_config().priority;
+    const auto pb = cluster.node(b).policy().current_config().priority;
+    if (pa != pb) return pa > pb;
+    return a < b;
+  });
+  const ServerId rival_a = followers[0];
+  const ServerId rival_b = followers[1];
+
+  // One shared timeout per potentially contested expiry (index 0 doubles as
+  // the pre-crash value), plus the decisive divergent one at index `phases`.
+  Rng rng(cluster.seed() ^ 0xF160F160ull);
+  const int phases = options.phases;
+  std::vector<Duration> shared;
+  for (int i = 0; i <= phases; ++i) {
+    shared.push_back(rng.uniform_int(options.phase_timeout_lo, options.phase_timeout_hi));
+  }
+
+  auto crash_time = std::make_shared<TimePoint>(kNever);
+  auto install_rival = [&](ServerId id, bool loser) {
+    auto arms = std::make_shared<int>(0);
+    cluster.node(id).mutable_policy().set_timeout_override(
+        [&cluster, crash_time, arms, shared, phases, loser, divergence = options.divergence,
+         grace = options.inflight_grace]() -> std::optional<Duration> {
+          int i = 0;
+          // Arms within the grace window stem from heartbeats already in
+          // flight at the crash; they re-arm with the phase-1 value.
+          if (*crash_time != kNever && cluster.loop().now() >= *crash_time + grace) {
+            i = ++*arms;  // post-crash arms walk the script
+          }
+          const auto idx = static_cast<std::size_t>(std::min(i, phases));
+          Duration v = shared[idx];
+          if (i >= phases && loser) v += divergence;
+          return v;
+        });
+  };
+  install_rival(rival_a, /*loser=*/false);
+  install_rival(rival_b, /*loser=*/true);
+  std::map<ServerId, ServerId> favorite;  // bystander -> preferred rival
+  bool flip = false;
+  for (ServerId id : followers) {
+    if (id == rival_a || id == rival_b) continue;
+    cluster.node(id).mutable_policy().set_timeout_override(
+        [timeout = options.bystander_timeout]() -> std::optional<Duration> { return timeout; });
+    favorite[id] = flip ? rival_a : rival_b;
+    flip = !flip;
+  }
+
+  // Deterministic vote splitting: each bystander hears its favorite rival
+  // first in every contested phase, so neither rival reaches a majority
+  // until the decisive divergent timeout.
+  const LatencyFn base_latency = cluster.network().options().latency;
+  cluster.network().options().latency =
+      [favorite, rival_a, rival_b, base_latency, favored = options.favored_latency,
+       unfavored = options.unfavored_latency](ServerId from, ServerId to, Rng& rng) {
+        if (from == rival_a || from == rival_b) {
+          const auto it = favorite.find(to);
+          if (it != favorite.end()) {
+            return it->second == from ? favored : unfavored;
+          }
+        }
+        return base_latency(from, to, rng);
+      };
+
+  // Let every follower re-arm with a scripted value, then fail the leader.
+  cluster.loop().run_until(cluster.loop().now() + options.rearm_window);
+  *crash_time = cluster.loop().now();
+  auto result = measure_failover(cluster, max_wait);
+
+  // The scripts reference this stack frame's options/cluster; clear them
+  // before the scenario returns (nodes may outlive the measurement).
+  cluster.network().options().latency = base_latency;
+  for (ServerId id : followers) {
+    if (cluster.alive(id)) cluster.node(id).mutable_policy().set_timeout_override(nullptr);
+  }
+  return result;
+}
+
+std::vector<FailoverResult> measure_failover_series(SimCluster& cluster,
+                                                    const SeriesOptions& options) {
+  std::vector<FailoverResult> results;
+  if (bootstrap(cluster) == kNoServer) return results;
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    cluster.clear_event_log();
+    if (options.traffic_window > 0) {
+      drive_traffic(cluster, options.traffic_window, options.traffic_interval);
+    }
+    if (cluster.leader() == kNoServer &&
+        cluster.run_until_leader(cluster.loop().now() + options.max_wait) == kNoServer) {
+      results.push_back({});  // cluster wedged: record as unconverged
+      continue;
+    }
+    const ServerId victim = cluster.leader();
+    results.push_back(measure_failover(cluster, options.max_wait));
+    cluster.recover(victim);
+    cluster.loop().run_until(cluster.loop().now() + options.settle);
+  }
+  return results;
+}
+
+std::size_t drive_traffic(SimCluster& cluster, Duration duration, Duration interval,
+                          std::size_t payload_bytes) {
+  const TimePoint end = cluster.loop().now() + duration;
+  std::size_t submitted = 0;
+  while (cluster.loop().now() < end) {
+    if (const ServerId leader = cluster.leader(); leader != kNoServer) {
+      std::vector<std::uint8_t> payload(payload_bytes,
+                                        static_cast<std::uint8_t>(submitted & 0xFF));
+      if (cluster.node(leader).submit(std::move(payload), cluster.loop().now())) {
+        ++submitted;
+        cluster.pump(leader);
+      }
+    }
+    cluster.loop().run_until(std::min(end, cluster.loop().now() + interval));
+  }
+  return submitted;
+}
+
+}  // namespace escape::sim

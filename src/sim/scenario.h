@@ -1,0 +1,100 @@
+// Reusable experiment drivers implementing the paper's measurement protocol.
+//
+// Section VI records leader election time from the instant the leader
+// crashes to the instant a new leader is elected, split into:
+//   detection period — crash .. first candidate appears (first campaign)
+//   election period  — first campaign .. new leader elected
+// measure_failover implements exactly that; measure_failover_with_competition
+// additionally scripts follower timers to force m phases of competing
+// candidates (Figure 10's experiment).
+#pragma once
+
+#include <optional>
+
+#include "sim/sim_cluster.h"
+
+namespace escape::sim {
+
+/// Outcome of one leader-failure experiment.
+struct FailoverResult {
+  bool converged = false;
+  Duration detection = 0;       ///< crash -> first campaign
+  Duration election = 0;        ///< first campaign -> new leader
+  Duration total = 0;           ///< crash -> new leader
+  std::size_t campaigns = 0;    ///< election campaigns started in the window
+  ServerId new_leader = kNoServer;
+  Term new_term = 0;
+};
+
+/// Cold-starts the cluster: runs until the first leader emerges, then lets
+/// the system settle (heartbeats propagate, ESCAPE patrol rounds assign
+/// configurations). Returns the leader id, or kNoServer on timeout.
+ServerId bootstrap(SimCluster& cluster, Duration max_wait = from_ms(60'000),
+                   Duration settle = from_ms(3'000));
+
+/// Crashes the current leader and measures recovery per the paper's
+/// protocol. The cluster must have a leader.
+FailoverResult measure_failover(SimCluster& cluster, Duration max_wait = from_ms(60'000));
+
+/// Tuning for the forced-competition experiment (Figure 10).
+struct CompetitionOptions {
+  /// Number of forced phases with competing candidates (0..3 in the paper).
+  int phases = 0;
+  /// Scripted timeout for each contested phase is sampled from
+  /// [phase_timeout_lo, phase_timeout_hi] and *shared* by both rivals so
+  /// their campaigns collide within one network latency.
+  Duration phase_timeout_lo = from_ms(1500);
+  Duration phase_timeout_hi = from_ms(1700);
+  /// Extra delay added to the losing rival's final timeout so the winning
+  /// rival completes the decisive campaign uncontested.
+  Duration divergence = from_ms(1200);
+  /// Timeout pinned on non-rival followers so they only vote.
+  Duration bystander_timeout = from_ms(120'000);
+  /// Virtual time to keep running after installing the scripts so every
+  /// follower re-arms its timer with a scripted value before the crash.
+  Duration rearm_window = from_ms(1'500);
+  /// To make each contested phase split deterministically, every bystander
+  /// is assigned a "favorite" rival whose messages reach it with
+  /// `favored_latency` while the other rival's take `unfavored_latency`
+  /// (the geo-group effect of Section II-B). The gap must exceed the rivals'
+  /// campaign-start skew (one network latency) so favorites never flip.
+  Duration favored_latency = from_ms(100);
+  Duration unfavored_latency = from_ms(400);
+  /// Timer arms within this window after the crash are treated as pre-crash:
+  /// they come from heartbeats that were already in flight when the leader
+  /// died and must not consume scripted phase timeouts.
+  Duration inflight_grace = from_ms(300);
+};
+
+/// Forces `options.phases` rounds of simultaneous candidate timeouts after
+/// crashing the leader, then measures recovery. Under Raft each forced round
+/// yields a split vote; under ESCAPE/Z-Raft the priority-scattered terms
+/// resolve the very first round (Section VI-C).
+FailoverResult measure_failover_with_competition(SimCluster& cluster,
+                                                 const CompetitionOptions& options,
+                                                 Duration max_wait = from_ms(120'000));
+
+/// Submits a small command through whatever leader exists every `interval`
+/// for `duration` of virtual time. Under message loss this keeps follower
+/// logs unevenly replicated — the precondition for Section VI-D's
+/// "unqualified candidate" dynamics. Returns the number of submissions.
+std::size_t drive_traffic(SimCluster& cluster, Duration duration, Duration interval,
+                          std::size_t payload_bytes = 16);
+
+/// The paper's Section VI measurement protocol: on one long-lived cluster,
+/// repeatedly (1) serve client traffic, (2) crash the leader and record the
+/// election, (3) recover the crashed server and let the system settle.
+struct SeriesOptions {
+  std::size_t runs = 100;
+  Duration traffic_window = from_ms(3'000);   ///< client load before each crash
+  Duration traffic_interval = from_ms(100);   ///< submission period
+  Duration settle = from_ms(2'000);           ///< recovery settle between runs
+  Duration max_wait = from_ms(120'000);       ///< per-election timeout
+};
+
+/// Runs `options.runs` crash-recover cycles and returns one FailoverResult
+/// per cycle (unconverged entries kept, so callers can count them).
+std::vector<FailoverResult> measure_failover_series(SimCluster& cluster,
+                                                    const SeriesOptions& options);
+
+}  // namespace escape::sim

@@ -1,0 +1,190 @@
+#include "sim/sim_cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace escape::sim {
+
+PolicyFactory raft_policy_factory(Duration timeout_min, Duration timeout_max) {
+  return [=](ServerId, std::size_t) {
+    return std::make_unique<raft::RaftRandomizedPolicy>(timeout_min, timeout_max);
+  };
+}
+
+SimCluster::SimCluster(ClusterOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.size == 0) throw std::invalid_argument("cluster size must be >= 1");
+  if (!options_.policy) options_.policy = raft_policy_factory(from_ms(1500), from_ms(3000));
+  for (ServerId id = 1; id <= options_.size; ++id) members_.push_back(id);
+  network_ = std::make_unique<SimNetwork>(
+      loop_, options_.network, rng_.fork(0xBEEF),
+      [this](const rpc::Envelope& env) { deliver(env); });
+  for (ServerId id : members_) {
+    auto& host = hosts_[id];
+    host.store = std::make_unique<storage::MemoryStateStore>();
+    host.wal = std::make_unique<storage::MemoryWal>();
+  }
+}
+
+void SimCluster::build_node(ServerId id) {
+  auto& host = hosts_.at(id);
+  host.node = std::make_unique<raft::RaftNode>(
+      id, members_, options_.policy(id, members_.size()), *host.store, *host.wal,
+      rng_.fork(0x1000 + id), options_.node, host.wal->entries());
+  host.node->set_event_hook([this](const raft::NodeEvent& ev) { on_node_event(ev); });
+  host.alive = true;
+  host.scheduled_wakeup = kNever;
+}
+
+void SimCluster::start_all() {
+  if (started_) throw std::logic_error("start_all() called twice");
+  started_ = true;
+  for (ServerId id : members_) {
+    build_node(id);
+    hosts_.at(id).node->start(loop_.now());
+    pump(id);
+  }
+}
+
+raft::RaftNode& SimCluster::node(ServerId id) {
+  auto& host = hosts_.at(id);
+  if (!host.node) throw std::logic_error("node " + server_name(id) + " is crashed");
+  return *host.node;
+}
+
+const raft::RaftNode& SimCluster::node(ServerId id) const {
+  const auto& host = hosts_.at(id);
+  if (!host.node) throw std::logic_error("node " + server_name(id) + " is crashed");
+  return *host.node;
+}
+
+bool SimCluster::alive(ServerId id) const { return hosts_.at(id).alive; }
+
+ServerId SimCluster::leader() const {
+  ServerId best = kNoServer;
+  Term best_term = -1;
+  for (ServerId id : members_) {
+    const auto& host = hosts_.at(id);
+    if (host.alive && host.node && host.node->role() == Role::kLeader &&
+        host.node->term() > best_term) {
+      best = id;
+      best_term = host.node->term();
+    }
+  }
+  return best;
+}
+
+void SimCluster::crash(ServerId id) {
+  auto& host = hosts_.at(id);
+  if (!host.alive) throw std::logic_error("crash() on a node that is already down");
+  host.alive = false;
+  host.node.reset();  // volatile state gone; store/wal survive
+  host.scheduled_wakeup = kNever;
+  LOG_DEBUG(server_name(id) << " crashed at " << to_ms(loop_.now()) << "ms");
+}
+
+void SimCluster::recover(ServerId id) {
+  auto& host = hosts_.at(id);
+  if (host.alive) throw std::logic_error("recover() on a live node");
+  // The state machine restarts from scratch and replays the recovered log;
+  // `applied` tracks the current incarnation's input sequence.
+  host.applied.clear();
+  build_node(id);
+  host.node->start(loop_.now());
+  LOG_DEBUG(server_name(id) << " recovered at " << to_ms(loop_.now()) << "ms");
+  pump(id);
+}
+
+std::optional<raft::NodeEvent> SimCluster::run_until_event(
+    std::function<bool(const raft::NodeEvent&)> pred, TimePoint deadline) {
+  stop_predicate_ = std::move(pred);
+  stop_event_.reset();
+  loop_.run_until_stopped(deadline);
+  stop_predicate_ = nullptr;
+  return std::exchange(stop_event_, std::nullopt);
+}
+
+ServerId SimCluster::run_until_leader(TimePoint deadline) {
+  // Fast path: already led.
+  if (ServerId l = leader(); l != kNoServer) return l;
+  auto ev = run_until_event(
+      [](const raft::NodeEvent& e) { return e.kind == raft::NodeEvent::Kind::kBecameLeader; },
+      deadline);
+  return ev ? ev->node : kNoServer;
+}
+
+std::optional<LogIndex> SimCluster::submit_via_leader(std::vector<std::uint8_t> command) {
+  const ServerId l = leader();
+  if (l == kNoServer) return std::nullopt;
+  auto idx = node(l).submit(std::move(command), loop_.now());
+  pump(l);
+  return idx;
+}
+
+bool SimCluster::run_until_applied(LogIndex index, TimePoint deadline) {
+  auto all_applied = [&] {
+    for (ServerId id : members_) {
+      const auto& host = hosts_.at(id);
+      if (!host.alive || !host.node) continue;
+      // commit_index is updated before the commit event fires, so this
+      // predicate is evaluated against fresh state from inside listeners.
+      if (host.node->commit_index() < index) return false;
+    }
+    return true;
+  };
+  if (all_applied()) return true;
+  run_until_event([&](const raft::NodeEvent&) { return all_applied(); }, deadline);
+  return all_applied();
+}
+
+void SimCluster::add_event_listener(std::function<void(const raft::NodeEvent&)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void SimCluster::pump(ServerId id) {
+  auto& host = hosts_.at(id);
+  if (!host.alive || !host.node) return;
+  auto outbox = host.node->take_outbox();
+  if (!outbox.empty()) network_->send_batch(outbox);
+  for (auto& entry : host.node->take_committed()) {
+    if (apply_hook_) apply_hook_(id, entry);
+    host.applied.push_back(std::move(entry));
+  }
+  ensure_timer(id);
+}
+
+void SimCluster::ensure_timer(ServerId id) {
+  auto& host = hosts_.at(id);
+  const TimePoint deadline = host.node->next_deadline();
+  if (deadline == kNever) return;
+  if (deadline >= host.scheduled_wakeup) return;  // earlier wakeup already pending
+  host.scheduled_wakeup = deadline;
+  loop_.schedule_at(deadline, [this, id, deadline] {
+    auto& h = hosts_.at(id);
+    if (h.scheduled_wakeup == deadline) h.scheduled_wakeup = kNever;
+    if (!h.alive || !h.node) return;
+    h.node->on_tick(loop_.now());
+    pump(id);
+  });
+}
+
+void SimCluster::deliver(const rpc::Envelope& envelope) {
+  auto& host = hosts_.at(envelope.to);
+  if (!host.alive || !host.node) return;  // message to a dead machine
+  host.node->on_message(envelope, loop_.now());
+  pump(envelope.to);
+}
+
+void SimCluster::on_node_event(const raft::NodeEvent& event) {
+  event_log_.push_back(event);
+  for (auto& listener : listeners_) listener(event);
+  if (stop_predicate_ && stop_predicate_(event)) {
+    stop_event_ = event;
+    loop_.stop();
+  }
+}
+
+}  // namespace escape::sim

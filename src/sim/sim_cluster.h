@@ -1,0 +1,145 @@
+// Simulated cluster harness.
+//
+// Hosts N RaftNodes over a SimNetwork on one EventLoop, owning each node's
+// "disk" (MemoryStateStore + MemoryWal) so that crash/recover cycles model a
+// machine whose durable state survives process death. Provides the fault
+// injection and measurement hooks the paper's evaluation protocol needs:
+// crash/recover, link isolation, event listeners, and stop predicates for
+// running the simulation until an election-related condition holds.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "raft/raft_node.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+#include "storage/state_store.h"
+#include "storage/wal.h"
+
+namespace escape::sim {
+
+/// Builds an election policy for one member; invoked once per node
+/// construction (including recoveries).
+using PolicyFactory =
+    std::function<std::unique_ptr<raft::ElectionPolicy>(ServerId id, std::size_t cluster_size)>;
+
+/// Returns a PolicyFactory for vanilla Raft with the given timeout range.
+PolicyFactory raft_policy_factory(Duration timeout_min, Duration timeout_max);
+
+struct ClusterOptions {
+  std::size_t size = 5;
+  PolicyFactory policy;  ///< defaults to Raft with 1500–3000 ms timeouts
+  raft::NodeOptions node;
+  NetworkOptions network;
+  std::uint64_t seed = 42;
+};
+
+/// A full simulated deployment of `size` consensus servers.
+class SimCluster {
+ public:
+  explicit SimCluster(ClusterOptions options);
+
+  /// Starts every node at the current virtual time. Must be called once.
+  void start_all();
+
+  // --- accessors -----------------------------------------------------------
+  EventLoop& loop() { return loop_; }
+  SimNetwork& network() { return *network_; }
+  bool started() const { return started_; }
+  std::uint64_t seed() const { return options_.seed; }
+  raft::RaftNode& node(ServerId id);
+  const raft::RaftNode& node(ServerId id) const;
+  bool alive(ServerId id) const;
+  const std::vector<ServerId>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+
+  /// The unique alive leader in the highest term, or kNoServer when no alive
+  /// node currently leads.
+  ServerId leader() const;
+
+  /// Durable state of a host (survives crash/recover).
+  storage::MemoryStateStore& state_store(ServerId id) { return *hosts_.at(id).store; }
+  storage::MemoryWal& wal(ServerId id) { return *hosts_.at(id).wal; }
+
+  /// Entries applied (committed) by a host, in order, across incarnations.
+  const std::vector<rpc::LogEntry>& applied(ServerId id) const { return hosts_.at(id).applied; }
+
+  // --- fault injection -------------------------------------------------------
+  /// Kills a node: it stops processing and loses volatile state; its store
+  /// and WAL survive for recover().
+  void crash(ServerId id);
+
+  /// Restarts a crashed node from its durable state.
+  void recover(ServerId id);
+
+  // --- driving ----------------------------------------------------------------
+  /// Runs until `pred` matches an emitted NodeEvent, or `deadline` passes.
+  /// Returns the matching event, or nullopt on timeout.
+  std::optional<raft::NodeEvent> run_until_event(
+      std::function<bool(const raft::NodeEvent&)> pred, TimePoint deadline);
+
+  /// Runs until some node becomes leader; returns it (kNoServer on timeout).
+  ServerId run_until_leader(TimePoint deadline);
+
+  /// Submits a command through the current leader (nullopt when leaderless).
+  std::optional<LogIndex> submit_via_leader(std::vector<std::uint8_t> command);
+
+  /// Runs until every alive node has applied index >= `index`.
+  bool run_until_applied(LogIndex index, TimePoint deadline);
+
+  // --- observation -------------------------------------------------------------
+  /// Registers a persistent event listener (fires for every NodeEvent).
+  void add_event_listener(std::function<void(const raft::NodeEvent&)> listener);
+
+  /// Every event emitted since construction (or the last clear), in order.
+  const std::vector<raft::NodeEvent>& event_log() const { return event_log_; }
+
+  /// Drops recorded events; long-lived measurement series call this between
+  /// runs so scans and memory stay bounded. Listeners are unaffected.
+  void clear_event_log() { event_log_.clear(); }
+
+  /// Per-application callback (e.g. to drive a KV state machine).
+  void set_apply_hook(std::function<void(ServerId, const rpc::LogEntry&)> hook) {
+    apply_hook_ = std::move(hook);
+  }
+
+  /// Drains outbox/committed of a node and reschedules its timers. Called
+  /// automatically after every delivery/tick; public for tests that poke
+  /// nodes directly.
+  void pump(ServerId id);
+
+ private:
+  struct Host {
+    std::unique_ptr<storage::MemoryStateStore> store;
+    std::unique_ptr<storage::MemoryWal> wal;
+    std::unique_ptr<raft::RaftNode> node;
+    bool alive = false;
+    TimePoint scheduled_wakeup = kNever;
+    std::vector<rpc::LogEntry> applied;
+  };
+
+  void build_node(ServerId id);
+  void ensure_timer(ServerId id);
+  void deliver(const rpc::Envelope& envelope);
+  void on_node_event(const raft::NodeEvent& event);
+
+  ClusterOptions options_;
+  std::vector<ServerId> members_;
+  EventLoop loop_;
+  Rng rng_;
+  std::unique_ptr<SimNetwork> network_;
+  std::map<ServerId, Host> hosts_;
+  std::vector<raft::NodeEvent> event_log_;
+  std::vector<std::function<void(const raft::NodeEvent&)>> listeners_;
+  std::function<bool(const raft::NodeEvent&)> stop_predicate_;
+  std::optional<raft::NodeEvent> stop_event_;
+  std::function<void(ServerId, const rpc::LogEntry&)> apply_hook_;
+  bool started_ = false;
+};
+
+}  // namespace escape::sim

@@ -1,0 +1,76 @@
+// In-memory replicated log.
+//
+// Indexing is 1-based as in the Raft paper; index 0 is the empty-log
+// sentinel with term 0. The container supports prefix compaction (keeping a
+// base offset) so a snapshotting layer can truncate the head without
+// renumbering, though the consensus core in this repo always replays full
+// logs (the paper's experiments never compact).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "rpc/messages.h"
+
+namespace escape::storage {
+
+/// Append-only (plus suffix truncation) sequence of log entries.
+class Log {
+ public:
+  Log() = default;
+
+  /// Index of the last entry; 0 when empty.
+  LogIndex last_index() const { return base_ + static_cast<LogIndex>(entries_.size()); }
+
+  /// Term of the last entry; 0 when empty.
+  Term last_term() const;
+
+  /// First index still present (after compaction); base()+1. For an
+  /// uncompacted log this is 1.
+  LogIndex first_index() const { return base_ + 1; }
+
+  /// Term at `index`. Returns 0 for index 0; nullopt when out of range
+  /// (compacted away or beyond the tail).
+  std::optional<Term> term_at(LogIndex index) const;
+
+  /// Entry at `index`, or nullopt when out of range.
+  const rpc::LogEntry* entry_at(LogIndex index) const;
+
+  /// Appends one entry; its index must be last_index()+1.
+  void append(rpc::LogEntry entry);
+
+  /// Removes all entries with index >= `from`. No-op when from > last_index.
+  void truncate_from(LogIndex from);
+
+  /// Drops entries with index <= `upto` (snapshot compaction).
+  void compact_prefix(LogIndex upto);
+
+  /// Copies entries [from, from+max_count) clamped to the tail.
+  std::vector<rpc::LogEntry> slice(LogIndex from, std::size_t max_count) const;
+
+  /// True when a (index, term) pair matches this log (Raft consistency
+  /// check). Index 0 always matches.
+  bool matches(LogIndex index, Term term) const;
+
+  /// True when a candidate's (last_log_index, last_log_term) is at least as
+  /// up-to-date as this log (Raft §5.4.1 election restriction).
+  bool candidate_is_up_to_date(LogIndex cand_last_index, Term cand_last_term) const;
+
+  /// First index of term `t` within the stored suffix, if any; used to build
+  /// conflict hints for fast follower catch-up.
+  std::optional<LogIndex> first_index_of_term(Term t) const;
+
+  /// Last index of term `t` within the stored suffix, if any; used by the
+  /// leader to resolve follower conflict hints.
+  std::optional<LogIndex> last_index_of_term(Term t) const;
+
+  /// Number of entries currently stored (excludes compacted prefix).
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  LogIndex base_ = 0;  ///< highest compacted index; entries_[0] is base_+1
+  std::vector<rpc::LogEntry> entries_;
+};
+
+}  // namespace escape::storage

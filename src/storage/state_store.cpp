@@ -1,0 +1,105 @@
+#include "storage/state_store.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace escape::storage {
+namespace {
+
+std::vector<std::uint8_t> encode_state(const PersistentState& s) {
+  Encoder e;
+  e.i64(s.current_term);
+  e.u32(s.voted_for);
+  e.i64(s.config.timer_period);
+  e.i32(s.config.priority);
+  e.i64(s.config.conf_clock);
+  auto body = e.take();
+  Encoder framed;
+  framed.u32(crc32(body));
+  framed.bytes(body);
+  return framed.take();
+}
+
+std::optional<PersistentState> decode_state(const std::vector<std::uint8_t>& buf) {
+  try {
+    Decoder d(buf);
+    const auto crc = d.u32();
+    const auto body = d.bytes();
+    d.expect_end();
+    if (crc32(body) != crc) return std::nullopt;
+    Decoder bd(body);
+    PersistentState s;
+    s.current_term = bd.i64();
+    s.voted_for = bd.u32();
+    s.config.timer_period = bd.i64();
+    s.config.priority = bd.i32();
+    s.config.conf_clock = bd.i64();
+    bd.expect_end();
+    return s;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+void throw_errno(const std::string& op, const std::string& path) {
+  throw std::runtime_error(op + " failed for " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FileStateStore::FileStateStore(std::string path) : path_(std::move(path)) {}
+
+void FileStateStore::save(const PersistentState& state) {
+  const auto buf = encode_state(state);
+  const std::string tmp = path_ + ".tmp";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open", tmp);
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      throw_errno("write", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) throw_errno("rename", tmp);
+}
+
+std::optional<PersistentState> FileStateStore::load() {
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw_errno("open", path_);
+  }
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  if (n < 0) throw_errno("read", path_);
+  auto state = decode_state(buf);
+  if (!state) {
+    LOG_WARN("state file " << path_ << " is corrupt; treating as absent");
+  }
+  return state;
+}
+
+}  // namespace escape::storage

@@ -1,0 +1,89 @@
+// Write-ahead log for replicated entries.
+//
+// The consensus core emits log mutations (append / truncate-suffix) through
+// the Wal interface before acting on them. Implementations:
+//   * NullWal    — discards everything (pure in-memory simulation runs).
+//   * MemoryWal  — replays into a vector; lets tests model a disk that
+//                  survives a simulated crash.
+//   * FileWal    — record-oriented file with CRC-protected records and
+//                  torn-write recovery: a partially written final record is
+//                  detected and discarded on open, everything before it is
+//                  replayed.
+//
+// FileWal record layout: [kind u8][len u32][crc u32][payload len bytes].
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/messages.h"
+
+namespace escape::storage {
+
+/// Durable sink for log mutations.
+class Wal {
+ public:
+  virtual ~Wal() = default;
+
+  /// Records that `entry` was appended at its index.
+  virtual void append(const rpc::LogEntry& entry) = 0;
+
+  /// Records that all entries with index >= `from` were discarded.
+  virtual void truncate_from(LogIndex from) = 0;
+
+  /// Blocks until all prior records are durable (no-op for volatile impls).
+  virtual void sync() = 0;
+};
+
+/// Discards all records.
+class NullWal final : public Wal {
+ public:
+  void append(const rpc::LogEntry&) override {}
+  void truncate_from(LogIndex) override {}
+  void sync() override {}
+};
+
+/// Keeps the materialized entry sequence in memory.
+class MemoryWal final : public Wal {
+ public:
+  void append(const rpc::LogEntry& entry) override;
+  void truncate_from(LogIndex from) override;
+  void sync() override {}
+
+  /// Entry sequence as it would be recovered after a crash.
+  const std::vector<rpc::LogEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<rpc::LogEntry> entries_;
+};
+
+/// File-backed WAL.
+class FileWal final : public Wal {
+ public:
+  /// Opens (creating if needed) the WAL at `path` and replays existing
+  /// records. Recovered entries are available via recovered_entries() until
+  /// the first mutation. A trailing torn record is truncated away.
+  explicit FileWal(std::string path, bool sync_every_record = false);
+  ~FileWal() override;
+
+  FileWal(const FileWal&) = delete;
+  FileWal& operator=(const FileWal&) = delete;
+
+  void append(const rpc::LogEntry& entry) override;
+  void truncate_from(LogIndex from) override;
+  void sync() override;
+
+  /// Entries reconstructed from the file at open time.
+  const std::vector<rpc::LogEntry>& recovered_entries() const { return recovered_; }
+
+ private:
+  void write_record(std::uint8_t kind, const std::vector<std::uint8_t>& payload);
+
+  std::string path_;
+  bool sync_every_record_;
+  int fd_ = -1;
+  std::vector<rpc::LogEntry> recovered_;
+};
+
+}  // namespace escape::storage

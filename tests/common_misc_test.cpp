@@ -1,0 +1,101 @@
+// Tests for the small common utilities: clocks, logging, type helpers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace escape {
+namespace {
+
+TEST(TypesTest, TimeConversions) {
+  EXPECT_EQ(from_ms(1500), 1'500'000);
+  EXPECT_EQ(to_ms(from_ms(1500)), 1500);
+  EXPECT_EQ(to_ms(1'500'999), 1500);  // truncation
+  EXPECT_DOUBLE_EQ(to_ms_f(1'500'500), 1500.5);
+}
+
+TEST(TypesTest, Names) {
+  EXPECT_STREQ(role_name(Role::kFollower), "follower");
+  EXPECT_STREQ(role_name(Role::kCandidate), "candidate");
+  EXPECT_STREQ(role_name(Role::kLeader), "leader");
+  EXPECT_EQ(server_name(7), "S7");
+}
+
+TEST(ManualClockTest, AdvancesForwardOnly) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(250);
+  EXPECT_EQ(clock.now(), 250);
+  clock.advance_to(200);  // backwards: ignored
+  EXPECT_EQ(clock.now(), 250);
+}
+
+TEST(SteadyClockTest, MonotoneAndRoughlyRealTime) {
+  SteadyClock clock;
+  const auto t0 = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto t1 = clock.now();
+  EXPECT_GE(t1 - t0, from_ms(15));
+  EXPECT_LT(t1 - t0, from_ms(2000));
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::set_sink([this](LogLevel level, const std::string& msg) {
+      captured_.emplace_back(level, msg);
+    });
+    previous_level_ = Logger::level();
+  }
+  void TearDown() override {
+    Logger::set_sink(nullptr);
+    Logger::set_level(previous_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::set_level(LogLevel::kWarn);
+  LOG_DEBUG("hidden");
+  LOG_INFO("hidden too");
+  LOG_WARN("visible " << 42);
+  LOG_ERROR("also visible");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+  EXPECT_EQ(captured_[0].second, "visible 42");
+  EXPECT_EQ(captured_[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::set_level(LogLevel::kOff);
+  LOG_ERROR("nope");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, TraceEnablesEverything) {
+  Logger::set_level(LogLevel::kTrace);
+  LOG_TRACE("a");
+  LOG_DEBUG("b");
+  EXPECT_EQ(captured_.size(), 2u);
+}
+
+TEST_F(LoggingTest, StreamExpressionNotEvaluatedWhenFiltered) {
+  Logger::set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("x");
+  };
+  LOG_DEBUG(expensive());
+  EXPECT_EQ(evaluations, 0);
+  LOG_ERROR(expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace escape

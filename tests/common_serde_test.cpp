@@ -1,0 +1,144 @@
+#include "common/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace escape {
+namespace {
+
+TEST(SerdeTest, PrimitiveRoundtrip) {
+  Encoder e;
+  e.u8(0xAB);
+  e.u16(0xBEEF);
+  e.u32(0xDEADBEEF);
+  e.u64(0x0123456789ABCDEFull);
+  e.i32(-42);
+  e.i64(-1234567890123456789ll);
+  e.boolean(true);
+  e.boolean(false);
+  e.f64(3.14159);
+
+  Decoder d(e.data());
+  EXPECT_EQ(d.u8(), 0xAB);
+  EXPECT_EQ(d.u16(), 0xBEEF);
+  EXPECT_EQ(d.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(d.i32(), -42);
+  EXPECT_EQ(d.i64(), -1234567890123456789ll);
+  EXPECT_TRUE(d.boolean());
+  EXPECT_FALSE(d.boolean());
+  EXPECT_DOUBLE_EQ(d.f64(), 3.14159);
+  d.expect_end();
+}
+
+TEST(SerdeTest, StringRoundtrip) {
+  Encoder e;
+  e.str("");
+  e.str("hello");
+  e.str(std::string("\x00\x01\xFF", 3));
+  Decoder d(e.data());
+  EXPECT_EQ(d.str(), "");
+  EXPECT_EQ(d.str(), "hello");
+  EXPECT_EQ(d.str(), std::string("\x00\x01\xFF", 3));
+  d.expect_end();
+}
+
+TEST(SerdeTest, BytesRoundtrip) {
+  Encoder e;
+  std::vector<std::uint8_t> blob{1, 2, 3, 255, 0};
+  e.bytes(blob);
+  e.bytes({});
+  Decoder d(e.data());
+  EXPECT_EQ(d.bytes(), blob);
+  EXPECT_TRUE(d.bytes().empty());
+  d.expect_end();
+}
+
+TEST(SerdeTest, UnderrunThrows) {
+  Encoder e;
+  e.u16(7);
+  Decoder d(e.data());
+  EXPECT_EQ(d.u8(), 7);
+  EXPECT_THROW(d.u32(), DecodeError);
+}
+
+TEST(SerdeTest, TruncatedStringThrows) {
+  Encoder e;
+  e.u32(100);  // claims 100 bytes, none follow
+  Decoder d(e.data());
+  EXPECT_THROW(d.str(), DecodeError);
+}
+
+TEST(SerdeTest, TrailingBytesDetected) {
+  Encoder e;
+  e.u8(1);
+  e.u8(2);
+  Decoder d(e.data());
+  d.u8();
+  EXPECT_THROW(d.expect_end(), DecodeError);
+  d.u8();
+  EXPECT_NO_THROW(d.expect_end());
+}
+
+TEST(SerdeTest, InvalidBooleanThrows) {
+  std::vector<std::uint8_t> buf{2};
+  Decoder d(buf);
+  EXPECT_THROW(d.boolean(), DecodeError);
+}
+
+TEST(SerdeTest, LittleEndianLayout) {
+  Encoder e;
+  e.u32(0x01020304);
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e.data()[0], 0x04);
+  EXPECT_EQ(e.data()[1], 0x03);
+  EXPECT_EQ(e.data()[2], 0x02);
+  EXPECT_EQ(e.data()[3], 0x01);
+}
+
+TEST(SerdeTest, RandomRoundtripSweep) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Encoder e;
+    std::vector<std::int64_t> ints;
+    std::vector<std::string> strs;
+    const int n = static_cast<int>(rng.uniform_int(0, 10));
+    for (int i = 0; i < n; ++i) {
+      ints.push_back(rng.uniform_int(INT64_MIN / 2, INT64_MAX / 2));
+      std::string s;
+      const int len = static_cast<int>(rng.uniform_int(0, 64));
+      for (int j = 0; j < len; ++j) s.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+      strs.push_back(s);
+      e.i64(ints.back());
+      e.str(strs.back());
+    }
+    Decoder d(e.data());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(d.i64(), ints[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(d.str(), strs[static_cast<std::size_t>(i)]);
+    }
+    d.expect_end();
+  }
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE reflected).
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::vector<std::uint8_t> buf(64, 0xAA);
+  const auto base = crc32(buf);
+  for (std::size_t i = 0; i < buf.size(); i += 7) {
+    auto copy = buf;
+    copy[i] ^= 0x01;
+    EXPECT_NE(crc32(copy), base) << "flip at byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace escape

@@ -1,0 +1,121 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace escape {
+namespace {
+
+TEST(SampleTest, EmptySampleIsZeroed) {
+  Sample s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 0.0);
+  EXPECT_TRUE(s.cdf_series(10).empty());
+}
+
+TEST(SampleTest, MeanAndStddev) {
+  Sample s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleTest, MinMax) {
+  Sample s;
+  for (double v : {3.0, -1.0, 8.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(SampleTest, PercentileNearestRank) {
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(SampleTest, PercentileSingleValue) {
+  Sample s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.5);
+}
+
+TEST(SampleTest, CdfMatchesDefinition) {
+  Sample s;
+  for (double v : {1.0, 2.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.5), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf_at(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(99.0), 1.0);
+}
+
+TEST(SampleTest, CdfSeriesSpansRangeAndIsMonotone) {
+  Sample s;
+  for (int i = 0; i < 50; ++i) s.add(i * 2.0);
+  const auto series = s.cdf_series(11);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_DOUBLE_EQ(series.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().first, 98.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+}
+
+TEST(SampleTest, CdfSeriesDegenerate) {
+  Sample s;
+  s.add(5.0);
+  s.add(5.0);
+  const auto series = s.cdf_series(4);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].first, 5.0);
+  EXPECT_DOUBLE_EQ(series[0].second, 1.0);
+}
+
+TEST(SampleTest, AddAfterQueryInvalidatesCache) {
+  Sample s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(HistogramTest, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bucket 0
+  h.add(1.99);  // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  h.add(10.0);  // overflow
+  h.add(-0.1);  // underflow
+  EXPECT_EQ(h.count_in_bucket(0), 2u);
+  EXPECT_EQ(h.count_in_bucket(1), 1u);
+  EXPECT_EQ(h.count_in_bucket(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(2), 4.0);
+}
+
+TEST(SummarizeTest, ContainsAllFields) {
+  Sample s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  const auto text = summarize(s, "ms");
+  EXPECT_NE(text.find("mean="), std::string::npos);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  EXPECT_NE(text.find("n=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace escape

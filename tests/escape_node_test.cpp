@@ -1,0 +1,196 @@
+// RaftNode driven directly with an EscapePolicy: verifies the node/policy
+// contract at the message level — Eq. 2/3 term arithmetic, confClock on the
+// wire, config adoption -> timer period changes, and the status fields of
+// Listing 1 flowing back to the leader.
+#include <gtest/gtest.h>
+
+#include "core/escape_policy.h"
+#include "raft/raft_node.h"
+#include "storage/state_store.h"
+#include "storage/wal.h"
+
+namespace escape {
+namespace {
+
+core::EscapeOptions small_options() {
+  core::EscapeOptions o;
+  o.base_time = from_ms(100);
+  o.gap = from_ms(50);
+  return o;
+}
+
+struct EscapeNodeFixture {
+  explicit EscapeNodeFixture(ServerId id = 2, std::size_t n = 5) {
+    std::vector<ServerId> members;
+    for (ServerId s = 1; s <= n; ++s) members.push_back(s);
+    node = std::make_unique<raft::RaftNode>(
+        id, members, std::make_unique<core::EscapePolicy>(id, n, small_options()), store, wal,
+        Rng(3));
+    node->start(0);
+  }
+
+  void tick_past(Duration d) {
+    now += d;
+    node->on_tick(now);
+  }
+
+  storage::MemoryStateStore store;
+  storage::MemoryWal wal;
+  std::unique_ptr<raft::RaftNode> node;
+  TimePoint now = 0;
+};
+
+TEST(EscapeNodeTest, InitialTimeoutFollowsEquation1) {
+  // S2 in a 5-cluster: 100 + 50*(5-2) = 250 ms.
+  EscapeNodeFixture f;
+  EXPECT_EQ(f.node->next_deadline(), from_ms(250));
+}
+
+TEST(EscapeNodeTest, CampaignJumpsTermByPriority) {
+  EscapeNodeFixture f;  // S2: priority 2
+  f.tick_past(from_ms(251));
+  EXPECT_EQ(f.node->role(), Role::kCandidate);
+  EXPECT_EQ(f.node->term(), 2);  // 0 + P(2), Eq. 2
+  f.tick_past(from_ms(251));
+  EXPECT_EQ(f.node->term(), 4);  // repeated campaign: +P again
+}
+
+TEST(EscapeNodeTest, RequestVoteCarriesConfClock) {
+  EscapeNodeFixture f;
+  // Adopt a config with clock 9 via heartbeat.
+  rpc::AppendEntries hb;
+  hb.term = 1;
+  hb.leader_id = 1;
+  hb.new_config = rpc::Configuration{from_ms(100), 5, 9};
+  f.node->on_message({1, 2, hb}, f.now);
+  f.node->take_outbox();
+
+  // Campaign: the RequestVote must carry clock 9 and jump by priority 5.
+  f.tick_past(from_ms(400));
+  ASSERT_EQ(f.node->role(), Role::kCandidate);
+  EXPECT_EQ(f.node->term(), 6);  // 1 + P(5)
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& env : out) {
+    const auto& rv = std::get<rpc::RequestVote>(env.message);
+    EXPECT_EQ(rv.conf_clock, 9);
+    EXPECT_EQ(rv.term, 6);
+  }
+}
+
+TEST(EscapeNodeTest, ConfigAdoptionChangesTimerPeriodAndPersists) {
+  EscapeNodeFixture f;
+  rpc::AppendEntries hb;
+  hb.term = 1;
+  hb.leader_id = 1;
+  hb.new_config = rpc::Configuration{from_ms(100), 5, 3};  // top priority: 100 ms
+  f.now = from_ms(10);
+  f.node->on_message({1, 2, hb}, f.now);
+  // Timer re-armed with the adopted (shorter) period.
+  EXPECT_EQ(f.node->next_deadline(), f.now + from_ms(100));
+  // Adopted configuration is durable.
+  const auto persisted = f.store.load();
+  ASSERT_TRUE(persisted.has_value());
+  EXPECT_EQ(persisted->config.priority, 5);
+  EXPECT_EQ(persisted->config.conf_clock, 3);
+  EXPECT_EQ(f.node->conf_clock(), 3);
+}
+
+TEST(EscapeNodeTest, StaleConfigIgnored) {
+  EscapeNodeFixture f;
+  rpc::AppendEntries hb;
+  hb.term = 1;
+  hb.leader_id = 1;
+  hb.new_config = rpc::Configuration{from_ms(100), 5, 7};
+  f.node->on_message({1, 2, hb}, f.now);
+  f.node->take_outbox();
+  // An older clock (e.g. a reordered heartbeat) must not roll back.
+  rpc::AppendEntries stale;
+  stale.term = 1;
+  stale.leader_id = 1;
+  stale.new_config = rpc::Configuration{from_ms(500), 2, 4};
+  f.node->on_message({1, 2, stale}, f.now);
+  EXPECT_EQ(f.node->policy().current_config().priority, 5);
+  EXPECT_EQ(f.node->conf_clock(), 7);
+}
+
+TEST(EscapeNodeTest, VoterRejectsStaleClockCandidate) {
+  EscapeNodeFixture f;
+  rpc::AppendEntries hb;
+  hb.term = 1;
+  hb.leader_id = 1;
+  hb.new_config = rpc::Configuration{from_ms(100), 5, 7};
+  f.node->on_message({1, 2, hb}, f.now);
+  f.node->take_outbox();
+
+  rpc::RequestVote rv;
+  rv.term = 10;
+  rv.candidate_id = 3;
+  rv.conf_clock = 6;  // behind our 7
+  f.node->on_message({3, 2, rv}, f.now);
+  auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(std::get<rpc::RequestVoteReply>(out[0].message).vote_granted);
+  // Eq. 3: the higher term is adopted even though the vote is refused.
+  EXPECT_EQ(f.node->term(), 10);
+
+  rv.term = 11;
+  rv.candidate_id = 4;
+  rv.conf_clock = 7;  // fresh enough
+  f.node->on_message({4, 2, rv}, f.now);
+  out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(std::get<rpc::RequestVoteReply>(out[0].message).vote_granted);
+}
+
+TEST(EscapeNodeTest, Equation3MaxMergeNotAdditive) {
+  // A server receiving a higher term adopts it verbatim (max), it does not
+  // add its priority — only campaigns add (Eq. 2 vs Eq. 3).
+  EscapeNodeFixture f;
+  rpc::AppendEntries hb;
+  hb.term = 42;
+  hb.leader_id = 1;
+  f.node->on_message({1, 2, hb}, f.now);
+  EXPECT_EQ(f.node->term(), 42);
+  f.tick_past(from_ms(400));
+  EXPECT_EQ(f.node->term(), 44);  // 42 + P(2)
+}
+
+TEST(EscapeNodeTest, ReplyStatusReportsListing1Fields) {
+  EscapeNodeFixture f;
+  rpc::AppendEntries hb;
+  hb.term = 1;
+  hb.leader_id = 1;
+  hb.new_config = rpc::Configuration{from_ms(150), 4, 2};
+  hb.entries.push_back({.term = 1, .index = 1, .command = {1}});
+  f.node->on_message({1, 2, hb}, f.now);
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  const auto& reply = std::get<rpc::AppendEntriesReply>(out[0].message);
+  ASSERT_TRUE(reply.success);
+  EXPECT_EQ(reply.status.log_index, 1);          // log responsiveness
+  EXPECT_EQ(reply.status.timer_period, from_ms(150));
+  EXPECT_EQ(reply.status.conf_clock, 2);         // adopted clock
+}
+
+TEST(EscapeNodeTest, RestartRestoresAdoptedConfiguration) {
+  EscapeNodeFixture f;
+  rpc::AppendEntries hb;
+  hb.term = 1;
+  hb.leader_id = 1;
+  hb.new_config = rpc::Configuration{from_ms(100), 5, 7};
+  f.node->on_message({1, 2, hb}, f.now);
+
+  std::vector<ServerId> members{1, 2, 3, 4, 5};
+  raft::RaftNode restarted(2, members,
+                           std::make_unique<core::EscapePolicy>(2, 5, small_options()),
+                           f.store, f.wal, Rng(4));
+  restarted.start(0);
+  EXPECT_EQ(restarted.policy().current_config().priority, 5);
+  EXPECT_EQ(restarted.conf_clock(), 7);
+  // The restored (stale-able) period drives the timer, Figure 5b semantics.
+  EXPECT_EQ(restarted.next_deadline(), from_ms(100));
+}
+
+}  // namespace
+}  // namespace escape

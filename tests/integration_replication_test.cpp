@@ -1,0 +1,194 @@
+// End-to-end replication tests through the KvCluster client: commits,
+// failover continuity, exactly-once semantics, catch-up, and WAL recovery.
+#include <gtest/gtest.h>
+
+#include "kv/kv_cluster.h"
+#include "test_cluster_util.h"
+
+namespace escape {
+namespace {
+
+using kv::KvCluster;
+using sim::InvariantChecker;
+using sim::SimCluster;
+using testutil::paper_escape_cluster;
+
+TEST(ReplicationTest, PutGetRoundtrip) {
+  SimCluster cluster(paper_escape_cluster(5, 3));
+  KvCluster kv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  const auto put = kv.put("alpha", "1");
+  ASSERT_TRUE(put.has_value());
+  EXPECT_TRUE(put->ok);
+  const auto got = kv.get("alpha");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->ok);
+  EXPECT_EQ(got->value, "1");
+}
+
+TEST(ReplicationTest, AllReplicasConverge) {
+  SimCluster cluster(paper_escape_cluster(5, 5));
+  KvCluster kv(cluster);
+  InvariantChecker inv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), std::to_string(i)).has_value());
+  }
+  const LogIndex target = cluster.node(cluster.leader()).commit_index();
+  ASSERT_TRUE(cluster.run_until_applied(target, cluster.loop().now() + from_ms(30'000)));
+
+  for (ServerId id : cluster.members()) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(kv.store(id).peek("k" + std::to_string(i)), std::to_string(i))
+          << server_name(id);
+    }
+  }
+  inv.deep_check();
+  EXPECT_TRUE(inv.ok()) << inv.violations().front();
+}
+
+TEST(ReplicationTest, WritesSurviveLeaderFailover) {
+  SimCluster cluster(paper_escape_cluster(5, 7));
+  KvCluster kv(cluster);
+  InvariantChecker inv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(kv.put("pre" + std::to_string(i), "x").has_value());
+  }
+  cluster.crash(cluster.leader());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(kv.put("post" + std::to_string(i), "y").has_value());
+  }
+  // Every committed write, before and after the crash, is visible.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(kv.get("pre" + std::to_string(i))->value, "x");
+    EXPECT_EQ(kv.get("post" + std::to_string(i))->value, "y");
+  }
+  EXPECT_TRUE(inv.ok()) << inv.violations().front();
+}
+
+TEST(ReplicationTest, DuplicateCommitAppliedOnce) {
+  // Force the same command (same session/sequence) into the log twice; the
+  // state machine must execute it exactly once. CAS is the canary: a second
+  // execution would fail and flip the cached result.
+  SimCluster cluster(paper_escape_cluster(3, 9));
+  KvCluster kv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  kv::Command c;
+  c.client_id = 77;
+  c.sequence = 1;
+  c.op = kv::Op::kCas;
+  c.key = "ctr";
+  c.expected = "";
+  c.value = "1";
+  const auto bytes = encode_command(c);
+
+  const ServerId leader = cluster.leader();
+  ASSERT_TRUE(cluster.node(leader).submit(bytes, cluster.loop().now()).has_value());
+  ASSERT_TRUE(cluster.node(leader).submit(bytes, cluster.loop().now()).has_value());
+  cluster.pump(leader);
+  const LogIndex target = cluster.node(leader).log().last_index();
+  ASSERT_TRUE(cluster.run_until_applied(target, cluster.loop().now() + from_ms(30'000)));
+
+  for (ServerId id : cluster.members()) {
+    EXPECT_EQ(kv.store(id).peek("ctr"), "1") << server_name(id);
+  }
+}
+
+TEST(ReplicationTest, LaggingFollowerCatchesUp) {
+  SimCluster cluster(paper_escape_cluster(5, 11));
+  KvCluster kv(cluster);
+  InvariantChecker inv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  // Partition a follower, commit traffic without it.
+  ServerId lagger = kNoServer;
+  for (ServerId id : cluster.members()) {
+    if (id != cluster.leader()) {
+      lagger = id;
+      break;
+    }
+  }
+  cluster.network().isolate(lagger);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), "v").has_value());
+  }
+  const LogIndex target = cluster.node(cluster.leader()).commit_index();
+  EXPECT_LT(cluster.node(lagger).commit_index(), target);
+
+  cluster.network().heal(lagger);
+  ASSERT_TRUE(cluster.run_until_applied(target, cluster.loop().now() + from_ms(30'000)));
+  EXPECT_GE(cluster.node(lagger).commit_index(), target);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(kv.store(lagger).peek("k" + std::to_string(i)), "v");
+  }
+  inv.deep_check();
+  EXPECT_TRUE(inv.ok()) << inv.violations().front();
+}
+
+TEST(ReplicationTest, CrashRecoveryReplaysWal) {
+  SimCluster cluster(paper_escape_cluster(5, 13));
+  KvCluster kv(cluster);
+  InvariantChecker inv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), "v" + std::to_string(i)).has_value());
+  }
+  // Crash a follower that already holds the entries.
+  ServerId victim = kNoServer;
+  for (ServerId id : cluster.members()) {
+    if (id != cluster.leader()) {
+      victim = id;
+      break;
+    }
+  }
+  const LogIndex before = cluster.node(victim).log().last_index();
+  EXPECT_GT(before, 0);
+  cluster.crash(victim);
+  ASSERT_TRUE(kv.put("during", "crash").has_value());
+
+  cluster.recover(victim);
+  // Recovery rebuilds the log from the durable WAL…
+  EXPECT_GE(cluster.node(victim).log().last_index(), before);
+  // …and the node then catches up with entries committed while it was down.
+  const LogIndex target = cluster.node(cluster.leader()).commit_index();
+  ASSERT_TRUE(cluster.run_until_applied(target, cluster.loop().now() + from_ms(30'000)));
+  EXPECT_EQ(kv.store(victim).peek("during"), "crash");
+  inv.deep_check();
+  EXPECT_TRUE(inv.ok()) << inv.violations().front();
+}
+
+TEST(ReplicationTest, CasChainsAreLinear) {
+  SimCluster cluster(paper_escape_cluster(3, 15));
+  KvCluster kv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  ASSERT_TRUE(kv.cas("x", "", "1")->ok);
+  ASSERT_FALSE(kv.cas("x", "0", "2")->ok);  // wrong witness
+  ASSERT_TRUE(kv.cas("x", "1", "2")->ok);
+  ASSERT_TRUE(kv.del("x")->ok);
+  ASSERT_FALSE(kv.get("x")->ok);
+}
+
+TEST(ReplicationTest, CommitsContinueUnderModerateLoss) {
+  auto options = paper_escape_cluster(5, 17);
+  options.network.broadcast_omission = 0.2;
+  SimCluster cluster(options);
+  KvCluster kv(cluster);
+  InvariantChecker inv(cluster, /*check_configs=*/false);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto r = kv.put("k" + std::to_string(i), "v", from_ms(120'000));
+    ASSERT_TRUE(r.has_value()) << "write " << i << " failed under loss";
+  }
+  EXPECT_TRUE(inv.ok()) << inv.violations().front();
+}
+
+}  // namespace
+}  // namespace escape

@@ -1,0 +1,131 @@
+// Randomized fault-schedule property tests (seed-parameterized): crash,
+// recover, isolate and heal random nodes under client traffic, then verify
+// every safety invariant from Section V. This is the closest thing to a
+// model-checking pass the repo runs in CI.
+#include <gtest/gtest.h>
+
+#include "kv/kv_cluster.h"
+#include "test_cluster_util.h"
+
+namespace escape {
+namespace {
+
+using sim::InvariantChecker;
+using sim::SimCluster;
+
+struct FaultSweepParams {
+  std::string policy;  // "raft" | "zraft" | "escape"
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<FaultSweepParams>& info) {
+  return info.param.policy + "_seed" + std::to_string(info.param.seed);
+}
+
+sim::PolicyFactory factory_for(const std::string& policy) {
+  if (policy == "raft") return sim::raft_policy_factory(from_ms(1500), from_ms(3000));
+  if (policy == "zraft") return testutil::zraft_factory();
+  return testutil::escape_factory();
+}
+
+class FaultScheduleTest : public ::testing::TestWithParam<FaultSweepParams> {};
+
+TEST_P(FaultScheduleTest, SafetyHoldsUnderRandomFaults) {
+  const auto& param = GetParam();
+  constexpr std::size_t kN = 5;
+  auto options = testutil::paper_cluster(kN, factory_for(param.policy), param.seed);
+  SimCluster cluster(options);
+  kv::KvCluster kv(cluster);
+  // Config uniqueness is checked at the end (recovering nodes legitimately
+  // carry stale configs mid-schedule; Lemma 4 bounds, not forbids, that).
+  InvariantChecker inv(cluster, /*check_configs=*/false);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  Rng rng(param.seed * 7919 + 13);
+  std::set<ServerId> down;
+  std::set<ServerId> isolated;
+  int writes_ok = 0;
+
+  auto alive_majority_after = [&](ServerId candidate) {
+    // Keep a functioning majority: never take down a node if doing so would
+    // leave fewer than quorum connected-and-alive members.
+    std::size_t healthy = 0;
+    for (ServerId id : cluster.members()) {
+      if (id != candidate && down.count(id) == 0 && isolated.count(id) == 0) ++healthy;
+    }
+    return healthy >= kN / 2 + 1;
+  };
+
+  for (int step = 0; step < 40; ++step) {
+    const int action = static_cast<int>(rng.uniform_int(0, 4));
+    const ServerId victim =
+        static_cast<ServerId>(rng.uniform_int(1, static_cast<std::int64_t>(kN)));
+    switch (action) {
+      case 0:  // crash
+        if (down.count(victim) == 0 && isolated.count(victim) == 0 &&
+            alive_majority_after(victim)) {
+          cluster.crash(victim);
+          down.insert(victim);
+        }
+        break;
+      case 1:  // recover
+        if (!down.empty()) {
+          const ServerId id = *down.begin();
+          cluster.recover(id);
+          down.erase(id);
+        }
+        break;
+      case 2:  // isolate
+        if (down.count(victim) == 0 && isolated.count(victim) == 0 &&
+            alive_majority_after(victim)) {
+          cluster.network().isolate(victim);
+          isolated.insert(victim);
+        }
+        break;
+      case 3:  // heal
+        if (!isolated.empty()) {
+          const ServerId id = *isolated.begin();
+          cluster.network().heal(id);
+          isolated.erase(id);
+        }
+        break;
+      case 4:  // client write
+        if (kv.put("key" + std::to_string(step), std::to_string(step), from_ms(20'000))) {
+          ++writes_ok;
+        }
+        break;
+    }
+    cluster.loop().run_until(cluster.loop().now() +
+                             from_ms(rng.uniform_int(500, 3'000)));
+    ASSERT_TRUE(inv.ok()) << inv.violations().front();
+  }
+
+  // Heal the world and let it converge.
+  for (ServerId id : isolated) cluster.network().heal(id);
+  for (ServerId id : down) cluster.recover(id);
+  cluster.loop().run_until(cluster.loop().now() + from_ms(20'000));
+
+  ASSERT_NE(cluster.run_until_leader(cluster.loop().now() + from_ms(120'000)), kNoServer);
+  const auto final_write = kv.put("final", "done", from_ms(120'000));
+  EXPECT_TRUE(final_write.has_value()) << "cluster wedged after fault schedule";
+
+  inv.deep_check();
+  EXPECT_TRUE(inv.ok()) << inv.violations().front();
+  // Not a safety property, but the schedule should have made progress.
+  EXPECT_GT(writes_ok, 0);
+}
+
+std::vector<FaultSweepParams> sweep() {
+  std::vector<FaultSweepParams> params;
+  for (const char* policy : {"raft", "zraft", "escape"}) {
+    for (std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+      params.push_back({policy, seed});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FaultScheduleTest, ::testing::ValuesIn(sweep()), param_name);
+
+}  // namespace
+}  // namespace escape

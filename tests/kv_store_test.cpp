@@ -1,0 +1,166 @@
+// Unit tests for the KV state machine: command serde, operations, and
+// session-based exactly-once semantics.
+#include "kv/kv_store.h"
+
+#include <gtest/gtest.h>
+
+namespace escape::kv {
+namespace {
+
+Command cmd(Op op, std::string key, std::string value = "", std::string expected = "",
+            std::uint64_t client = 1, std::uint64_t seq = 0) {
+  static std::uint64_t auto_seq = 0;
+  Command c;
+  c.client_id = client;
+  c.sequence = seq != 0 ? seq : ++auto_seq;
+  c.op = op;
+  c.key = std::move(key);
+  c.value = std::move(value);
+  c.expected = std::move(expected);
+  return c;
+}
+
+TEST(KvCommandTest, Roundtrip) {
+  const auto c = cmd(Op::kCas, "key", "new", "old", 42, 7);
+  const auto decoded = decode_command(encode_command(c));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, c);
+}
+
+TEST(KvCommandTest, MalformedRejected) {
+  EXPECT_FALSE(decode_command({}).has_value());
+  EXPECT_FALSE(decode_command({1, 2, 3}).has_value());
+  auto bytes = encode_command(cmd(Op::kPut, "k", "v"));
+  bytes.pop_back();
+  EXPECT_FALSE(decode_command(bytes).has_value());
+  bytes.push_back(0);
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_command(bytes).has_value());
+}
+
+TEST(KvCommandTest, InvalidOpRejected) {
+  auto c = cmd(Op::kPut, "k", "v");
+  auto bytes = encode_command(c);
+  bytes[16] = 0x7F;  // op byte follows client_id(8) + sequence(8)
+  EXPECT_FALSE(decode_command(bytes).has_value());
+}
+
+TEST(KvCommandTest, ResultRoundtrip) {
+  CommandResult r{true, "payload"};
+  const auto decoded = decode_result(encode_result(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, r);
+  EXPECT_FALSE(decode_result({0xFF}).has_value());
+}
+
+TEST(KvStoreTest, PutGet) {
+  KvStore store;
+  EXPECT_TRUE(store.execute(cmd(Op::kPut, "a", "1")).ok);
+  const auto got = store.execute(cmd(Op::kGet, "a"));
+  EXPECT_TRUE(got.ok);
+  EXPECT_EQ(got.value, "1");
+}
+
+TEST(KvStoreTest, GetMissing) {
+  KvStore store;
+  const auto got = store.execute(cmd(Op::kGet, "nope"));
+  EXPECT_FALSE(got.ok);
+  EXPECT_TRUE(got.value.empty());
+}
+
+TEST(KvStoreTest, PutReturnsPreviousValue) {
+  KvStore store;
+  store.execute(cmd(Op::kPut, "a", "1"));
+  const auto r = store.execute(cmd(Op::kPut, "a", "2"));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, "1");
+  EXPECT_EQ(store.peek("a"), "2");
+}
+
+TEST(KvStoreTest, Del) {
+  KvStore store;
+  store.execute(cmd(Op::kPut, "a", "1"));
+  EXPECT_TRUE(store.execute(cmd(Op::kDel, "a")).ok);
+  EXPECT_FALSE(store.execute(cmd(Op::kDel, "a")).ok);  // already gone
+  EXPECT_FALSE(store.peek("a").has_value());
+}
+
+TEST(KvStoreTest, CasSemantics) {
+  KvStore store;
+  // CAS against absent key uses empty string as current.
+  EXPECT_TRUE(store.execute(cmd(Op::kCas, "a", "1", "")).ok);
+  // Mismatch fails and reports the current value.
+  const auto fail = store.execute(cmd(Op::kCas, "a", "2", "zzz"));
+  EXPECT_FALSE(fail.ok);
+  EXPECT_EQ(fail.value, "1");
+  // Match succeeds.
+  EXPECT_TRUE(store.execute(cmd(Op::kCas, "a", "2", "1")).ok);
+  EXPECT_EQ(store.peek("a"), "2");
+}
+
+TEST(KvStoreTest, SessionDedupReturnsCachedResult) {
+  KvStore store;
+  // A CAS is not idempotent, which is exactly what dedup must protect.
+  auto c = cmd(Op::kCas, "a", "1", "", 9, 100);
+  const auto first = store.execute(c);
+  EXPECT_TRUE(first.ok);
+  const auto replay = store.execute(c);  // committed twice after a failover
+  EXPECT_TRUE(replay.ok);                // cached result, not a re-execution
+  EXPECT_EQ(store.peek("a"), "1");
+
+  // An older sequence from the same session is also absorbed.
+  auto old = cmd(Op::kPut, "a", "999", "", 9, 50);
+  store.execute(old);
+  EXPECT_EQ(store.peek("a"), "1");
+}
+
+TEST(KvStoreTest, SessionsAreIndependent) {
+  KvStore store;
+  store.execute(cmd(Op::kPut, "a", "1", "", 1, 5));
+  // A different client with the same sequence number is not a duplicate.
+  const auto r = store.execute(cmd(Op::kPut, "a", "2", "", 2, 5));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(store.peek("a"), "2");
+  EXPECT_EQ(store.session_count(), 2u);
+}
+
+TEST(KvStoreTest, ClientZeroBypassesSessions) {
+  KvStore store;
+  store.execute(cmd(Op::kPut, "a", "1", "", 0, 5));
+  store.execute(cmd(Op::kPut, "a", "2", "", 0, 5));  // same seq, still applied
+  EXPECT_EQ(store.peek("a"), "2");
+  EXPECT_EQ(store.session_count(), 0u);
+}
+
+TEST(KvStoreTest, ApplyDecodesEntries) {
+  KvStore store;
+  rpc::LogEntry entry;
+  entry.term = 1;
+  entry.index = 1;
+  entry.command = encode_command(cmd(Op::kPut, "k", "v"));
+  const auto result = decode_result(store.apply(entry));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_EQ(store.peek("k"), "v");
+}
+
+TEST(KvStoreTest, ApplyMalformedEntryIsNoop) {
+  KvStore store;
+  rpc::LogEntry entry;
+  entry.term = 1;
+  entry.index = 1;
+  entry.command = {0xDE, 0xAD};
+  const auto result = decode_result(store.apply(entry));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStoreTest, NoopCommand) {
+  KvStore store;
+  EXPECT_TRUE(store.execute(cmd(Op::kNoop, "")).ok);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace escape::kv

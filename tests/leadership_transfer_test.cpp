@@ -1,0 +1,155 @@
+// Leadership transfer (TimeoutNow): the proactive complement of ESCAPE's
+// precautionary elections — planned maintenance hands leadership to the
+// groomed top-priority follower with sub-RTT downtime instead of waiting a
+// full election timeout.
+#include <gtest/gtest.h>
+
+#include "test_cluster_util.h"
+
+namespace escape {
+namespace {
+
+using sim::InvariantChecker;
+using sim::SimCluster;
+using testutil::paper_escape_cluster;
+
+ServerId top_priority_follower(SimCluster& cluster) {
+  const ServerId leader = cluster.leader();
+  ServerId top = kNoServer;
+  Priority best = 0;
+  for (ServerId id : cluster.members()) {
+    if (id == leader || !cluster.alive(id)) continue;
+    const auto p = cluster.node(id).policy().current_config().priority;
+    if (p > best) {
+      best = p;
+      top = id;
+    }
+  }
+  return top;
+}
+
+TEST(LeadershipTransferTest, HandoffCompletesWithinOneRtt) {
+  SimCluster cluster(paper_escape_cluster(5, 21));
+  InvariantChecker inv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  const ServerId old_leader = cluster.leader();
+  const ServerId target = top_priority_follower(cluster);
+  ASSERT_NE(target, kNoServer);
+
+  const TimePoint start = cluster.loop().now();
+  ASSERT_TRUE(cluster.node(old_leader).transfer_leadership(target, start));
+  cluster.pump(old_leader);
+  const auto elected = cluster.run_until_event(
+      [&](const raft::NodeEvent& e) {
+        return e.kind == raft::NodeEvent::Kind::kBecameLeader && e.node == target;
+      },
+      start + from_ms(10'000));
+  ASSERT_TRUE(elected.has_value());
+  // TimeoutNow skips the election timeout entirely: one latency to deliver
+  // the transfer plus one vote round-trip (100-200 ms each hop).
+  EXPECT_LE(elected->at - start, from_ms(700));
+  // The deposed leader steps down once it sees the higher term.
+  cluster.loop().run_until(cluster.loop().now() + from_ms(2'000));
+  EXPECT_EQ(cluster.node(old_leader).role(), Role::kFollower);
+  EXPECT_TRUE(inv.ok()) << inv.violations().front();
+}
+
+TEST(LeadershipTransferTest, RejectsWhenNotLeader) {
+  SimCluster cluster(paper_escape_cluster(3, 22));
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  for (ServerId id : cluster.members()) {
+    if (id == cluster.leader()) continue;
+    EXPECT_FALSE(cluster.node(id).transfer_leadership(cluster.leader(), cluster.loop().now()));
+  }
+}
+
+TEST(LeadershipTransferTest, RejectsSelfAndUnknownTargets) {
+  SimCluster cluster(paper_escape_cluster(3, 23));
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  auto& leader = cluster.node(cluster.leader());
+  EXPECT_FALSE(leader.transfer_leadership(leader.id(), cluster.loop().now()));
+  EXPECT_FALSE(leader.transfer_leadership(99, cluster.loop().now()));
+}
+
+TEST(LeadershipTransferTest, RejectsLaggingTarget) {
+  SimCluster cluster(paper_escape_cluster(5, 24));
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  const ServerId leader = cluster.leader();
+  ServerId lagger = kNoServer;
+  for (ServerId id : cluster.members()) {
+    if (id != leader) {
+      lagger = id;
+      break;
+    }
+  }
+  // Cut the lagger off and replicate entries it cannot receive.
+  cluster.network().isolate(lagger);
+  sim::drive_traffic(cluster, from_ms(2'000), from_ms(200));
+  EXPECT_FALSE(cluster.node(leader).transfer_leadership(lagger, cluster.loop().now()));
+  cluster.network().heal(lagger);
+}
+
+TEST(LeadershipTransferTest, StaleTimeoutNowIgnored) {
+  SimCluster cluster(paper_escape_cluster(3, 25));
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  const ServerId leader = cluster.leader();
+  ServerId follower = kNoServer;
+  for (ServerId id : cluster.members()) {
+    if (id != leader) {
+      follower = id;
+      break;
+    }
+  }
+  // Inject a TimeoutNow from an ancient term directly.
+  rpc::TimeoutNow stale;
+  stale.term = 0;
+  stale.leader_id = leader;
+  const auto term_before = cluster.node(follower).term();
+  cluster.node(follower).on_message({leader, follower, stale}, cluster.loop().now());
+  EXPECT_EQ(cluster.node(follower).role(), Role::kFollower);
+  EXPECT_EQ(cluster.node(follower).term(), term_before);
+}
+
+TEST(LeadershipTransferTest, PlannedMaintenanceDrill) {
+  // Full drill: hand off, stop the old leader, keep serving, bring it back.
+  SimCluster cluster(paper_escape_cluster(5, 26));
+  InvariantChecker inv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  sim::drive_traffic(cluster, from_ms(2'000), from_ms(200));
+  // Let in-flight replication land so the target is fully caught up.
+  cluster.loop().run_until(cluster.loop().now() + from_ms(1'000));
+
+  const ServerId old_leader = cluster.leader();
+  const ServerId target = top_priority_follower(cluster);
+  ASSERT_TRUE(cluster.node(old_leader).transfer_leadership(target, cluster.loop().now()));
+  cluster.pump(old_leader);
+  ASSERT_TRUE(cluster
+                  .run_until_event(
+                      [&](const raft::NodeEvent& e) {
+                        return e.kind == raft::NodeEvent::Kind::kBecameLeader &&
+                               e.node == target;
+                      },
+                      cluster.loop().now() + from_ms(10'000))
+                  .has_value());
+
+  cluster.crash(old_leader);  // now safe: it is a follower
+  EXPECT_GE(sim::drive_traffic(cluster, from_ms(2'000), from_ms(200)), 8u);
+  cluster.recover(old_leader);
+  const LogIndex commit = cluster.node(cluster.leader()).commit_index();
+  EXPECT_TRUE(cluster.run_until_applied(commit, cluster.loop().now() + from_ms(30'000)));
+  inv.deep_check();
+  EXPECT_TRUE(inv.ok()) << inv.violations().front();
+}
+
+TEST(LeadershipTransferTest, MessageRoundtrip) {
+  rpc::TimeoutNow m;
+  m.term = 42;
+  m.leader_id = 3;
+  const auto decoded = rpc::decode_message(rpc::encode_message(m));
+  ASSERT_TRUE(std::holds_alternative<rpc::TimeoutNow>(decoded));
+  EXPECT_EQ(std::get<rpc::TimeoutNow>(decoded), m);
+  EXPECT_NE(rpc::to_string(rpc::Message{m}).find("TimeoutNow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace escape

@@ -1,0 +1,257 @@
+// Real-socket tests: TCP transport framing/delivery and a 3-node real-time
+// cluster on 127.0.0.1. Ports are derived from the PID to dodge collisions
+// between parallel ctest workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include <sys/stat.h>
+
+#include <unistd.h>
+
+#include "core/escape_policy.h"
+#include "net/real_cluster.h"
+#include "net/tcp_transport.h"
+
+namespace escape::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::uint16_t base_port() {
+  return static_cast<std::uint16_t>(20000 + (::getpid() % 20000));
+}
+
+rpc::Message probe_message(Term term) {
+  rpc::RequestVote rv;
+  rv.term = term;
+  rv.candidate_id = 1;
+  rv.last_log_index = 3;
+  rv.last_log_term = 2;
+  return rv;
+}
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<rpc::Envelope> messages;
+
+  void push(const rpc::Envelope& env) {
+    {
+      std::lock_guard lock(mu);
+      messages.push_back(env);
+    }
+    cv.notify_all();
+  }
+
+  bool wait_for_count(std::size_t n, std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, timeout, [&] { return messages.size() >= n; });
+  }
+};
+
+TEST(TcpTransportTest, DeliversBetweenTwoEndpoints) {
+  const std::uint16_t port = base_port();
+  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Mailbox inbox1, inbox2;
+  TcpTransport t1(1, endpoints, [&](const rpc::Envelope& e) { inbox1.push(e); });
+  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox2.push(e); });
+  t1.start();
+  t2.start();
+
+  t1.send({1, 2, probe_message(7)});
+  ASSERT_TRUE(inbox2.wait_for_count(1, 5000ms));
+  EXPECT_EQ(inbox2.messages[0].from, 1u);
+  EXPECT_EQ(inbox2.messages[0].to, 2u);
+  EXPECT_EQ(inbox2.messages[0].message, probe_message(7));
+
+  // Reply direction reuses / establishes the reverse connection.
+  t2.send({2, 1, probe_message(8)});
+  ASSERT_TRUE(inbox1.wait_for_count(1, 5000ms));
+  EXPECT_EQ(inbox1.messages[0].message, probe_message(8));
+
+  t1.stop();
+  t2.stop();
+}
+
+TEST(TcpTransportTest, ManyMessagesArriveInOrder) {
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 10);
+  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Mailbox inbox;
+  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
+  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  t1.start();
+  t2.start();
+
+  constexpr int kCount = 500;
+  for (int i = 0; i < kCount; ++i) {
+    t1.send({1, 2, probe_message(i)});
+  }
+  ASSERT_TRUE(inbox.wait_for_count(kCount, 10000ms));
+  for (int i = 0; i < kCount; ++i) {
+    const auto& rv = std::get<rpc::RequestVote>(inbox.messages[static_cast<std::size_t>(i)].message);
+    EXPECT_EQ(rv.term, i);  // single TCP stream preserves order
+  }
+  t1.stop();
+  t2.stop();
+}
+
+TEST(TcpTransportTest, SendToUnknownPeerDrops) {
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 20);
+  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}};
+  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
+  t1.start();
+  t1.send({1, 99, probe_message(1)});
+  EXPECT_EQ(t1.stats().dropped.load(), 1u);
+  t1.stop();
+}
+
+TEST(TcpTransportTest, SendToDeadPeerDoesNotBlock) {
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 30);
+  // Peer 2's port has no listener.
+  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
+  t1.start();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100; ++i) t1.send({1, 2, probe_message(i)});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 1s);  // connection failure must not stall the sender
+  t1.stop();
+}
+
+TEST(TcpTransportTest, RequiresSelfEndpoint) {
+  EXPECT_THROW(TcpTransport(1, {{2, 1234}}, [](const rpc::Envelope&) {}),
+               std::invalid_argument);
+}
+
+TEST(TcpTransportTest, StopIsIdempotent) {
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 40);
+  TcpTransport t1(1, {{1, port}}, [](const rpc::Envelope&) {});
+  t1.start();
+  t1.stop();
+  t1.stop();  // second stop is a no-op
+}
+
+// --- real-time cluster -------------------------------------------------------
+
+PolicyFactory fast_escape() {
+  core::EscapeOptions opts;
+  opts.base_time = from_ms(300);
+  opts.gap = from_ms(150);
+  return [opts](ServerId id, std::size_t n) {
+    return std::make_unique<core::EscapePolicy>(id, n, opts);
+  };
+}
+
+ServerId wait_for_leader(std::vector<std::unique_ptr<RealNode>>& nodes,
+                         std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (const auto& node : nodes) {
+      if (node && node->role() == Role::kLeader) return node->id();
+    }
+    std::this_thread::sleep_for(10ms);
+  }
+  return kNoServer;
+}
+
+TEST(RealClusterTest, ElectsReplicatesAndFailsOver) {
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 50);
+  std::map<ServerId, std::uint16_t> endpoints;
+  for (ServerId id = 1; id <= 3; ++id) {
+    endpoints[id] = static_cast<std::uint16_t>(port + id);
+  }
+  RealNode::Options options;
+  options.node.heartbeat_interval = from_ms(60);
+
+  std::vector<std::unique_ptr<RealNode>> nodes;
+  for (ServerId id = 1; id <= 3; ++id) {
+    nodes.push_back(std::make_unique<RealNode>(id, endpoints, fast_escape(), options));
+  }
+  std::atomic<int> applied{0};
+  for (auto& node : nodes) {
+    node->set_apply_hook([&](const rpc::LogEntry&) { applied.fetch_add(1); });
+    node->start();
+  }
+
+  const ServerId leader = wait_for_leader(nodes, 5000ms);
+  ASSERT_NE(leader, kNoServer);
+
+  // Non-leaders reject submissions and point at the leader.
+  for (const auto& node : nodes) {
+    if (node->id() != leader) {
+      EXPECT_FALSE(node->submit({1}).has_value());
+    }
+  }
+
+  const auto index = nodes[leader - 1]->submit({42});
+  ASSERT_TRUE(index.has_value());
+  const auto commit_deadline = std::chrono::steady_clock::now() + 5000ms;
+  while (applied.load() < 3 && std::chrono::steady_clock::now() < commit_deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GE(applied.load(), 3);  // committed and applied on every replica
+
+  // Kill the leader; survivors re-elect.
+  const Term old_term = nodes[leader - 1]->term();
+  nodes[leader - 1]->stop();
+  nodes[leader - 1].reset();
+  const ServerId next = wait_for_leader(nodes, 5000ms);
+  ASSERT_NE(next, kNoServer);
+  EXPECT_NE(next, leader);
+  EXPECT_GT(nodes[next - 1]->term(), old_term);
+
+  for (auto& node : nodes) {
+    if (node) node->stop();
+  }
+}
+
+TEST(RealClusterTest, DurableStateSurvivesRestart) {
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 60);
+  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}};
+  const std::string dir = "/tmp/escape_real_test_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+
+  RealNode::Options options;
+  options.node.heartbeat_interval = from_ms(60);
+  options.data_dir = dir;
+
+  Term term_before = 0;
+  {
+    RealNode node(1, endpoints, fast_escape(), options);
+    node.start();
+    // Single-node cluster: leads immediately after its first timeout.
+    const auto deadline = std::chrono::steady_clock::now() + 5000ms;
+    while (node.role() != Role::kLeader && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(10ms);
+    }
+    ASSERT_EQ(node.role(), Role::kLeader);
+    ASSERT_TRUE(node.submit({9}).has_value());
+    const auto commit_deadline = std::chrono::steady_clock::now() + 2000ms;
+    while (node.commit_index() < 1 && std::chrono::steady_clock::now() < commit_deadline) {
+      std::this_thread::sleep_for(10ms);
+    }
+    term_before = node.term();
+    node.stop();
+  }
+
+  RealNode restarted(1, endpoints, fast_escape(), options);
+  restarted.start();
+  // Persisted term must be restored (it may then advance when it re-elects).
+  EXPECT_GE(restarted.term(), term_before);
+  const auto deadline = std::chrono::steady_clock::now() + 5000ms;
+  while (restarted.commit_index() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GE(restarted.commit_index(), 1);  // WAL replayed the entry
+  restarted.stop();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace escape::net

@@ -1,0 +1,59 @@
+// Tests pinning the canonical experiment presets to the paper's Section VI-A
+// parameters — a bench harness silently drifting from the paper's setup
+// would invalidate every reproduction claim.
+#include <gtest/gtest.h>
+
+#include "sim/presets.h"
+
+namespace escape::sim::presets {
+namespace {
+
+TEST(PresetsTest, PaperEscapeOptions) {
+  const auto opts = paper_escape_options();
+  EXPECT_EQ(opts.base_time, from_ms(1500));  // §VI-B baseTime
+  EXPECT_EQ(opts.gap, from_ms(500));         // §VI-B k
+  EXPECT_TRUE(opts.enable_ppf);
+  EXPECT_TRUE(opts.conf_clock_vote_rule);
+  EXPECT_EQ(opts.patrol_every, 1);
+}
+
+TEST(PresetsTest, PolicyNames) {
+  EXPECT_EQ(escape_policy()(1, 5)->name(), "escape");
+  EXPECT_EQ(zraft_policy()(1, 5)->name(), "zraft");
+  EXPECT_EQ(raft_policy()(1, 5)->name(), "raft");
+}
+
+TEST(PresetsTest, RaftTimeoutRangeMatchesPaper) {
+  auto policy = raft_policy()(1, 5);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto t = policy->next_election_timeout(rng);
+    EXPECT_GE(t, from_ms(1500));
+    EXPECT_LE(t, from_ms(3000));
+  }
+}
+
+TEST(PresetsTest, EscapeTimeoutFollowsEquation1) {
+  auto policy = escape_policy()(3, 10);
+  Rng rng(1);
+  // P = id = 3, n = 10: 1500 + 500 * (10 - 3) = 5000 ms.
+  EXPECT_EQ(policy->next_election_timeout(rng), from_ms(5000));
+}
+
+TEST(PresetsTest, PaperClusterWiring) {
+  auto options = paper_cluster(16, escape_policy(), 99, 0.25);
+  EXPECT_EQ(options.size, 16u);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_DOUBLE_EQ(options.network.broadcast_omission, 0.25);
+  EXPECT_EQ(options.node.heartbeat_interval, from_ms(500));
+  // Latency is the paper's NetEm band.
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto d = options.network.latency(1, 2, rng);
+    EXPECT_GE(d, from_ms(100));
+    EXPECT_LE(d, from_ms(200));
+  }
+}
+
+}  // namespace
+}  // namespace escape::sim::presets

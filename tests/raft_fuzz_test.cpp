@@ -1,0 +1,165 @@
+// Adversarial message fuzzing against a single RaftNode: storms of
+// randomized (but well-formed) protocol messages must never crash the node,
+// never roll its term backwards, never shrink its committed prefix, and
+// never produce two different votes in one term.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "raft/raft_node.h"
+#include "storage/state_store.h"
+#include "storage/wal.h"
+
+namespace escape::raft {
+namespace {
+
+rpc::Message random_message(Rng& rng, Term max_term, LogIndex max_index) {
+  const int kind = static_cast<int>(rng.uniform_int(0, 3));
+  switch (kind) {
+    case 0: {
+      rpc::RequestVote m;
+      m.term = rng.uniform_int(0, max_term);
+      m.candidate_id = static_cast<ServerId>(rng.uniform_int(2, 5));
+      m.last_log_index = rng.uniform_int(0, max_index);
+      m.last_log_term = rng.uniform_int(0, max_term);
+      m.conf_clock = rng.uniform_int(0, 5);
+      return m;
+    }
+    case 1: {
+      rpc::RequestVoteReply m;
+      m.term = rng.uniform_int(0, max_term);
+      m.vote_granted = rng.chance(0.5);
+      m.voter_id = static_cast<ServerId>(rng.uniform_int(2, 5));
+      return m;
+    }
+    case 2: {
+      rpc::AppendEntries m;
+      m.term = rng.uniform_int(0, max_term);
+      m.leader_id = static_cast<ServerId>(rng.uniform_int(2, 5));
+      m.prev_log_index = rng.uniform_int(0, max_index);
+      m.prev_log_term = rng.uniform_int(0, max_term);
+      m.leader_commit = rng.uniform_int(0, max_index);
+      const auto n = rng.uniform_int(0, 3);
+      for (std::int64_t i = 0; i < n; ++i) {
+        rpc::LogEntry e;
+        e.index = m.prev_log_index + i + 1;
+        e.term = std::min<Term>(m.term, m.prev_log_term + rng.uniform_int(0, 1));
+        e.command = {static_cast<std::uint8_t>(rng.uniform_int(0, 255))};
+        m.entries.push_back(std::move(e));
+      }
+      if (rng.chance(0.3)) {
+        rpc::Configuration c;
+        c.priority = static_cast<Priority>(rng.uniform_int(1, 5));
+        c.conf_clock = rng.uniform_int(0, 5);
+        c.timer_period = from_ms(rng.uniform_int(100, 5000));
+        m.new_config = c;
+      }
+      return m;
+    }
+    default: {
+      rpc::AppendEntriesReply m;
+      m.term = rng.uniform_int(0, max_term);
+      m.success = rng.chance(0.5);
+      m.from = static_cast<ServerId>(rng.uniform_int(2, 5));
+      m.match_index = rng.uniform_int(0, max_index);
+      m.conflict_index = rng.uniform_int(0, max_index);
+      m.conflict_term = rng.uniform_int(0, max_term);
+      m.status.log_index = rng.uniform_int(0, max_index);
+      m.status.conf_clock = rng.uniform_int(0, 5);
+      return m;
+    }
+  }
+}
+
+class RaftFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RaftFuzzTest, MessageStormPreservesLocalInvariants) {
+  Rng rng(GetParam());
+  storage::MemoryStateStore store;
+  storage::MemoryWal wal;
+  RaftNode node(1, {1, 2, 3, 4, 5},
+                std::make_unique<RaftRandomizedPolicy>(from_ms(100), from_ms(200)), store, wal,
+                Rng(GetParam() ^ 0xF00D));
+  node.start(0);
+
+  // Track per-term votes this node granted (via its replies).
+  std::map<Term, ServerId> votes;
+  Term last_term = 0;
+  LogIndex last_commit = 0;
+  std::vector<rpc::LogEntry> committed;
+
+  TimePoint now = 0;
+  for (int step = 0; step < 5000; ++step) {
+    now += rng.uniform_int(0, from_ms(50));
+    if (rng.chance(0.1)) {
+      node.on_tick(now);
+    } else {
+      const auto from = static_cast<ServerId>(rng.uniform_int(2, 5));
+      node.on_message({from, 1, random_message(rng, 20, 10)}, now);
+    }
+
+    // Term is monotone.
+    ASSERT_GE(node.term(), last_term);
+    last_term = node.term();
+
+    // Commit index is monotone and within the log.
+    ASSERT_GE(node.commit_index(), last_commit);
+    ASSERT_LE(node.commit_index(), node.log().last_index());
+    last_commit = node.commit_index();
+
+    // Committed entries form a dense, append-only sequence.
+    for (auto& e : node.take_committed()) {
+      ASSERT_EQ(e.index, static_cast<LogIndex>(committed.size()) + 1);
+      committed.push_back(std::move(e));
+    }
+
+    // At most one vote per term, ever.
+    for (const auto& env : node.take_outbox()) {
+      const auto* reply = std::get_if<rpc::RequestVoteReply>(&env.message);
+      if (reply == nullptr || !reply->vote_granted) continue;
+      const auto [it, inserted] = votes.try_emplace(reply->term, env.to);
+      ASSERT_TRUE(inserted || it->second == env.to)
+          << "voted for both S" << it->second << " and S" << env.to << " in term "
+          << reply->term;
+    }
+  }
+
+  // The persisted state always reflects (term, vote) no older than observed.
+  const auto persisted = store.load();
+  ASSERT_TRUE(persisted.has_value());
+  EXPECT_EQ(persisted->current_term, node.term());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaftFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(RaftFuzzTest, SurvivesPathologicalAppendEntries) {
+  storage::MemoryStateStore store;
+  storage::MemoryWal wal;
+  RaftNode node(1, {1, 2, 3},
+                std::make_unique<RaftRandomizedPolicy>(from_ms(100), from_ms(200)), store, wal,
+                Rng(1));
+  node.start(0);
+
+  // prev_log_index far beyond the log.
+  rpc::AppendEntries ae;
+  ae.term = 5;
+  ae.leader_id = 2;
+  ae.prev_log_index = 1'000'000;
+  ae.prev_log_term = 4;
+  node.on_message({2, 1, ae}, 0);
+  auto out = node.take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(std::get<rpc::AppendEntriesReply>(out[0].message).success);
+
+  // leader_commit far beyond what was shipped: commit clamps to the log.
+  rpc::AppendEntries ae2;
+  ae2.term = 5;
+  ae2.leader_id = 2;
+  ae2.entries.push_back({.term = 5, .index = 1, .command = {}});
+  ae2.leader_commit = 1'000'000;
+  node.on_message({2, 1, ae2}, 0);
+  EXPECT_EQ(node.commit_index(), 1);
+}
+
+}  // namespace
+}  // namespace escape::raft

@@ -1,0 +1,548 @@
+// Direct unit tests of the consensus core: a single RaftNode driven by
+// hand-crafted messages and ticks, no simulator.
+#include "raft/raft_node.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/state_store.h"
+#include "storage/wal.h"
+
+namespace escape::raft {
+namespace {
+
+constexpr Duration kMin = from_ms(100);
+constexpr Duration kMax = from_ms(100);  // deterministic timeout for unit tests
+
+struct NodeFixture {
+  explicit NodeFixture(ServerId id = 1, std::size_t n = 3,
+                       std::vector<rpc::LogEntry> recovered = {}, NodeOptions opts = {}) {
+    std::vector<ServerId> members;
+    for (ServerId s = 1; s <= n; ++s) members.push_back(s);
+    // A recovered log always originates from the WAL; keep them consistent.
+    for (const auto& e : recovered) wal.append(e);
+    node = std::make_unique<RaftNode>(
+        id, members, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store, wal, Rng(7),
+        opts, std::move(recovered));
+  }
+
+  /// Advances virtual time past the election timeout and ticks.
+  void expire_election_timer() {
+    now += kMax + 1;
+    node->on_tick(now);
+  }
+
+  void deliver(ServerId from, rpc::Message m) {
+    node->on_message({from, node->id(), std::move(m)}, now);
+  }
+
+  rpc::AppendEntries make_heartbeat(Term term, ServerId leader = 2) {
+    rpc::AppendEntries ae;
+    ae.term = term;
+    ae.leader_id = leader;
+    ae.prev_log_index = 0;
+    ae.prev_log_term = 0;
+    ae.leader_commit = 0;
+    return ae;
+  }
+
+  storage::MemoryStateStore store;
+  storage::MemoryWal wal;
+  std::unique_ptr<RaftNode> node;
+  TimePoint now = 0;
+};
+
+TEST(RaftNodeTest, StartsAsFollower) {
+  NodeFixture f;
+  f.node->start(0);
+  EXPECT_EQ(f.node->role(), Role::kFollower);
+  EXPECT_EQ(f.node->term(), 0);
+  EXPECT_EQ(f.node->leader_hint(), kNoServer);
+  EXPECT_LE(f.node->next_deadline(), kMax);
+}
+
+TEST(RaftNodeTest, RejectsDoubleStart) {
+  NodeFixture f;
+  f.node->start(0);
+  EXPECT_THROW(f.node->start(0), std::logic_error);
+}
+
+TEST(RaftNodeTest, RejectsInvalidConstruction) {
+  storage::MemoryStateStore store;
+  storage::MemoryWal wal;
+  // Member list missing self.
+  EXPECT_THROW(RaftNode(1, {2, 3}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store,
+                        wal, Rng(1)),
+               std::invalid_argument);
+  // Reserved id 0.
+  EXPECT_THROW(RaftNode(0, {0, 1}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store,
+                        wal, Rng(1)),
+               std::invalid_argument);
+  // Null policy.
+  EXPECT_THROW(RaftNode(1, {1, 2}, nullptr, store, wal, Rng(1)), std::invalid_argument);
+}
+
+TEST(RaftNodeTest, TimeoutStartsCampaign) {
+  NodeFixture f;
+  f.node->start(0);
+  f.expire_election_timer();
+  EXPECT_EQ(f.node->role(), Role::kCandidate);
+  EXPECT_EQ(f.node->term(), 1);  // Raft: term + 1
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 2u);  // RequestVote to both peers
+  for (const auto& env : out) {
+    ASSERT_TRUE(std::holds_alternative<rpc::RequestVote>(env.message));
+    const auto& rv = std::get<rpc::RequestVote>(env.message);
+    EXPECT_EQ(rv.term, 1);
+    EXPECT_EQ(rv.candidate_id, 1u);
+  }
+}
+
+TEST(RaftNodeTest, PersistsTermAndVoteOnCampaign) {
+  NodeFixture f;
+  f.node->start(0);
+  f.expire_election_timer();
+  const auto persisted = f.store.load();
+  ASSERT_TRUE(persisted.has_value());
+  EXPECT_EQ(persisted->current_term, 1);
+  EXPECT_EQ(persisted->voted_for, 1u);  // voted for self
+}
+
+TEST(RaftNodeTest, WinsElectionWithQuorum) {
+  NodeFixture f;
+  f.node->start(0);
+  f.expire_election_timer();
+  f.node->take_outbox();
+  rpc::RequestVoteReply reply;
+  reply.term = 1;
+  reply.vote_granted = true;
+  reply.voter_id = 2;
+  f.deliver(2, reply);
+  EXPECT_EQ(f.node->role(), Role::kLeader);  // self + S2 = 2 of 3
+  EXPECT_EQ(f.node->leader_hint(), 1u);
+  // Winning triggers an immediate heartbeat round.
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& env : out) {
+    EXPECT_TRUE(rpc::is_heartbeat(env.message));
+  }
+}
+
+TEST(RaftNodeTest, DuplicateVotesDoNotDoubleCount) {
+  NodeFixture f(1, 5);
+  f.node->start(0);
+  f.expire_election_timer();
+  rpc::RequestVoteReply reply;
+  reply.term = 1;
+  reply.vote_granted = true;
+  reply.voter_id = 2;
+  f.deliver(2, reply);
+  f.deliver(2, reply);  // duplicate from same voter
+  EXPECT_EQ(f.node->role(), Role::kCandidate);  // 2 votes of 5 -> quorum is 3
+  reply.voter_id = 3;
+  f.deliver(3, reply);
+  EXPECT_EQ(f.node->role(), Role::kLeader);
+}
+
+TEST(RaftNodeTest, DeniedVotesIgnored) {
+  NodeFixture f;
+  f.node->start(0);
+  f.expire_election_timer();
+  rpc::RequestVoteReply reply;
+  reply.term = 1;
+  reply.vote_granted = false;
+  reply.voter_id = 2;
+  f.deliver(2, reply);
+  EXPECT_EQ(f.node->role(), Role::kCandidate);
+}
+
+TEST(RaftNodeTest, CandidateRetriesOnNextTimeout) {
+  NodeFixture f;
+  f.node->start(0);
+  f.expire_election_timer();
+  EXPECT_EQ(f.node->term(), 1);
+  f.expire_election_timer();
+  EXPECT_EQ(f.node->role(), Role::kCandidate);
+  EXPECT_EQ(f.node->term(), 2);
+  EXPECT_EQ(f.node->counters().campaigns_started, 2u);
+}
+
+TEST(RaftNodeTest, GrantsVoteOncePerTerm) {
+  NodeFixture f;
+  f.node->start(0);
+  rpc::RequestVote rv;
+  rv.term = 1;
+  rv.candidate_id = 2;
+  f.deliver(2, rv);
+  auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(std::get<rpc::RequestVoteReply>(out[0].message).vote_granted);
+
+  rv.candidate_id = 3;  // second candidate, same term
+  f.deliver(3, rv);
+  out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(std::get<rpc::RequestVoteReply>(out[0].message).vote_granted);
+}
+
+TEST(RaftNodeTest, RegrantsSameCandidateIdempotently) {
+  NodeFixture f;
+  f.node->start(0);
+  rpc::RequestVote rv;
+  rv.term = 1;
+  rv.candidate_id = 2;
+  f.deliver(2, rv);
+  f.node->take_outbox();
+  f.deliver(2, rv);  // retransmission
+  auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(std::get<rpc::RequestVoteReply>(out[0].message).vote_granted);
+}
+
+TEST(RaftNodeTest, RejectsStaleTermCandidate) {
+  NodeFixture f;
+  f.node->start(0);
+  f.deliver(2, f.make_heartbeat(5));  // adopt term 5
+  f.node->take_outbox();
+  rpc::RequestVote rv;
+  rv.term = 3;
+  rv.candidate_id = 3;
+  f.deliver(3, rv);
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  const auto& reply = std::get<rpc::RequestVoteReply>(out[0].message);
+  EXPECT_FALSE(reply.vote_granted);
+  EXPECT_EQ(reply.term, 5);  // candidate learns the newer term
+}
+
+TEST(RaftNodeTest, RejectsCandidateWithStaleLog) {
+  rpc::LogEntry e1{.term = 2, .index = 1, .command = {}};
+  NodeFixture f(1, 3, {e1});
+  f.node->start(0);
+  rpc::RequestVote rv;
+  rv.term = 3;
+  rv.candidate_id = 2;
+  rv.last_log_index = 5;
+  rv.last_log_term = 1;  // lower last term than ours (2)
+  f.deliver(2, rv);
+  const auto out = f.node->take_outbox();
+  const auto& reply = std::get<rpc::RequestVoteReply>(out[0].message);
+  EXPECT_FALSE(reply.vote_granted);
+  EXPECT_EQ(f.node->term(), 3);  // term still adopted (Eq. 3 max-merge)
+}
+
+TEST(RaftNodeTest, HigherTermMessageForcesStepDown) {
+  NodeFixture f;
+  f.node->start(0);
+  f.expire_election_timer();  // candidate in term 1
+  f.node->take_outbox();
+  f.deliver(2, f.make_heartbeat(4));
+  EXPECT_EQ(f.node->role(), Role::kFollower);
+  EXPECT_EQ(f.node->term(), 4);
+  EXPECT_EQ(f.node->leader_hint(), 2u);
+}
+
+TEST(RaftNodeTest, CandidateStepsDownOnEqualTermLeader) {
+  NodeFixture f;
+  f.node->start(0);
+  f.expire_election_timer();  // candidate, term 1
+  f.node->take_outbox();
+  f.deliver(2, f.make_heartbeat(1));
+  EXPECT_EQ(f.node->role(), Role::kFollower);
+  EXPECT_EQ(f.node->term(), 1);
+}
+
+TEST(RaftNodeTest, StaleHeartbeatRejected) {
+  NodeFixture f;
+  f.node->start(0);
+  f.deliver(2, f.make_heartbeat(3));
+  f.node->take_outbox();
+  f.deliver(3, f.make_heartbeat(1, 3));  // stale leader
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  const auto& reply = std::get<rpc::AppendEntriesReply>(out[0].message);
+  EXPECT_FALSE(reply.success);
+  EXPECT_EQ(reply.term, 3);
+}
+
+TEST(RaftNodeTest, AppendEntriesConsistencyCheck) {
+  NodeFixture f;
+  f.node->start(0);
+  rpc::AppendEntries ae = f.make_heartbeat(1);
+  ae.prev_log_index = 5;  // we have nothing at index 5
+  ae.prev_log_term = 1;
+  f.deliver(2, ae);
+  const auto out = f.node->take_outbox();
+  const auto& reply = std::get<rpc::AppendEntriesReply>(out[0].message);
+  EXPECT_FALSE(reply.success);
+  EXPECT_EQ(reply.conflict_index, 1);  // log is empty: back up to index 1
+  EXPECT_EQ(reply.conflict_term, 0);
+}
+
+TEST(RaftNodeTest, AppendsEntriesAndAdvancesCommit) {
+  NodeFixture f;
+  f.node->start(0);
+  rpc::AppendEntries ae = f.make_heartbeat(1);
+  ae.entries.push_back({.term = 1, .index = 1, .command = {42}});
+  ae.entries.push_back({.term = 1, .index = 2, .command = {43}});
+  ae.leader_commit = 1;
+  f.deliver(2, ae);
+  EXPECT_EQ(f.node->log().last_index(), 2);
+  EXPECT_EQ(f.node->commit_index(), 1);
+  const auto committed = f.node->take_committed();
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0].command, std::vector<std::uint8_t>{42});
+  const auto out = f.node->take_outbox();
+  const auto& reply = std::get<rpc::AppendEntriesReply>(out[0].message);
+  EXPECT_TRUE(reply.success);
+  EXPECT_EQ(reply.match_index, 2);
+  EXPECT_EQ(reply.status.log_index, 2);
+}
+
+TEST(RaftNodeTest, ConflictingSuffixTruncated) {
+  std::vector<rpc::LogEntry> recovered{
+      {.term = 1, .index = 1, .command = {1}},
+      {.term = 2, .index = 2, .command = {2}},
+      {.term = 2, .index = 3, .command = {3}},
+  };
+  NodeFixture f(1, 3, recovered);
+  f.node->start(0);
+  rpc::AppendEntries ae = f.make_heartbeat(3);
+  ae.prev_log_index = 1;
+  ae.prev_log_term = 1;
+  ae.entries.push_back({.term = 3, .index = 2, .command = {9}});
+  f.deliver(2, ae);
+  EXPECT_EQ(f.node->log().last_index(), 2);  // index 3 truncated away
+  EXPECT_EQ(f.node->log().term_at(2), Term{3});
+  // WAL saw the truncation too.
+  ASSERT_EQ(f.wal.entries().size(), 2u);
+  EXPECT_EQ(f.wal.entries()[1].term, 3);
+}
+
+TEST(RaftNodeTest, DuplicateAppendIsIdempotent) {
+  NodeFixture f;
+  f.node->start(0);
+  rpc::AppendEntries ae = f.make_heartbeat(1);
+  ae.entries.push_back({.term = 1, .index = 1, .command = {42}});
+  f.deliver(2, ae);
+  f.deliver(2, ae);  // network duplicate
+  EXPECT_EQ(f.node->log().last_index(), 1);
+  EXPECT_EQ(f.wal.entries().size(), 1u);
+}
+
+TEST(RaftNodeTest, ConflictTermHintPointsAtFirstIndexOfTerm) {
+  std::vector<rpc::LogEntry> recovered{
+      {.term = 1, .index = 1, .command = {}},
+      {.term = 2, .index = 2, .command = {}},
+      {.term = 2, .index = 3, .command = {}},
+  };
+  NodeFixture f(1, 3, recovered);
+  f.node->start(0);
+  rpc::AppendEntries ae = f.make_heartbeat(3);
+  ae.prev_log_index = 3;
+  ae.prev_log_term = 3;  // we have term 2 there
+  f.deliver(2, ae);
+  const auto out = f.node->take_outbox();
+  const auto& reply = std::get<rpc::AppendEntriesReply>(out[0].message);
+  EXPECT_FALSE(reply.success);
+  EXPECT_EQ(reply.conflict_term, 2);
+  EXPECT_EQ(reply.conflict_index, 2);  // first index of term 2
+}
+
+TEST(RaftNodeTest, LeaderReplicatesAndCommits) {
+  NodeFixture f;
+  f.node->start(0);
+  f.expire_election_timer();
+  f.node->take_outbox();
+  rpc::RequestVoteReply vote{.term = 1, .vote_granted = true, .voter_id = 2};
+  f.deliver(2, vote);
+  ASSERT_EQ(f.node->role(), Role::kLeader);
+  f.node->take_outbox();
+
+  const auto idx = f.node->submit({7, 7}, f.now);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 1);
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 2u);  // eager replication to both peers
+  for (const auto& env : out) {
+    const auto& ae = std::get<rpc::AppendEntries>(env.message);
+    ASSERT_EQ(ae.entries.size(), 1u);
+    EXPECT_EQ(ae.entries[0].index, 1);
+  }
+
+  rpc::AppendEntriesReply ok{.term = 1, .success = true, .from = 2, .match_index = 1};
+  ok.status.log_index = 1;
+  f.deliver(2, ok);
+  EXPECT_EQ(f.node->commit_index(), 1);  // self + S2 = quorum
+  EXPECT_EQ(f.node->take_committed().size(), 1u);
+}
+
+TEST(RaftNodeTest, LeaderDoesNotCommitPriorTermByCounting) {
+  // Raft §5.4.2 scenario: an entry from an older term must not commit by
+  // replica counting alone.
+  std::vector<rpc::LogEntry> recovered{{.term = 1, .index = 1, .command = {1}}};
+  NodeFixture f(1, 3, recovered);
+  f.node->start(0);
+  f.deliver(2, f.make_heartbeat(1));  // sync term 1
+  f.node->take_outbox();
+  f.expire_election_timer();  // campaign in term 2
+  f.node->take_outbox();
+  rpc::RequestVoteReply vote{.term = 2, .vote_granted = true, .voter_id = 2};
+  f.deliver(2, vote);
+  ASSERT_EQ(f.node->role(), Role::kLeader);
+  f.node->take_outbox();
+
+  // S2 acks the old entry; it must NOT commit (term 1 < current term 2).
+  rpc::AppendEntriesReply ok{.term = 2, .success = true, .from = 2, .match_index = 1};
+  ok.status.log_index = 1;
+  f.deliver(2, ok);
+  EXPECT_EQ(f.node->commit_index(), 0);
+
+  // A current-term entry replicated to quorum commits everything below it.
+  const auto idx = f.node->submit({2}, f.now);
+  ASSERT_TRUE(idx.has_value());
+  f.node->take_outbox();
+  rpc::AppendEntriesReply ok2{.term = 2, .success = true, .from = 2, .match_index = 2};
+  ok2.status.log_index = 2;
+  f.deliver(2, ok2);
+  EXPECT_EQ(f.node->commit_index(), 2);
+  EXPECT_EQ(f.node->take_committed().size(), 2u);
+}
+
+TEST(RaftNodeTest, LeaderBacksUpNextIndexOnConflict) {
+  // Leader restarts with a 3-entry log, wins term 2; a follower holding only
+  // one entry NACKs the first probe with conflict_index = 2.
+  std::vector<rpc::LogEntry> recovered{
+      {.term = 1, .index = 1, .command = {1}},
+      {.term = 1, .index = 2, .command = {2}},
+      {.term = 1, .index = 3, .command = {3}},
+  };
+  NodeFixture f(1, 3, recovered);
+  f.node->start(0);
+  f.deliver(2, f.make_heartbeat(1));  // learn term 1 first
+  f.node->take_outbox();
+  f.expire_election_timer();  // campaign in term 2
+  f.node->take_outbox();
+  f.deliver(2, rpc::RequestVoteReply{.term = 2, .vote_granted = true, .voter_id = 2});
+  ASSERT_EQ(f.node->role(), Role::kLeader);
+  f.node->take_outbox();  // initial heartbeat probes with prev=3
+
+  rpc::AppendEntriesReply nack{.term = 2, .success = false, .from = 2};
+  nack.conflict_index = 2;  // follower's log has exactly one entry
+  nack.conflict_term = 0;
+  f.deliver(2, nack);
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  const auto& retry = std::get<rpc::AppendEntries>(out[0].message);
+  EXPECT_EQ(retry.prev_log_index, 1);  // next_index backed up to 2
+  EXPECT_EQ(retry.entries.size(), 2u);
+}
+
+TEST(RaftNodeTest, SubmitOnFollowerRejected) {
+  NodeFixture f;
+  f.node->start(0);
+  EXPECT_FALSE(f.node->submit({1}, f.now).has_value());
+}
+
+TEST(RaftNodeTest, SingleNodeClusterLeadsImmediately) {
+  NodeFixture f(1, 1);
+  f.node->start(0);
+  f.expire_election_timer();
+  EXPECT_EQ(f.node->role(), Role::kLeader);
+  const auto idx = f.node->submit({1}, f.now);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(f.node->commit_index(), 1);  // quorum of 1
+}
+
+TEST(RaftNodeTest, RestartRestoresPersistentState) {
+  NodeFixture f;
+  f.node->start(0);
+  f.expire_election_timer();  // term 1, voted for self
+  f.node->take_outbox();
+
+  // "Restart": new node instance over the same store/WAL.
+  std::vector<ServerId> members{1, 2, 3};
+  RaftNode restarted(1, members, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), f.store,
+                     f.wal, Rng(8), {}, f.wal.entries());
+  restarted.start(0);
+  EXPECT_EQ(restarted.term(), 1);
+  EXPECT_EQ(restarted.role(), Role::kFollower);
+  // It must refuse to vote for another candidate in term 1.
+  rpc::RequestVote rv;
+  rv.term = 1;
+  rv.candidate_id = 3;
+  restarted.on_message({3, 1, rv}, 0);
+  const auto out = restarted.take_outbox();
+  EXPECT_FALSE(std::get<rpc::RequestVoteReply>(out[0].message).vote_granted);
+}
+
+TEST(RaftNodeTest, LeaderHeartbeatsOnInterval) {
+  NodeOptions opts;
+  opts.heartbeat_interval = from_ms(50);
+  NodeFixture f(1, 3, {}, opts);
+  f.node->start(0);
+  f.expire_election_timer();
+  f.node->take_outbox();
+  f.deliver(2, rpc::RequestVoteReply{.term = 1, .vote_granted = true, .voter_id = 2});
+  f.node->take_outbox();  // initial heartbeat round
+
+  f.now += from_ms(50);
+  f.node->on_tick(f.now);
+  const auto out = f.node->take_outbox();
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(f.node->counters().heartbeat_rounds, 2u);
+}
+
+TEST(RaftNodeTest, NoopCommittedOnElectionWhenEnabled) {
+  NodeOptions opts;
+  opts.commit_noop_on_elect = true;
+  NodeFixture f(1, 3, {}, opts);
+  f.node->start(0);
+  f.expire_election_timer();
+  f.node->take_outbox();
+  f.deliver(2, rpc::RequestVoteReply{.term = 1, .vote_granted = true, .voter_id = 2});
+  EXPECT_EQ(f.node->log().last_index(), 1);  // the no-op barrier entry
+  EXPECT_EQ(f.node->log().term_at(1), Term{1});
+}
+
+TEST(RaftNodeTest, EventHookSeesTransitions) {
+  NodeFixture f;
+  std::vector<NodeEvent::Kind> kinds;
+  f.node->set_event_hook([&](const NodeEvent& e) { kinds.push_back(e.kind); });
+  f.node->start(0);
+  f.expire_election_timer();
+  f.node->take_outbox();
+  f.deliver(2, rpc::RequestVoteReply{.term = 1, .vote_granted = true, .voter_id = 2});
+  ASSERT_GE(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], NodeEvent::Kind::kCampaignStarted);
+  EXPECT_EQ(kinds[1], NodeEvent::Kind::kBecameLeader);
+}
+
+TEST(RaftNodeTest, GrantingVoteResetsElectionTimer) {
+  NodeFixture f;
+  f.node->start(0);
+  const auto deadline_before = f.node->next_deadline();
+  f.now = deadline_before - 1;
+  rpc::RequestVote rv;
+  rv.term = 1;
+  rv.candidate_id = 2;
+  f.deliver(2, rv);
+  EXPECT_GT(f.node->next_deadline(), deadline_before);
+}
+
+TEST(RaftNodeTest, DeniedVoteDoesNotResetElectionTimer) {
+  NodeFixture f;
+  f.node->start(0);
+  // Vote for S2 first.
+  rpc::RequestVote rv;
+  rv.term = 1;
+  rv.candidate_id = 2;
+  f.deliver(2, rv);
+  const auto deadline = f.node->next_deadline();
+  // S3 begs for a vote in the same term; denial must not defer our timer.
+  rv.candidate_id = 3;
+  f.deliver(3, rv);
+  EXPECT_EQ(f.node->next_deadline(), deadline);
+}
+
+}  // namespace
+}  // namespace escape::raft

@@ -1,0 +1,184 @@
+#include "rpc/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace escape::rpc {
+namespace {
+
+RequestVote sample_request_vote() {
+  RequestVote m;
+  m.term = 42;
+  m.candidate_id = 3;
+  m.last_log_index = 17;
+  m.last_log_term = 40;
+  m.conf_clock = 9;
+  return m;
+}
+
+AppendEntries sample_append_entries(bool with_config, std::size_t entries) {
+  AppendEntries m;
+  m.term = 7;
+  m.leader_id = 1;
+  m.prev_log_index = 5;
+  m.prev_log_term = 6;
+  m.leader_commit = 4;
+  for (std::size_t i = 0; i < entries; ++i) {
+    LogEntry e;
+    e.term = 7;
+    e.index = 6 + static_cast<LogIndex>(i);
+    e.command = {static_cast<std::uint8_t>(i), 0xFF};
+    m.entries.push_back(e);
+  }
+  if (with_config) {
+    Configuration c;
+    c.timer_period = from_ms(1750);
+    c.priority = 5;
+    c.conf_clock = 12;
+    m.new_config = c;
+  }
+  return m;
+}
+
+template <typename T>
+void expect_roundtrip(const T& msg) {
+  const Message in = msg;
+  const auto bytes = encode_message(in);
+  const Message out = decode_message(bytes);
+  ASSERT_TRUE(std::holds_alternative<T>(out));
+  EXPECT_EQ(std::get<T>(out), msg);
+}
+
+TEST(MessagesTest, RequestVoteRoundtrip) { expect_roundtrip(sample_request_vote()); }
+
+TEST(MessagesTest, RequestVoteReplyRoundtrip) {
+  RequestVoteReply m;
+  m.term = 42;
+  m.vote_granted = true;
+  m.voter_id = 2;
+  expect_roundtrip(m);
+}
+
+TEST(MessagesTest, AppendEntriesHeartbeatRoundtrip) {
+  expect_roundtrip(sample_append_entries(false, 0));
+}
+
+TEST(MessagesTest, AppendEntriesWithConfigRoundtrip) {
+  expect_roundtrip(sample_append_entries(true, 0));
+}
+
+TEST(MessagesTest, AppendEntriesWithEntriesRoundtrip) {
+  expect_roundtrip(sample_append_entries(true, 5));
+}
+
+TEST(MessagesTest, AppendEntriesReplyRoundtrip) {
+  AppendEntriesReply m;
+  m.term = 8;
+  m.success = false;
+  m.from = 4;
+  m.match_index = 11;
+  m.conflict_index = 9;
+  m.conflict_term = 6;
+  m.status.log_index = 11;
+  m.status.timer_period = from_ms(2000);
+  m.status.conf_clock = 3;
+  expect_roundtrip(m);
+}
+
+TEST(MessagesTest, ClientRequestRoundtrip) {
+  ClientRequest m;
+  m.client_id = 77;
+  m.sequence = 3;
+  m.command = {1, 2, 3};
+  expect_roundtrip(m);
+}
+
+TEST(MessagesTest, ClientReplyRoundtrip) {
+  ClientReply m;
+  m.client_id = 77;
+  m.sequence = 3;
+  m.status = ClientStatus::kNotLeader;
+  m.leader_hint = 2;
+  m.result = {9};
+  expect_roundtrip(m);
+}
+
+TEST(MessagesTest, IsHeartbeat) {
+  EXPECT_TRUE(is_heartbeat(Message{sample_append_entries(true, 0)}));
+  EXPECT_FALSE(is_heartbeat(Message{sample_append_entries(true, 2)}));
+  EXPECT_FALSE(is_heartbeat(Message{sample_request_vote()}));
+}
+
+TEST(MessagesTest, UnknownTagRejected) {
+  std::vector<std::uint8_t> buf{0x7F};
+  EXPECT_THROW(decode_message(buf), DecodeError);
+}
+
+TEST(MessagesTest, EmptyBufferRejected) {
+  std::vector<std::uint8_t> buf;
+  EXPECT_THROW(decode_message(buf), DecodeError);
+}
+
+TEST(MessagesTest, TruncatedMessageRejected) {
+  auto bytes = encode_message(Message{sample_append_entries(true, 3)});
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 3) {
+    std::vector<std::uint8_t> truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(decode_message(truncated), DecodeError) << "cut at " << cut;
+  }
+}
+
+TEST(MessagesTest, TrailingGarbageRejected) {
+  auto bytes = encode_message(Message{sample_request_vote()});
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(MessagesTest, OversizedEntryCountRejected) {
+  // Hand-craft an AppendEntries frame claiming 2^31 entries.
+  Encoder e;
+  e.u8(3);  // AppendEntries tag
+  e.i64(1);
+  e.u32(1);
+  e.i64(0);
+  e.i64(0);
+  e.u32(0x80000000u);  // entry count far beyond the buffer
+  EXPECT_THROW(decode_message(e.data()), DecodeError);
+}
+
+TEST(MessagesTest, FuzzedBuffersNeverCrash) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(rng.uniform_int(0, 128)));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    try {
+      (void)decode_message(buf);  // either parses or throws DecodeError
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+TEST(MessagesTest, MutatedValidFramesNeverCrash) {
+  Rng rng(4321);
+  const auto base = encode_message(Message{sample_append_entries(true, 4)});
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto buf = base;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(buf.size()) - 1));
+    buf[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    try {
+      (void)decode_message(buf);
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+TEST(MessagesTest, ToStringMentionsKeyFields) {
+  const auto s = to_string(Message{sample_request_vote()});
+  EXPECT_NE(s.find("RequestVote"), std::string::npos);
+  EXPECT_NE(s.find("t=42"), std::string::npos);
+  EXPECT_NE(s.find("S3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace escape::rpc

@@ -1,0 +1,124 @@
+#include "rpc/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace escape::rpc {
+namespace {
+
+Message sample_message() {
+  RequestVote rv;
+  rv.term = 5;
+  rv.candidate_id = 2;
+  rv.last_log_index = 3;
+  rv.last_log_term = 4;
+  rv.conf_clock = 1;
+  return rv;
+}
+
+TEST(WireTest, FrameRoundtrip) {
+  const auto framed = frame_message(sample_message());
+  FrameReader reader;
+  reader.feed(framed.data(), framed.size());
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(decode_message(*payload), sample_message());
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(WireTest, ByteAtATimeDelivery) {
+  const auto framed = frame_message(sample_message());
+  FrameReader reader;
+  for (std::size_t i = 0; i + 1 < framed.size(); ++i) {
+    reader.feed(&framed[i], 1);
+    EXPECT_FALSE(reader.next().has_value()) << "completed early at byte " << i;
+  }
+  reader.feed(&framed.back(), 1);
+  ASSERT_TRUE(reader.next().has_value());
+}
+
+TEST(WireTest, MultipleFramesInOneChunk) {
+  auto all = frame_message(sample_message());
+  const auto second = frame_message(sample_message());
+  all.insert(all.end(), second.begin(), second.end());
+  FrameReader reader;
+  reader.feed(all.data(), all.size());
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireTest, BadMagicThrows) {
+  auto framed = frame_message(sample_message());
+  framed[0] ^= 0xFF;
+  FrameReader reader;
+  reader.feed(framed.data(), framed.size());
+  EXPECT_THROW(reader.next(), DecodeError);
+}
+
+TEST(WireTest, BadVersionThrows) {
+  auto framed = frame_message(sample_message());
+  framed[2] = 0x7E;
+  FrameReader reader;
+  reader.feed(framed.data(), framed.size());
+  EXPECT_THROW(reader.next(), DecodeError);
+}
+
+TEST(WireTest, NonzeroFlagsThrow) {
+  auto framed = frame_message(sample_message());
+  framed[3] = 0x01;
+  FrameReader reader;
+  reader.feed(framed.data(), framed.size());
+  EXPECT_THROW(reader.next(), DecodeError);
+}
+
+TEST(WireTest, CorruptPayloadFailsCrc) {
+  auto framed = frame_message(sample_message());
+  framed.back() ^= 0x01;  // flip a payload byte
+  FrameReader reader;
+  reader.feed(framed.data(), framed.size());
+  EXPECT_THROW(reader.next(), DecodeError);
+}
+
+TEST(WireTest, HugeLengthRejectedBeforeBuffering) {
+  Encoder e;
+  e.u16(kWireMagic);
+  e.u8(kWireVersion);
+  e.u8(0);
+  e.u32(kMaxFrameBytes + 1);
+  e.u32(0);
+  FrameReader reader;
+  reader.feed(e.data().data(), e.size());
+  EXPECT_THROW(reader.next(), DecodeError);
+}
+
+TEST(WireTest, OversizedPayloadRefusedAtFraming) {
+  std::vector<std::uint8_t> big(kMaxFrameBytes + 1, 0);
+  EXPECT_THROW(frame_payload(big), DecodeError);
+}
+
+TEST(WireTest, RandomChunkingSweep) {
+  Rng rng(2024);
+  std::vector<std::uint8_t> stream;
+  const int frames = 20;
+  for (int i = 0; i < frames; ++i) {
+    const auto f = frame_message(sample_message());
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameReader reader;
+  int decoded = 0;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const auto chunk = static_cast<std::size_t>(rng.uniform_int(1, 37));
+    const auto len = std::min(chunk, stream.size() - pos);
+    reader.feed(stream.data() + pos, len);
+    pos += len;
+    while (reader.next().has_value()) ++decoded;
+  }
+  EXPECT_EQ(decoded, frames);
+}
+
+}  // namespace
+}  // namespace escape::rpc

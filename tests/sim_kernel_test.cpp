@@ -1,0 +1,262 @@
+// Tests for the simulation substrate: event loop determinism/ordering and
+// the network model (latency, loss, broadcast omission, partitions).
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace escape::sim {
+namespace {
+
+TEST(EventLoopTest, ProcessesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 100);
+}
+
+TEST(EventLoopTest, TiesBreakByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  loop.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(10, [&] { ++fired; });
+  loop.schedule_at(20, [&] { ++fired; });
+  loop.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 15);
+  loop.run_until(20);  // inclusive boundary
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, EventsScheduleEvents) {
+  EventLoop loop;
+  std::vector<TimePoint> at;
+  loop.schedule_at(10, [&] {
+    at.push_back(loop.now());
+    loop.schedule_after(5, [&] { at.push_back(loop.now()); });
+  });
+  loop.run_until(100);
+  EXPECT_EQ(at, (std::vector<TimePoint>{10, 15}));
+}
+
+TEST(EventLoopTest, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  loop.schedule_at(50, [&] {
+    loop.schedule_at(10, [&] { EXPECT_EQ(loop.now(), 50); });
+  });
+  EXPECT_EQ(loop.run_until(100), 2u);
+}
+
+TEST(EventLoopTest, StopInterruptsRun) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(10, [&] {
+    ++fired;
+    loop.stop();
+  });
+  loop.schedule_at(20, [&] { ++fired; });
+  loop.run_until_stopped(100);
+  EXPECT_EQ(fired, 1);
+  loop.run_until_stopped(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, ProcessedCounter) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule_at(i, [] {});
+  loop.run_until(100);
+  EXPECT_EQ(loop.processed(), 7u);
+  EXPECT_TRUE(loop.empty());
+}
+
+// --- network ------------------------------------------------------------------
+
+struct NetFixture {
+  explicit NetFixture(NetworkOptions opts = {}) {
+    net = std::make_unique<SimNetwork>(loop, std::move(opts), Rng(5),
+                                       [this](const rpc::Envelope& env) {
+                                         delivered.push_back(env);
+                                         delivery_times.push_back(loop.now());
+                                       });
+  }
+
+  rpc::Envelope envelope(ServerId from, ServerId to) {
+    rpc::RequestVote rv;
+    rv.term = 1;
+    rv.candidate_id = from;
+    return {from, to, rv};
+  }
+
+  std::vector<rpc::Envelope> broadcast(ServerId from, std::size_t n) {
+    std::vector<rpc::Envelope> batch;
+    for (ServerId to = 1; to <= n; ++to) {
+      if (to != from) batch.push_back(envelope(from, to));
+    }
+    return batch;
+  }
+
+  EventLoop loop;
+  std::unique_ptr<SimNetwork> net;
+  std::vector<rpc::Envelope> delivered;
+  std::vector<TimePoint> delivery_times;
+};
+
+TEST(SimNetworkTest, DeliversWithLatencyInRange) {
+  NetworkOptions opts;
+  opts.latency = uniform_latency(from_ms(100), from_ms(200));
+  NetFixture f(std::move(opts));
+  for (int i = 0; i < 200; ++i) f.net->send(f.envelope(1, 2));
+  f.loop.run_until(from_ms(1000));
+  ASSERT_EQ(f.delivered.size(), 200u);
+  for (auto t : f.delivery_times) {
+    EXPECT_GE(t, from_ms(100));
+    EXPECT_LE(t, from_ms(200));
+  }
+}
+
+TEST(SimNetworkTest, ConstantLatency) {
+  NetworkOptions opts;
+  opts.latency = constant_latency(from_ms(50));
+  NetFixture f(std::move(opts));
+  f.net->send(f.envelope(1, 2));
+  f.loop.run_until(from_ms(1000));
+  ASSERT_EQ(f.delivery_times.size(), 1u);
+  EXPECT_EQ(f.delivery_times[0], from_ms(50));
+}
+
+TEST(SimNetworkTest, GroupedLatencySeparatesIntraAndInter) {
+  NetworkOptions opts;
+  // Servers 1-2 in group 0, servers 3-4 in group 1.
+  opts.latency = grouped_latency([](ServerId id) { return id <= 2 ? 0 : 1; }, from_ms(1),
+                                 from_ms(5), from_ms(100), from_ms(120));
+  NetFixture f(std::move(opts));
+  f.net->send(f.envelope(1, 2));  // intra
+  f.loop.run_until(from_ms(1000));
+  EXPECT_LE(f.delivery_times.at(0), from_ms(5));
+  f.net->send(f.envelope(1, 3));  // inter
+  f.loop.run_until(from_ms(2000));
+  EXPECT_GE(f.delivery_times.at(1) - f.delivery_times.at(0), from_ms(90));
+}
+
+TEST(SimNetworkTest, UniformLossDropsApproximately) {
+  NetworkOptions opts;
+  opts.uniform_loss = 0.5;
+  NetFixture f(std::move(opts));
+  for (int i = 0; i < 1000; ++i) f.net->send(f.envelope(1, 2));
+  f.loop.run_until(from_ms(10'000));
+  EXPECT_NEAR(static_cast<double>(f.delivered.size()), 500.0, 80.0);
+  EXPECT_EQ(f.net->stats().dropped_loss + f.delivered.size(), 1000u);
+}
+
+TEST(SimNetworkTest, BroadcastOmissionDropsExactFraction) {
+  NetworkOptions opts;
+  opts.broadcast_omission = 0.4;
+  NetFixture f(std::move(opts));
+  // Broadcast of 10 receivers: exactly 4 omitted each time.
+  for (int round = 0; round < 50; ++round) {
+    f.delivered.clear();
+    f.net->send_batch(f.broadcast(11, 11));  // 10 receivers (self excluded)
+    f.loop.run_until(f.loop.now() + from_ms(1000));
+    EXPECT_EQ(f.delivered.size(), 6u) << "round " << round;
+  }
+}
+
+TEST(SimNetworkTest, OmissionTargetsVary) {
+  NetworkOptions opts;
+  opts.broadcast_omission = 0.4;
+  NetFixture f(std::move(opts));
+  std::set<ServerId> ever_dropped;
+  for (int round = 0; round < 100; ++round) {
+    f.delivered.clear();
+    f.net->send_batch(f.broadcast(11, 11));
+    f.loop.run_until(f.loop.now() + from_ms(1000));
+    std::set<ServerId> got;
+    for (const auto& env : f.delivered) got.insert(env.to);
+    for (ServerId id = 1; id <= 10; ++id) {
+      if (got.count(id) == 0) ever_dropped.insert(id);
+    }
+  }
+  // Every receiver should be omitted at least once over 100 rounds.
+  EXPECT_EQ(ever_dropped.size(), 10u);
+}
+
+TEST(SimNetworkTest, SingletonBatchIgnoresOmission) {
+  NetworkOptions opts;
+  opts.broadcast_omission = 1.0;
+  NetFixture f(std::move(opts));
+  // Unicast replies are not subject to broadcast omission.
+  std::vector<rpc::Envelope> one{f.envelope(1, 2)};
+  for (int i = 0; i < 20; ++i) f.net->send_batch(one);
+  f.loop.run_until(from_ms(10'000));
+  EXPECT_EQ(f.delivered.size(), 20u);
+}
+
+TEST(SimNetworkTest, MixedBatchSplitsIntoGroups) {
+  NetworkOptions opts;
+  opts.broadcast_omission = 0.5;
+  NetFixture f(std::move(opts));
+  // 4 RequestVotes (broadcast -> 2 dropped) followed by 1 reply (kept).
+  auto batch = f.broadcast(5, 5);  // 4 RequestVotes
+  rpc::RequestVoteReply reply;
+  reply.term = 1;
+  batch.push_back({5, 1, reply});
+  f.net->send_batch(batch);
+  f.loop.run_until(from_ms(1000));
+  EXPECT_EQ(f.delivered.size(), 3u);  // 2 of 4 RVs + the reply
+}
+
+TEST(SimNetworkTest, IsolationCutsBothDirections) {
+  NetFixture f;
+  f.net->isolate(2);
+  f.net->send(f.envelope(1, 2));
+  f.net->send(f.envelope(2, 1));
+  f.loop.run_until(from_ms(1000));
+  EXPECT_TRUE(f.delivered.empty());
+  EXPECT_EQ(f.net->stats().dropped_partition, 2u);
+
+  f.net->heal(2);
+  f.net->send(f.envelope(1, 2));
+  f.loop.run_until(from_ms(2000));
+  EXPECT_EQ(f.delivered.size(), 1u);
+}
+
+TEST(SimNetworkTest, LinkCutIsPairwise) {
+  NetFixture f;
+  f.net->cut_link(1, 2);
+  f.net->send(f.envelope(1, 2));
+  f.net->send(f.envelope(2, 1));
+  f.net->send(f.envelope(1, 3));
+  f.loop.run_until(from_ms(1000));
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_EQ(f.delivered[0].to, 3u);
+  f.net->heal_link(1, 2);
+  f.net->send(f.envelope(1, 2));
+  f.loop.run_until(from_ms(2000));
+  EXPECT_EQ(f.delivered.size(), 2u);
+}
+
+TEST(SimNetworkTest, StatsAccounting) {
+  NetworkOptions opts;
+  opts.uniform_loss = 1.0;
+  NetFixture f(std::move(opts));
+  for (int i = 0; i < 5; ++i) f.net->send(f.envelope(1, 2));
+  EXPECT_EQ(f.net->stats().sent, 5u);
+  EXPECT_EQ(f.net->stats().dropped_loss, 5u);
+  EXPECT_EQ(f.net->stats().delivered, 0u);
+}
+
+}  // namespace
+}  // namespace escape::sim

@@ -1,0 +1,123 @@
+#include "storage/state_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace escape::storage {
+namespace {
+
+PersistentState sample_state() {
+  PersistentState s;
+  s.current_term = 17;
+  s.voted_for = 3;
+  s.config.priority = 5;
+  s.config.timer_period = from_ms(2100);
+  s.config.conf_clock = 44;
+  return s;
+}
+
+TEST(MemoryStateStoreTest, LoadBeforeSaveIsEmpty) {
+  MemoryStateStore store;
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST(MemoryStateStoreTest, SaveLoadRoundtrip) {
+  MemoryStateStore store;
+  store.save(sample_state());
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, sample_state());
+  EXPECT_EQ(store.save_count(), 1u);
+}
+
+TEST(MemoryStateStoreTest, OverwriteKeepsLatest) {
+  MemoryStateStore store;
+  store.save(sample_state());
+  auto s2 = sample_state();
+  s2.current_term = 99;
+  store.save(s2);
+  EXPECT_EQ(store.load()->current_term, 99);
+  EXPECT_EQ(store.save_count(), 2u);
+}
+
+class FileStateStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("escape_state_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileStateStoreTest, MissingFileLoadsEmpty) {
+  FileStateStore store(path("state"));
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST_F(FileStateStoreTest, SaveLoadRoundtrip) {
+  FileStateStore store(path("state"));
+  store.save(sample_state());
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, sample_state());
+}
+
+TEST_F(FileStateStoreTest, SurvivesReopen) {
+  {
+    FileStateStore store(path("state"));
+    store.save(sample_state());
+  }
+  FileStateStore reopened(path("state"));
+  ASSERT_TRUE(reopened.load().has_value());
+  EXPECT_EQ(*reopened.load(), sample_state());
+}
+
+TEST_F(FileStateStoreTest, CorruptFileTreatedAsAbsent) {
+  FileStateStore store(path("state"));
+  store.save(sample_state());
+  {
+    std::ofstream f(path("state"), std::ios::binary | std::ios::trunc);
+    f << "garbage!";
+  }
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST_F(FileStateStoreTest, FlippedByteDetectedByCrc) {
+  FileStateStore store(path("state"));
+  store.save(sample_state());
+  // Flip one byte in the middle of the file.
+  std::fstream f(path("state"), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<long>(f.tellg());
+  ASSERT_GT(size, 8);
+  f.seekp(size / 2);
+  char b;
+  f.seekg(size / 2);
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(size / 2);
+  f.write(&b, 1);
+  f.close();
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST_F(FileStateStoreTest, RepeatedSavesKeepLatest) {
+  FileStateStore store(path("state"));
+  for (Term t = 1; t <= 20; ++t) {
+    auto s = sample_state();
+    s.current_term = t;
+    store.save(s);
+  }
+  EXPECT_EQ(store.load()->current_term, 20);
+}
+
+}  // namespace
+}  // namespace escape::storage

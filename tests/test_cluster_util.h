@@ -1,0 +1,50 @@
+// Shared helpers for integration tests: standard cluster configurations
+// matching the paper's experimental setup (Section VI-A).
+#pragma once
+
+#include "core/escape_policy.h"
+#include "sim/invariants.h"
+#include "sim/scenario.h"
+#include "sim/sim_cluster.h"
+
+namespace escape::testutil {
+
+inline core::EscapeOptions paper_escape_options() {
+  core::EscapeOptions o;
+  o.base_time = from_ms(1500);  // Section VI-B: baseTime = 1500 ms
+  o.gap = from_ms(500);         // Section VI-B: k = 500 ms
+  return o;
+}
+
+inline sim::PolicyFactory escape_factory(core::EscapeOptions opts = paper_escape_options()) {
+  return [opts](ServerId id, std::size_t n) {
+    return std::make_unique<core::EscapePolicy>(id, n, opts);
+  };
+}
+
+inline sim::PolicyFactory zraft_factory(core::EscapeOptions opts = paper_escape_options()) {
+  return [opts](ServerId id, std::size_t n) { return core::make_zraft_policy(id, n, opts); };
+}
+
+/// Paper defaults: 100-200 ms latency (NetEm), Raft timeouts 1500-3000 ms,
+/// 500 ms heartbeats.
+inline sim::ClusterOptions paper_cluster(std::size_t n, sim::PolicyFactory policy,
+                                         std::uint64_t seed) {
+  sim::ClusterOptions o;
+  o.size = n;
+  o.policy = std::move(policy);
+  o.seed = seed;
+  o.network.latency = sim::uniform_latency(from_ms(100), from_ms(200));
+  o.node.heartbeat_interval = from_ms(500);
+  return o;
+}
+
+inline sim::ClusterOptions paper_raft_cluster(std::size_t n, std::uint64_t seed) {
+  return paper_cluster(n, sim::raft_policy_factory(from_ms(1500), from_ms(3000)), seed);
+}
+
+inline sim::ClusterOptions paper_escape_cluster(std::size_t n, std::uint64_t seed) {
+  return paper_cluster(n, escape_factory(), seed);
+}
+
+}  // namespace escape::testutil
