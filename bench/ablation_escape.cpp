@@ -86,6 +86,7 @@ FailoverStats recovery_interference(core::EscapeOptions opts, std::size_t count)
 
 int main() {
   const std::size_t kRuns = runs(100);
+  JsonReport report("ablation_escape", kRuns);
   std::printf("ESCAPE ablation benches (runs per point=%zu)\n", kRuns);
 
   print_header("A. Probing patrol function: ESCAPE vs Z-Raft (PPF off), s=50, loss sweep");
@@ -98,6 +99,8 @@ int main() {
     std::printf("%-8.0f %14.1f %16.1f %11.1f%%\n", delta * 100, on.total_ms.mean(),
                 off.total_ms.mean(),
                 100.0 * (off.total_ms.mean() - on.total_ms.mean()) / on.total_ms.mean());
+    report.add("ppf", "ppf_on" + pct_suffix(delta), on);
+    report.add("ppf", "ppf_off" + pct_suffix(delta), off);
   }
 
   print_header("B. confClock staleness rule under crash-recovery interference, s=7");
@@ -110,6 +113,8 @@ int main() {
                 with_rule.total_ms.percentile(99), with_rule.campaigns.mean());
     std::printf("%-22s %12.1f %14.1f %14.2f\n", "confClock off", without_rule.total_ms.mean(),
                 without_rule.total_ms.percentile(99), without_rule.campaigns.mean());
+    report.add("conf_clock", "rule_on", with_rule);
+    report.add("conf_clock", "rule_off", without_rule);
   }
 
   print_header("C. Eq.1 timeout gap k sensitivity, s=16");
@@ -122,6 +127,7 @@ int main() {
         kRuns);
     std::printf("%-10lld %12.1f %14.1f %14.2f\n", static_cast<long long>(gap),
                 stats.total_ms.mean(), stats.total_ms.percentile(99), stats.campaigns.mean());
+    report.add("timeout_gap", "k" + std::to_string(gap), stats);
   }
 
   print_header("D. Patrol interval (heartbeat rounds between rearrangements), s=16, Delta=20%");
@@ -133,6 +139,7 @@ int main() {
                                     0xD000 + static_cast<std::uint64_t>(every), 0.2),
         kRuns);
     std::printf("%-10d %12.1f %14.2f\n", every, stats.total_ms.mean(), stats.campaigns.mean());
+    report.add("patrol_interval", "every" + std::to_string(every), stats);
   }
   return 0;
 }

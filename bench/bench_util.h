@@ -4,6 +4,7 @@
 // protocol of Section VI.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -91,6 +92,101 @@ inline FailoverStats measure_series(sim::ClusterOptions options, std::size_t cou
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// Label suffix for a loss fraction, e.g. 0.29 -> "_d29" (rounded, not
+/// truncated, so 0.29 * 100 = 28.999... still reads 29).
+inline std::string pct_suffix(double fraction) {
+  return "_d" + std::to_string(static_cast<long long>(std::llround(fraction * 100)));
+}
+
+/// Machine-readable companion to the printed tables: accumulates experiment
+/// points and writes BENCH_<name>.json in the working directory so the perf
+/// trajectory across PRs can be diffed. One file per harness; the `run_all`
+/// build target collects them all in the build directory.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name, std::size_t runs_per_point)
+      : name_(std::move(name)), runs_per_point_(runs_per_point) {}
+
+  ~JsonReport() { finish(); }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  /// Records one failover-measurement point under `experiment`/`label`.
+  void add(const std::string& experiment, const std::string& label,
+           const FailoverStats& stats) {
+    std::string p;
+    p += "    {\"experiment\": " + quote(experiment) + ", \"label\": " + quote(label);
+    p += ", \"runs\": " + std::to_string(stats.runs);
+    p += ", \"unconverged\": " + std::to_string(stats.unconverged);
+    p += ", \"detection_ms\": " + sample_json(stats.detection_ms);
+    p += ", \"election_ms\": " + sample_json(stats.election_ms);
+    p += ", \"total_ms\": " + sample_json(stats.total_ms);
+    p += ", \"campaigns\": " + sample_json(stats.campaigns);
+    p += "}";
+    points_.push_back(std::move(p));
+  }
+
+  /// Records a free-form scalar metric (e.g. messages per election).
+  void add_metric(const std::string& experiment, const std::string& label,
+                  const std::string& metric, const Sample& sample) {
+    std::string p;
+    p += "    {\"experiment\": " + quote(experiment) + ", \"label\": " + quote(label);
+    p += ", \"metric\": " + quote(metric) + ", " + sample_fields(sample) + "}";
+    points_.push_back(std::move(p));
+  }
+
+  /// Writes BENCH_<name>.json; called automatically on destruction.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"runs_per_point\": %zu,\n  \"points\": [\n",
+                 quote(name_).c_str(), runs_per_point_);
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", points_[i].c_str(), i + 1 < points_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu points)\n", path.c_str(), points_.size());
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+  }
+
+  static std::string sample_fields(const Sample& s) {
+    return "\"count\": " + std::to_string(s.count()) + ", \"mean\": " + num(s.mean()) +
+           ", \"p50\": " + num(s.percentile(50)) + ", \"p99\": " + num(s.percentile(99)) +
+           ", \"min\": " + num(s.min()) + ", \"max\": " + num(s.max());
+  }
+
+  static std::string sample_json(const Sample& s) { return "{" + sample_fields(s) + "}"; }
+
+  std::string name_;
+  std::size_t runs_per_point_;
+  std::vector<std::string> points_;
+  bool finished_ = false;
+};
 
 /// Prints a CDF line: fraction of samples completed within each bound.
 inline void print_cdf_row(const std::string& label, const Sample& total_ms,

@@ -35,6 +35,7 @@ MessageCount count_messages(sim::PolicyFactory policy, std::size_t scale, std::s
 
 int main() {
   const std::size_t kRuns = runs(30);
+  JsonReport report("complexity_messages", kRuns);
   std::printf("Theorem 5: messages exchanged per leader election (runs per point=%zu)\n", kRuns);
   std::printf("Note: the count includes the heartbeats the new leader immediately "
               "broadcasts.\n");
@@ -50,6 +51,11 @@ int main() {
     std::printf("%-6zu %14.0f %14.0f %12.2f %12.2f %14.1f\n", s, raft.per_election.mean(),
                 esc.per_election.mean(), raft.campaigns.mean(), esc.campaigns.mean(),
                 esc.per_election.mean() / static_cast<double>(s));
+    const std::string suffix = "_s" + std::to_string(s);
+    report.add_metric("messages", "raft" + suffix, "msgs_per_election", raft.per_election);
+    report.add_metric("messages", "escape" + suffix, "msgs_per_election", esc.per_election);
+    report.add_metric("messages", "raft" + suffix, "campaigns", raft.campaigns);
+    report.add_metric("messages", "escape" + suffix, "campaigns", esc.campaigns);
   }
   std::printf("\nExpected: ESCAPE stays near the O(n) best case (one campaign: n-1 requests,\n"
               "<=n-1 votes, n-1 heartbeats); Raft pays extra O(n^2) rounds whenever votes "

@@ -15,6 +15,7 @@ int main() {
   using namespace escape::bench;
 
   const std::size_t kRuns = runs(300);
+  JsonReport report("fig03_04_raft_randomization", kRuns);
   const std::vector<std::int64_t> uppers = {1800, 2000, 3000, 4000, 5000, 6000};
   const std::vector<double> cdf_bounds = {2000, 2500, 3000, 3500, 4500, 6000};
 
@@ -31,6 +32,7 @@ int main() {
             0xF3000 + static_cast<std::uint64_t>(upper)),
         kRuns);
     print_cdf_row(label, stats.total_ms, cdf_bounds);
+    report.add("timeout_range", label, stats);
     results.emplace_back(label, std::move(stats));
   }
 

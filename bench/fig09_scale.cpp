@@ -14,6 +14,7 @@ int main() {
   using namespace escape::bench;
 
   const std::size_t kRuns = runs(200);
+  JsonReport report("fig09_scale", kRuns);
   const std::vector<std::size_t> scales = {8, 16, 32, 64, 128};
   const std::vector<double> cdf_bounds = {1800, 2000, 2500, 3000, 4500};
 
@@ -38,6 +39,8 @@ int main() {
         sim::presets::paper_cluster(s, sim::presets::raft_policy(), 0x4A0000 + s), kRuns);
     print_cdf_row("Escape s=" + std::to_string(s), row.escape.total_ms, cdf_bounds);
     print_cdf_row("Raft   s=" + std::to_string(s), row.raft.total_ms, cdf_bounds);
+    report.add("scale", "escape_s" + std::to_string(s), row.escape);
+    report.add("scale", "raft_s" + std::to_string(s), row.raft);
     rows.push_back(std::move(row));
   }
 

@@ -41,6 +41,7 @@ FailoverStats measure_phases(const std::string& policy, std::size_t scale, int p
 
 int main() {
   const std::size_t kRuns = runs(40);
+  JsonReport report("fig10_phases", kRuns);
   const std::vector<std::size_t> scales = {8, 16, 32, 64, 128};
 
   std::printf("Figure 10 reproduction: election time under forced competing candidates\n");
@@ -53,6 +54,9 @@ int main() {
     for (std::size_t s : scales) {
       const auto raft = measure_phases("raft", s, phases, kRuns);
       const auto esc = measure_phases("escape", s, phases, kRuns);
+      const std::string suffix = "_p" + std::to_string(phases) + "_s" + std::to_string(s);
+      report.add("competing_candidates", "raft" + suffix, raft);
+      report.add("competing_candidates", "escape" + suffix, esc);
       const double r_total = raft.total_ms.mean();
       const double e_total = esc.total_ms.mean();
       std::printf("%-6zu | %8.0f %8.0f %9.0f | %8.0f %8.0f %9.0f | %8.1f%%\n", s,

@@ -16,6 +16,7 @@ using namespace escape::bench;
 
 int main() {
   const std::size_t kRuns = runs(100);
+  JsonReport report("fig11_message_loss", kRuns);
   const std::vector<std::size_t> scales = {10, 50, 100};
   const std::vector<double> deltas = {0.0, 0.1, 0.2, 0.3, 0.4};
 
@@ -39,6 +40,10 @@ int main() {
           sim::presets::paper_cluster(s, sim::presets::zraft_policy(), seed + 1, delta), kRuns);
       const auto esc = measure_series(
           sim::presets::paper_cluster(s, sim::presets::escape_policy(), seed + 2, delta), kRuns);
+      const std::string suffix = "_s" + std::to_string(s) + pct_suffix(delta);
+      report.add("message_loss", "raft" + suffix, raft);
+      report.add("message_loss", "zraft" + suffix, zraft);
+      report.add("message_loss", "escape" + suffix, esc);
       const double r = raft.total_ms.mean();
       const double z = zraft.total_ms.mean();
       const double e = esc.total_ms.mean();
