@@ -35,13 +35,15 @@ core::EscapeOptions with(std::function<void(core::EscapeOptions&)> tweak) {
 // single heartbeat wide and the race is essentially unobservable — itself a
 // finding (see case D) — so this scenario runs with patrol_every=8, where
 // configuration refresh lags recovery by up to ~4 s.
-FailoverStats recovery_interference(core::EscapeOptions opts, std::size_t count) {
+FailoverStats recovery_interference(std::uint64_t seed0, core::EscapeOptions opts,
+                                    std::size_t count) {
   opts.patrol_every = 8;
   FailoverStats stats;
   for (std::size_t i = 0; i < count; ++i) {
-    sim::SimCluster cluster(
-        sim::presets::paper_cluster(7, sim::presets::escape_policy(opts), 0xAB10 + i * 17));
-    if (sim::bootstrap(cluster) == kNoServer) {
+    sim::ScenarioRunner runner(
+        sim::presets::paper_cluster(7, sim::presets::escape_policy(opts), seed0 + i * 17));
+    auto& cluster = runner.cluster();
+    if (runner.bootstrap() == kNoServer) {
       stats.add({});
       continue;
     }
@@ -64,20 +66,22 @@ FailoverStats recovery_interference(core::EscapeOptions opts, std::size_t count)
       stats.add({});
       continue;
     }
-    cluster.crash(top);
-    // Traffic makes the crashed follower lag materially, so a patrol round
-    // re-issues its top priority to someone responsive.
-    sim::drive_traffic(cluster, from_ms(6'000), from_ms(100));
-    cluster.recover(top);
-    // Log catch-up happens within a heartbeat via the repair path (which
-    // does not piggyback configurations); the next patrol round is up to
-    // 4 s away, so the stale priority survives into the measurement.
-    sim::drive_traffic(cluster, from_ms(1'000), from_ms(100));
+    // The interference schedule as one declarative plan: crash the top
+    // priority holder, let traffic make it lag (a patrol round re-issues its
+    // priority to someone responsive), recover it, and give the repair path
+    // (which does not piggyback configurations) one more second — the next
+    // patrol round is up to 4 s away, so the stale priority survives into
+    // the measurement.
+    sim::FaultPlan plan;
+    plan.at(0, sim::CrashNode{sim::NodeRef::id(top)});
+    plan.at(0, sim::TrafficBurst{from_ms(7'000), from_ms(100)});
+    plan.at(from_ms(6'000), sim::RecoverNode{sim::NodeRef::id(top)});
+    runner.run_plan(plan);
     if (cluster.leader() == kNoServer) {
       stats.add({});
       continue;
     }
-    stats.add(sim::measure_failover(cluster, from_ms(120'000)));
+    stats.add(runner.measure_failover(from_ms(120'000)));
   }
   return stats;
 }
@@ -86,16 +90,19 @@ FailoverStats recovery_interference(core::EscapeOptions opts, std::size_t count)
 
 int main() {
   const std::size_t kRuns = runs(100);
-  JsonReport report("ablation_escape", kRuns);
+  const std::uint64_t kSeed = seed_base(0xA000);
+  JsonReport report("ablation_escape", kRuns, kSeed);
   std::printf("ESCAPE ablation benches (runs per point=%zu)\n", kRuns);
 
   print_header("A. Probing patrol function: ESCAPE vs Z-Raft (PPF off), s=50, loss sweep");
   std::printf("%-8s %14s %16s %12s\n", "Delta", "PPF on (ms)", "PPF off (ms)", "penalty");
   for (double delta : {0.0, 0.2, 0.4}) {
     const auto on = measure_series(
-        sim::presets::paper_cluster(50, sim::presets::escape_policy(), 0xA100, delta), kRuns);
+        sim::presets::paper_cluster(50, sim::presets::escape_policy(), kSeed + 0x100, delta),
+        kRuns);
     const auto off = measure_series(
-        sim::presets::paper_cluster(50, sim::presets::zraft_policy(), 0xA200, delta), kRuns);
+        sim::presets::paper_cluster(50, sim::presets::zraft_policy(), kSeed + 0x200, delta),
+        kRuns);
     std::printf("%-8.0f %14.1f %16.1f %11.1f%%\n", delta * 100, on.total_ms.mean(),
                 off.total_ms.mean(),
                 100.0 * (off.total_ms.mean() - on.total_ms.mean()) / on.total_ms.mean());
@@ -105,9 +112,11 @@ int main() {
 
   print_header("B. confClock staleness rule under crash-recovery interference, s=7");
   {
-    const auto with_rule = recovery_interference(sim::presets::paper_escape_options(), kRuns);
+    const auto with_rule =
+        recovery_interference(kSeed + 0xB10, sim::presets::paper_escape_options(), kRuns);
     const auto without_rule = recovery_interference(
-        with([](core::EscapeOptions& o) { o.conf_clock_vote_rule = false; }), kRuns);
+        kSeed + 0xB10, with([](core::EscapeOptions& o) { o.conf_clock_vote_rule = false; }),
+        kRuns);
     std::printf("%-22s %12s %14s %14s\n", "variant", "total(ms)", "p99(ms)", "avg campaigns");
     std::printf("%-22s %12.1f %14.1f %14.2f\n", "confClock on", with_rule.total_ms.mean(),
                 with_rule.total_ms.percentile(99), with_rule.campaigns.mean());
@@ -123,7 +132,7 @@ int main() {
     const auto opts = with([&](core::EscapeOptions& o) { o.gap = from_ms(gap); });
     const auto stats = measure_series(
         sim::presets::paper_cluster(16, sim::presets::escape_policy(opts),
-                                    0xC000 + static_cast<std::uint64_t>(gap)),
+                                    kSeed + 0x2000 + static_cast<std::uint64_t>(gap)),
         kRuns);
     std::printf("%-10lld %12.1f %14.1f %14.2f\n", static_cast<long long>(gap),
                 stats.total_ms.mean(), stats.total_ms.percentile(99), stats.campaigns.mean());
@@ -136,7 +145,7 @@ int main() {
     const auto opts = with([&](core::EscapeOptions& o) { o.patrol_every = every; });
     const auto stats = measure_series(
         sim::presets::paper_cluster(16, sim::presets::escape_policy(opts),
-                                    0xD000 + static_cast<std::uint64_t>(every), 0.2),
+                                    kSeed + 0x3000 + static_cast<std::uint64_t>(every), 0.2),
         kRuns);
     std::printf("%-10d %12.1f %14.2f\n", every, stats.total_ms.mean(), stats.campaigns.mean());
     report.add("patrol_interval", "every" + std::to_string(every), stats);

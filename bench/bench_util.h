@@ -4,7 +4,9 @@
 // protocol of Section VI.
 #pragma once
 
+#include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,6 +25,25 @@ inline std::size_t runs(std::size_t fallback) {
   if (const char* env = std::getenv("ESCAPE_BENCH_RUNS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+/// Base RNG seed for a harness. Every harness derives its per-point seeds
+/// from this base, so ESCAPE_BENCH_SEED reproduces or varies a whole sweep
+/// without recompiling; unset, each harness keeps its historical default.
+/// The effective base is reported in the JSON output.
+inline std::uint64_t seed_base(std::uint64_t fallback) {
+  if (const char* env = std::getenv("ESCAPE_BENCH_SEED")) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    // strtoull wraps negatives and saturates out-of-range values without
+    // failing the end-pointer check; reject both explicitly.
+    if (end != env && *end == '\0' && errno != ERANGE && env[0] != '-') {
+      return static_cast<std::uint64_t>(v);
+    }
+    std::fprintf(stderr, "warning: ignoring unparsable ESCAPE_BENCH_SEED='%s'\n", env);
   }
   return fallback;
 }
@@ -49,42 +70,44 @@ struct FailoverStats {
   }
 };
 
-/// Runs `count` independent leader-crash measurements (fresh cluster per
-/// run, seeds varied deterministically) and aggregates them. `prepare`, when
-/// set, runs between bootstrap and the crash (e.g. drive_traffic so logs
-/// diverge under loss).
-inline FailoverStats measure_many(std::size_t count, std::uint64_t seed_base,
+/// Runs `count` independent leader-crash measurements (fresh cluster and
+/// ScenarioRunner per run, seeds varied deterministically) and aggregates
+/// them. `prepare`, when set, runs between bootstrap and the crash (e.g.
+/// drive_traffic so logs diverge under loss).
+inline FailoverStats measure_many(std::size_t count, std::uint64_t seed0,
                                   const std::function<sim::ClusterOptions(std::uint64_t)>& make,
                                   Duration max_wait = from_ms(120'000),
                                   const std::function<void(sim::SimCluster&)>& prepare = {}) {
   FailoverStats stats;
   for (std::size_t i = 0; i < count; ++i) {
-    sim::SimCluster cluster(make(seed_base + i));
-    if (sim::bootstrap(cluster) == kNoServer) {
+    sim::ScenarioRunner runner(make(seed0 + i));
+    if (runner.bootstrap() == kNoServer) {
       stats.add({});  // bootstrap failure counts as unconverged
       continue;
     }
     if (prepare) {
-      prepare(cluster);
-      if (cluster.leader() == kNoServer &&
-          cluster.run_until_leader(cluster.loop().now() + from_ms(60'000)) == kNoServer) {
+      prepare(runner.cluster());
+      if (runner.cluster().leader() == kNoServer &&
+          runner.cluster().run_until_leader(runner.loop().now() + from_ms(60'000)) ==
+              kNoServer) {
         stats.add({});
         continue;
       }
     }
-    stats.add(sim::measure_failover(cluster, max_wait));
+    stats.add(runner.measure_failover(max_wait));
   }
   return stats;
 }
 
 /// The paper's repeated crash-recover protocol on one long-lived cluster
-/// (Section VI: "we repeatedly crashed the leader ... for 1000 runs").
+/// (Section VI: "we repeatedly crashed the leader ... for 1000 runs"),
+/// driven through the scenario engine's series plan.
 inline FailoverStats measure_series(sim::ClusterOptions options, std::size_t count,
                                     sim::SeriesOptions series = {}) {
   series.runs = count;
-  sim::SimCluster cluster(std::move(options));
+  sim::ScenarioRunner runner(std::move(options));
   FailoverStats stats;
-  for (const auto& r : sim::measure_failover_series(cluster, series)) stats.add(r);
+  for (const auto& r : runner.run_series(series)) stats.add(r);
   while (stats.runs < count) stats.add({});  // bootstrap failure: all unconverged
   return stats;
 }
@@ -105,8 +128,10 @@ inline std::string pct_suffix(double fraction) {
 /// build target collects them all in the build directory.
 class JsonReport {
  public:
-  explicit JsonReport(std::string name, std::size_t runs_per_point)
-      : name_(std::move(name)), runs_per_point_(runs_per_point) {}
+  /// `seed` is the harness's effective base seed (see seed_base); reported
+  /// so a sweep's JSON is reproducible from its own metadata.
+  explicit JsonReport(std::string name, std::size_t runs_per_point, std::uint64_t seed = 0)
+      : name_(std::move(name)), runs_per_point_(runs_per_point), seed_(seed) {}
 
   ~JsonReport() { finish(); }
 
@@ -147,8 +172,11 @@ class JsonReport {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": %s,\n  \"runs_per_point\": %zu,\n  \"points\": [\n",
-                 quote(name_).c_str(), runs_per_point_);
+    std::fprintf(f,
+                 "{\n  \"bench\": %s,\n  \"runs_per_point\": %zu,\n  \"seed\": %llu,\n"
+                 "  \"points\": [\n",
+                 quote(name_).c_str(), runs_per_point_,
+                 static_cast<unsigned long long>(seed_));
     for (std::size_t i = 0; i < points_.size(); ++i) {
       std::fprintf(f, "%s%s\n", points_[i].c_str(), i + 1 < points_.size() ? "," : "");
     }
@@ -184,6 +212,7 @@ class JsonReport {
 
   std::string name_;
   std::size_t runs_per_point_;
+  std::uint64_t seed_ = 0;
   std::vector<std::string> points_;
   bool finished_ = false;
 };

@@ -19,12 +19,12 @@ MessageCount count_messages(sim::PolicyFactory policy, std::size_t scale, std::s
                             std::uint64_t seed) {
   MessageCount out;
   for (std::size_t i = 0; i < count; ++i) {
-    sim::SimCluster cluster(sim::presets::paper_cluster(scale, policy, seed + i * 101));
-    if (sim::bootstrap(cluster) == kNoServer) continue;
-    const auto before = cluster.network().stats().sent;
-    const auto result = sim::measure_failover(cluster);
+    sim::ScenarioRunner runner(sim::presets::paper_cluster(scale, policy, seed + i * 101));
+    if (runner.bootstrap() == kNoServer) continue;
+    const auto before = runner.cluster().network().stats().sent;
+    const auto result = runner.measure_failover();
     if (!result.converged) continue;
-    const auto after = cluster.network().stats().sent;
+    const auto after = runner.cluster().network().stats().sent;
     out.per_election.add(static_cast<double>(after - before));
     out.campaigns.add(static_cast<double>(result.campaigns));
   }
@@ -35,7 +35,8 @@ MessageCount count_messages(sim::PolicyFactory policy, std::size_t scale, std::s
 
 int main() {
   const std::size_t kRuns = runs(30);
-  JsonReport report("complexity_messages", kRuns);
+  const std::uint64_t kSeed = seed_base(0xC0DE);
+  JsonReport report("complexity_messages", kRuns, kSeed);
   std::printf("Theorem 5: messages exchanged per leader election (runs per point=%zu)\n", kRuns);
   std::printf("Note: the count includes the heartbeats the new leader immediately "
               "broadcasts.\n");
@@ -45,9 +46,9 @@ int main() {
               "Esc cmps", "Esc msgs/n");
   for (std::size_t s : {8, 16, 32, 64, 128}) {
     const auto raft =
-        count_messages(sim::presets::raft_policy(), s, kRuns, 0xC0DE + s);
+        count_messages(sim::presets::raft_policy(), s, kRuns, kSeed + s);
     const auto esc =
-        count_messages(sim::presets::escape_policy(), s, kRuns, 0xC1DE + s);
+        count_messages(sim::presets::escape_policy(), s, kRuns, kSeed + 0x100 + s);
     std::printf("%-6zu %14.0f %14.0f %12.2f %12.2f %14.1f\n", s, raft.per_election.mean(),
                 esc.per_election.mean(), raft.campaigns.mean(), esc.campaigns.mean(),
                 esc.per_election.mean() / static_cast<double>(s));

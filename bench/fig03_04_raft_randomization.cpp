@@ -15,7 +15,8 @@ int main() {
   using namespace escape::bench;
 
   const std::size_t kRuns = runs(300);
-  JsonReport report("fig03_04_raft_randomization", kRuns);
+  const std::uint64_t kSeed = seed_base(0xF3000);
+  JsonReport report("fig03_04_raft_randomization", kRuns, kSeed);
   const std::vector<std::int64_t> uppers = {1800, 2000, 3000, 4000, 5000, 6000};
   const std::vector<double> cdf_bounds = {2000, 2500, 3000, 3500, 4500, 6000};
 
@@ -29,7 +30,7 @@ int main() {
     auto stats = measure_series(
         sim::presets::paper_cluster(
             5, sim::presets::raft_policy(from_ms(1500), from_ms(upper)),
-            0xF3000 + static_cast<std::uint64_t>(upper)),
+            kSeed + static_cast<std::uint64_t>(upper)),
         kRuns);
     print_cdf_row(label, stats.total_ms, cdf_bounds);
     report.add("timeout_range", label, stats);

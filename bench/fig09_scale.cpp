@@ -14,7 +14,12 @@ int main() {
   using namespace escape::bench;
 
   const std::size_t kRuns = runs(200);
-  JsonReport report("fig09_scale", kRuns);
+  const std::uint64_t kSeed = seed_base(0xE50000);
+  // The Raft family derives from the same reported base by a fixed offset
+  // (wrap-around is fine for an opaque seed), chosen so the default lands on
+  // the historical 0x4A0000 — one recorded seed reproduces both families.
+  const std::uint64_t kRaftSeed = kSeed - 0x9B0000;
+  JsonReport report("fig09_scale", kRuns, kSeed);
   const std::vector<std::size_t> scales = {8, 16, 32, 64, 128};
   const std::vector<double> cdf_bounds = {1800, 2000, 2500, 3000, 4500};
 
@@ -34,9 +39,9 @@ int main() {
     Row row;
     row.scale = s;
     row.escape = measure_series(
-        sim::presets::paper_cluster(s, sim::presets::escape_policy(), 0xE50000 + s), kRuns);
+        sim::presets::paper_cluster(s, sim::presets::escape_policy(), kSeed + s), kRuns);
     row.raft = measure_series(
-        sim::presets::paper_cluster(s, sim::presets::raft_policy(), 0x4A0000 + s), kRuns);
+        sim::presets::paper_cluster(s, sim::presets::raft_policy(), kRaftSeed + s), kRuns);
     print_cdf_row("Escape s=" + std::to_string(s), row.escape.total_ms, cdf_bounds);
     print_cdf_row("Raft   s=" + std::to_string(s), row.raft.total_ms, cdf_bounds);
     report.add("scale", "escape_s" + std::to_string(s), row.escape);

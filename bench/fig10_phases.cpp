@@ -16,23 +16,23 @@ using namespace escape::bench;
 
 namespace {
 
-FailoverStats measure_phases(const std::string& policy, std::size_t scale, int phases,
-                             std::size_t count) {
+FailoverStats measure_phases(std::uint64_t seed0, const std::string& policy,
+                             std::size_t scale, int phases, std::size_t count) {
   FailoverStats stats;
   for (std::size_t i = 0; i < count; ++i) {
-    const std::uint64_t seed = 0xF10000 + scale * 1000 + static_cast<std::uint64_t>(phases) +
+    const std::uint64_t seed = seed0 + scale * 1000 + static_cast<std::uint64_t>(phases) +
                                i * 131;
     auto options = policy == "raft"
                        ? sim::presets::paper_cluster(scale, sim::presets::raft_policy(), seed)
                        : sim::presets::paper_cluster(scale, sim::presets::escape_policy(), seed);
-    sim::SimCluster cluster(options);
-    if (sim::bootstrap(cluster) == kNoServer) {
+    sim::ScenarioRunner runner(std::move(options));
+    if (runner.bootstrap() == kNoServer) {
       stats.add({});
       continue;
     }
     sim::CompetitionOptions comp;
     comp.phases = phases;
-    stats.add(sim::measure_failover_with_competition(cluster, comp));
+    stats.add(runner.measure_competition(comp));
   }
   return stats;
 }
@@ -41,7 +41,8 @@ FailoverStats measure_phases(const std::string& policy, std::size_t scale, int p
 
 int main() {
   const std::size_t kRuns = runs(40);
-  JsonReport report("fig10_phases", kRuns);
+  const std::uint64_t kSeed = seed_base(0xF10000);
+  JsonReport report("fig10_phases", kRuns, kSeed);
   const std::vector<std::size_t> scales = {8, 16, 32, 64, 128};
 
   std::printf("Figure 10 reproduction: election time under forced competing candidates\n");
@@ -52,8 +53,8 @@ int main() {
     std::printf("%-6s | %28s | %28s | %9s\n", "s", "Raft det/elect/total", "Escape det/elect/total",
                 "reduction");
     for (std::size_t s : scales) {
-      const auto raft = measure_phases("raft", s, phases, kRuns);
-      const auto esc = measure_phases("escape", s, phases, kRuns);
+      const auto raft = measure_phases(kSeed, "raft", s, phases, kRuns);
+      const auto esc = measure_phases(kSeed, "escape", s, phases, kRuns);
       const std::string suffix = "_p" + std::to_string(phases) + "_s" + std::to_string(s);
       report.add("competing_candidates", "raft" + suffix, raft);
       report.add("competing_candidates", "escape" + suffix, esc);

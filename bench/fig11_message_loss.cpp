@@ -16,7 +16,8 @@ using namespace escape::bench;
 
 int main() {
   const std::size_t kRuns = runs(100);
-  JsonReport report("fig11_message_loss", kRuns);
+  const std::uint64_t kSeed = seed_base(0xF11000);
+  JsonReport report("fig11_message_loss", kRuns, kSeed);
   const std::vector<std::size_t> scales = {10, 50, 100};
   const std::vector<double> deltas = {0.0, 0.1, 0.2, 0.3, 0.4};
 
@@ -28,8 +29,8 @@ int main() {
     std::printf("%-8s %12s %12s %12s %14s %14s\n", "Delta", "Raft(ms)", "Z-Raft(ms)",
                 "Escape(ms)", "Z-Raft vs Raft", "Escape vs Raft");
     for (double delta : deltas) {
-      const auto seed = static_cast<std::uint64_t>(0xF11000 + s * 100 +
-                                                   static_cast<std::uint64_t>(delta * 100));
+      const auto seed =
+          kSeed + s * 100 + static_cast<std::uint64_t>(delta * 100);
       // Series protocol: repeated crash-recover on one long-lived cluster
       // under client traffic. Under loss the traffic leaves follower logs
       // unevenly synced, which is what makes low-priority/stale servers

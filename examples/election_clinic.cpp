@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
   std::printf("policy=%s servers=%zu loss=%.0f%% seed=%llu\n\n", policy_name.c_str(), n,
               loss * 100, static_cast<unsigned long long>(seed));
 
-  sim::SimCluster cluster(sim::presets::paper_cluster(n, policy, seed, loss));
+  sim::ScenarioRunner runner(sim::presets::paper_cluster(n, policy, seed, loss));
+  auto& cluster = runner.cluster();
   bool verbose = false;  // quiet during bootstrap, narrated during failover
   cluster.add_event_listener([&](const raft::NodeEvent& e) {
     if (!verbose) return;
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
     }
   });
 
-  const ServerId leader = sim::bootstrap(cluster);
+  const ServerId leader = runner.bootstrap();
   if (leader == kNoServer) {
     std::printf("bootstrap did not elect a leader (try another seed)\n");
     return 1;
@@ -86,7 +87,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n--- crashing %s; failover timeline ---\n", server_name(leader).c_str());
   verbose = true;
-  const auto result = sim::measure_failover(cluster);
+  const auto result = runner.measure_failover();
   verbose = false;
 
   if (!result.converged) {

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace escape::sim {
 
@@ -24,11 +25,31 @@ SimNetwork::SimNetwork(EventLoop& loop, NetworkOptions options, Rng rng,
                        std::function<void(const rpc::Envelope&)> deliver)
     : loop_(loop), options_(std::move(options)), rng_(rng), deliver_(std::move(deliver)) {
   if (!options_.latency) options_.latency = uniform_latency(from_ms(100), from_ms(200));
+  default_latency_ = options_.latency;
 }
 
 bool SimNetwork::link_up(ServerId from, ServerId to) const {
   if (isolated_.count(from) > 0 || isolated_.count(to) > 0) return false;
+  if (cut_one_way_.count({from, to}) > 0) return false;
   return cut_.count(ordered(from, to)) == 0;
+}
+
+void SimNetwork::set_latency(LatencyFn latency) {
+  options_.latency = latency ? std::move(latency) : default_latency_;
+}
+
+void SimNetwork::set_broadcast_omission(double delta) {
+  if (delta < 0.0 || delta > 1.0) {
+    throw std::invalid_argument("broadcast_omission must be in [0, 1]");
+  }
+  options_.broadcast_omission = delta;
+}
+
+void SimNetwork::set_uniform_loss(double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument("uniform_loss must be in [0, 1]");
+  }
+  options_.uniform_loss = probability;
 }
 
 void SimNetwork::send(const rpc::Envelope& envelope) {

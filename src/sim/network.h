@@ -86,8 +86,28 @@ class SimNetwork {
   void cut_link(ServerId a, ServerId b) { cut_.insert(ordered(a, b)); }
   void heal_link(ServerId a, ServerId b) { cut_.erase(ordered(a, b)); }
 
+  /// Severs only the `from` -> `to` direction (asymmetric faults: a node
+  /// that can hear the cluster but can no longer reach it, or vice versa).
+  void cut_link_one_way(ServerId from, ServerId to) { cut_one_way_.insert({from, to}); }
+  void heal_link_one_way(ServerId from, ServerId to) { cut_one_way_.erase({from, to}); }
+
   const NetworkStats& stats() const { return stats_; }
-  NetworkOptions& options() { return options_; }
+
+  /// Read-only view of the behaviour knobs. Mutation goes through the
+  /// explicit setters below so every mid-run change is an auditable event;
+  /// an uncontrolled mutable reference would let callers silently break run
+  /// reproducibility.
+  const NetworkOptions& options() const { return options_; }
+
+  /// Swaps the latency model; an empty function restores the model the
+  /// network was constructed with.
+  void set_latency(LatencyFn latency);
+
+  /// Sets the Section VI-D broadcast receiver-omission fraction Δ in [0, 1].
+  void set_broadcast_omission(double delta);
+
+  /// Sets the independent per-message drop probability in [0, 1].
+  void set_uniform_loss(double probability);
 
  private:
   static std::pair<ServerId, ServerId> ordered(ServerId a, ServerId b) {
@@ -98,10 +118,12 @@ class SimNetwork {
 
   EventLoop& loop_;
   NetworkOptions options_;
+  LatencyFn default_latency_;  ///< constructor-normalized model, for set_latency({})
   Rng rng_;
   std::function<void(const rpc::Envelope&)> deliver_;
   std::set<ServerId> isolated_;
   std::set<std::pair<ServerId, ServerId>> cut_;
+  std::set<std::pair<ServerId, ServerId>> cut_one_way_;  // (from, to), directed
   NetworkStats stats_;
 };
 

@@ -1,0 +1,215 @@
+#include "sim/scenario_registry.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "sim/invariants.h"
+#include "sim/presets.h"
+
+namespace escape::sim {
+
+namespace {
+
+FaultPlan failover_plan(SimCluster&, const ScenarioParams&) {
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(2'000)});
+  plan.at(from_ms(2'000), CrashNode{NodeRef::leader()});
+  plan.at(from_ms(8'000), RecoverNode{NodeRef::last_crashed()});
+  return plan;
+}
+
+FaultPlan handover_plan(SimCluster&, const ScenarioParams&) {
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(1'000)});
+  plan.at(from_ms(1'500), MarkEpisode{"planned handoff"});
+  plan.at(from_ms(1'500), LeaderTransfer{NodeRef::top_follower()});
+  return plan;
+}
+
+FaultPlan asymmetric_partition_plan(SimCluster& cluster, const ScenarioParams&) {
+  // The bootstrap leader keeps *receiving* from the cluster but its own
+  // messages stop arriving — the half-dead leader Raft's randomized timers
+  // were never designed around. Followers must elect a replacement; the old
+  // leader hears the new term and steps down instead of split-braining.
+  const ServerId leader = cluster.leader();
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(12'000)});
+  plan.at(from_ms(1'000), MarkEpisode{"leader outbound cut"});
+  plan.at(from_ms(1'000), PartialIsolate{NodeRef::id(leader), LinkDirection::kOutbound});
+  plan.at(from_ms(12'000), HealPartial{NodeRef::id(leader)});
+  return plan;
+}
+
+FaultPlan gray_leader_plan(SimCluster& cluster, const ScenarioParams&) {
+  // Degraded, not dead: every message the leader sends is delayed by 4 s, so
+  // its heartbeats always arrive after the followers' election timeouts.
+  const ServerId leader = cluster.leader();
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(10'000)});
+  plan.at(from_ms(1'000), MarkEpisode{"gray leader"});
+  plan.at(from_ms(1'000), DegradeNode{NodeRef::id(leader), from_ms(4'000)});
+  plan.at(from_ms(15'000), RestoreLatency{});
+  return plan;
+}
+
+FaultPlan rolling_restart_plan(SimCluster& cluster, const ScenarioParams&) {
+  // Maintenance sweep: every server restarts once, in id order, under
+  // sustained client traffic. Leader restarts are measured episodes.
+  FaultPlan plan;
+  const Duration step = from_ms(3'000);
+  const Duration down_time = from_ms(1'500);
+  Duration t = from_ms(1'000);
+  for (const ServerId id : cluster.members()) {
+    plan.at(t, CrashNode{NodeRef::id(id)});
+    plan.at(t + down_time, RecoverNode{NodeRef::id(id)});
+    t += step;
+  }
+  plan.at(0, TrafficBurst{t});
+  return plan;
+}
+
+FaultPlan leader_churn_plan(SimCluster&, const ScenarioParams&) {
+  // Sustained churn: whoever leads dies, three times in a row, while client
+  // traffic keeps flowing. Crashes that land during an election defer to the
+  // next winner, which can outlive the paired recovery slot — RecoverAll
+  // picks up whichever victim is down, and a final one sweeps up stragglers
+  // (best-effort: a crash deferred past it stays down until the run ends).
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(20'000)});
+  for (int i = 0; i < 3; ++i) {
+    const Duration t = from_ms(2'000 + i * 6'000);
+    plan.at(t, CrashNode{NodeRef::leader()});
+    plan.at(t + from_ms(3'000), RecoverAll{});
+  }
+  plan.at(from_ms(21'000), RecoverAll{});
+  return plan;
+}
+
+FaultPlan loss_spike_plan(SimCluster&, const ScenarioParams& params) {
+  // A transient Δ = 40% broadcast-omission storm hits, the leader dies in
+  // the middle of it, and conditions recover only after the election.
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(12'000)});
+  plan.at(from_ms(1'000), SetLossRate{0.4, 0.0});
+  plan.at(from_ms(2'000), CrashNode{NodeRef::leader()});
+  plan.at(from_ms(9'000), RecoverNode{NodeRef::last_crashed()});
+  plan.at(from_ms(10'000), SetLossRate{params.broadcast_omission, 0.0});
+  return plan;
+}
+
+std::map<std::string, ScenarioSpec>& registry() {
+  static std::map<std::string, ScenarioSpec> scenarios = [] {
+    std::map<std::string, ScenarioSpec> built_in;
+    auto add = [&built_in](ScenarioSpec spec) {
+      built_in.emplace(spec.name, std::move(spec));
+    };
+    add({"failover",
+         "Paper §VI protocol: client traffic, crash the leader, recover it",
+         failover_plan, from_ms(10'000), 3});
+    add({"handover",
+         "Planned leadership transfer (TimeoutNow) to the top-priority follower",
+         handover_plan, from_ms(10'000), 3});
+    add({"asymmetric_partition",
+         "Leader hears the cluster but its own messages stop arriving; "
+         "followers must depose it",
+         asymmetric_partition_plan, from_ms(10'000), 3});
+    add({"gray_leader",
+         "Leader degrades (every message +4 s) instead of crashing; "
+         "heartbeats arrive too late to suppress elections",
+         gray_leader_plan, from_ms(10'000), 3});
+    add({"rolling_restart",
+         "Every server restarts once, in order, under sustained traffic",
+         rolling_restart_plan, from_ms(10'000), 3});
+    add({"leader_churn",
+         "Three consecutive leader crashes under sustained traffic",
+         leader_churn_plan, from_ms(10'000), 3});
+    add({"loss_spike",
+         "Transient 40% broadcast-omission storm with a mid-storm leader crash",
+         loss_spike_plan, from_ms(15'000), 3});
+    return built_in;
+  }();
+  return scenarios;
+}
+
+}  // namespace
+
+void register_scenario(ScenarioSpec spec) {
+  if (spec.name.empty() || !spec.plan) {
+    throw std::invalid_argument("scenario needs a name and a plan builder");
+  }
+  const std::string name = spec.name;
+  const auto [it, inserted] = registry().emplace(name, std::move(spec));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("scenario '" + name + "' already registered");
+  }
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  const auto& scenarios = registry();
+  const auto it = scenarios.find(name);
+  return it == scenarios.end() ? nullptr : &it->second;
+}
+
+std::vector<const ScenarioSpec*> all_scenarios() {
+  std::vector<const ScenarioSpec*> specs;
+  for (const auto& [name, spec] : registry()) specs.push_back(&spec);
+  return specs;  // std::map iteration is already name-sorted
+}
+
+ClusterOptions scenario_cluster_options(const ScenarioParams& params) {
+  PolicyFactory policy;
+  if (params.policy == "raft") {
+    policy = presets::raft_policy();
+  } else if (params.policy == "zraft") {
+    policy = presets::zraft_policy();
+  } else if (params.policy == "escape") {
+    policy = presets::escape_policy();
+  } else {
+    throw std::invalid_argument("unknown policy '" + params.policy +
+                                "' (raft|zraft|escape)");
+  }
+  return presets::paper_cluster(params.servers, std::move(policy), params.seed,
+                                params.broadcast_omission);
+}
+
+ScenarioReport run_scenario(const ScenarioSpec& spec, const ScenarioParams& params) {
+  if (params.servers < spec.min_servers) {
+    throw std::invalid_argument("scenario '" + spec.name + "' needs >= " +
+                                std::to_string(spec.min_servers) + " servers");
+  }
+  SimCluster cluster(scenario_cluster_options(params));
+  InvariantChecker invariants(cluster);
+  ScenarioRunner runner(cluster);
+
+  ScenarioReport report;
+  report.bootstrap_leader = runner.bootstrap();
+  if (report.bootstrap_leader == kNoServer) {
+    report.trace = runner.trace();
+    return report;
+  }
+  report.bootstrapped = true;
+
+  runner.run_plan(spec.plan(cluster, params), spec.drain);
+  invariants.deep_check();
+
+  report.episodes = runner.episodes();
+  report.traffic_submitted = runner.runtime().traffic_submitted();
+  report.net = cluster.network().stats();
+  report.final_leader = cluster.leader();
+  for (const ServerId id : cluster.members()) {
+    if (cluster.alive(id)) ++report.alive_servers;
+  }
+  report.trace = runner.trace();
+  report.violations = invariants.violations();
+  return report;
+}
+
+ScenarioReport run_scenario(const std::string& name, const ScenarioParams& params) {
+  const ScenarioSpec* spec = find_scenario(name);
+  if (!spec) throw std::invalid_argument("unknown scenario '" + name + "'");
+  return run_scenario(*spec, params);
+}
+
+}  // namespace escape::sim

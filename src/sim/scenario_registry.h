@@ -1,0 +1,86 @@
+// Named scenario registry.
+//
+// A ScenarioSpec pairs a name with a FaultPlan builder; run_scenario()
+// bootstraps a paper-preset cluster, installs the plan, runs it to
+// completion in virtual time, and returns per-episode failover
+// measurements, the full event trace (the determinism fingerprint: same
+// seed => identical trace), and the safety-invariant verdict.
+//
+// The registry ships the paper's crash-the-leader protocol plus scenarios
+// the paper never evaluated — asymmetric partitions, gray (degraded-latency)
+// leaders, rolling restarts, sustained leader churn, loss spikes, planned
+// handoffs. New workloads are a registration away:
+//
+//   register_scenario({.name = "my-scenario", .description = "...",
+//                      .plan = [](SimCluster& c, const ScenarioParams& p) {
+//                        FaultPlan plan;
+//                        plan.at(from_ms(1000), CrashNode{NodeRef::leader()});
+//                        return plan;
+//                      }});
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.h"
+
+namespace escape::sim {
+
+/// Knobs every registered scenario understands; scenarios derive their
+/// cluster from sim::presets::paper_cluster with these.
+struct ScenarioParams {
+  std::size_t servers = 5;
+  std::string policy = "escape";  ///< raft | zraft | escape
+  double broadcast_omission = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// A named, declarative experiment.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  /// Builds the fault schedule; invoked once on the *bootstrapped* cluster,
+  /// so it can resolve concrete ids (e.g. the bootstrap leader).
+  std::function<FaultPlan(SimCluster&, const ScenarioParams&)> plan;
+  /// Virtual time to keep running after the last planned action, so
+  /// elections triggered near the end can resolve.
+  Duration drain = from_ms(10'000);
+  /// Smallest cluster the plan makes sense on.
+  std::size_t min_servers = 3;
+};
+
+/// Everything one scenario run produced.
+struct ScenarioReport {
+  bool bootstrapped = false;
+  ServerId bootstrap_leader = kNoServer;
+  std::vector<FailoverResult> episodes;  ///< one per measurement episode
+  std::size_t traffic_submitted = 0;
+  NetworkStats net{};
+  ServerId final_leader = kNoServer;
+  std::size_t alive_servers = 0;
+  std::vector<std::string> trace;       ///< canonical event trace
+  std::vector<std::string> violations;  ///< safety-invariant violations
+  bool safety_ok() const { return violations.empty(); }
+};
+
+/// Registers a scenario; throws std::invalid_argument on a duplicate name.
+void register_scenario(ScenarioSpec spec);
+
+/// Looks up a scenario (including built-ins); nullptr when unknown.
+const ScenarioSpec* find_scenario(const std::string& name);
+
+/// Every registered scenario, sorted by name.
+std::vector<const ScenarioSpec*> all_scenarios();
+
+/// Builds the paper-preset ClusterOptions for `params`; throws
+/// std::invalid_argument on an unknown policy name.
+ClusterOptions scenario_cluster_options(const ScenarioParams& params);
+
+/// Bootstraps, installs the spec's plan, runs to quiescence, and collects
+/// measurements + trace + safety verdict. Deterministic: identical params
+/// yield an identical report.
+ScenarioReport run_scenario(const ScenarioSpec& spec, const ScenarioParams& params);
+ScenarioReport run_scenario(const std::string& name, const ScenarioParams& params);
+
+}  // namespace escape::sim

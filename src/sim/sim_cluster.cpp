@@ -140,9 +140,14 @@ bool SimCluster::run_until_applied(LogIndex index, TimePoint deadline) {
   return all_applied();
 }
 
-void SimCluster::add_event_listener(std::function<void(const raft::NodeEvent&)> listener) {
-  listeners_.push_back(std::move(listener));
+std::size_t SimCluster::add_event_listener(
+    std::function<void(const raft::NodeEvent&)> listener) {
+  const std::size_t handle = next_listener_handle_++;
+  listeners_.emplace(handle, std::move(listener));
+  return handle;
 }
+
+void SimCluster::remove_event_listener(std::size_t handle) { listeners_.erase(handle); }
 
 void SimCluster::pump(ServerId id) {
   auto& host = hosts_.at(id);
@@ -180,7 +185,18 @@ void SimCluster::deliver(const rpc::Envelope& envelope) {
 
 void SimCluster::on_node_event(const raft::NodeEvent& event) {
   event_log_.push_back(event);
-  for (auto& listener : listeners_) listener(event);
+  // A listener may add or remove listeners (including arbitrary others)
+  // while handling an event. Handles are monotonically increasing, so
+  // re-looking up the next handle after each call is erase-safe without
+  // allocating on this hot path; listeners added mid-dispatch (with larger
+  // handles) also fire. (Self-removal mid-dispatch is not supported: it
+  // would destroy the std::function currently executing.)
+  for (std::size_t next = 0;;) {
+    const auto it = listeners_.lower_bound(next);
+    if (it == listeners_.end()) break;
+    next = it->first + 1;
+    it->second(event);
+  }
   if (stop_predicate_ && stop_predicate_(event)) {
     stop_event_ = event;
     loop_.stop();

@@ -94,7 +94,14 @@ class SimCluster {
 
   // --- observation -------------------------------------------------------------
   /// Registers a persistent event listener (fires for every NodeEvent).
-  void add_event_listener(std::function<void(const raft::NodeEvent&)> listener);
+  /// Returns a handle for remove_event_listener; listeners fire in
+  /// registration order.
+  std::size_t add_event_listener(std::function<void(const raft::NodeEvent&)> listener);
+
+  /// Detaches a listener registered with add_event_listener. Scenario
+  /// machinery (PlanRuntime) attaches per-experiment listeners and must not
+  /// leak them into later experiments on the same long-lived cluster.
+  void remove_event_listener(std::size_t handle);
 
   /// Every event emitted since construction (or the last clear), in order.
   const std::vector<raft::NodeEvent>& event_log() const { return event_log_; }
@@ -135,7 +142,8 @@ class SimCluster {
   std::unique_ptr<SimNetwork> network_;
   std::map<ServerId, Host> hosts_;
   std::vector<raft::NodeEvent> event_log_;
-  std::vector<std::function<void(const raft::NodeEvent&)>> listeners_;
+  std::map<std::size_t, std::function<void(const raft::NodeEvent&)>> listeners_;
+  std::size_t next_listener_handle_ = 0;
   std::function<bool(const raft::NodeEvent&)> stop_predicate_;
   std::optional<raft::NodeEvent> stop_event_;
   std::function<void(ServerId, const rpc::LogEntry&)> apply_hook_;

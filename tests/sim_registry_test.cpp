@@ -1,0 +1,147 @@
+// Tests for the named scenario registry: every built-in scenario must hold
+// the paper's safety invariants and be bit-deterministic (two runs with the
+// same seed produce identical event traces), and the individual scenarios
+// must show the behaviour they were designed to provoke.
+#include <gtest/gtest.h>
+
+#include "sim/scenario_registry.h"
+
+namespace escape {
+namespace {
+
+using sim::ScenarioParams;
+using sim::ScenarioReport;
+using sim::run_scenario;
+
+ScenarioParams params(std::uint64_t seed, std::string policy = "escape",
+                      std::size_t servers = 5) {
+  ScenarioParams p;
+  p.servers = servers;
+  p.policy = std::move(policy);
+  p.seed = seed;
+  return p;
+}
+
+TEST(ScenarioRegistryTest, RegistryListsTheBuiltIns) {
+  const auto specs = sim::all_scenarios();
+  ASSERT_GE(specs.size(), 7u);
+  for (const char* name : {"failover", "handover", "asymmetric_partition", "gray_leader",
+                           "rolling_restart", "leader_churn", "loss_spike"}) {
+    EXPECT_NE(sim::find_scenario(name), nullptr) << name;
+  }
+  EXPECT_EQ(sim::find_scenario("no-such-scenario"), nullptr);
+  EXPECT_THROW(run_scenario("no-such-scenario", params(1)), std::invalid_argument);
+}
+
+TEST(ScenarioRegistryTest, DuplicateRegistrationThrows) {
+  sim::ScenarioSpec dup;
+  dup.name = "failover";
+  dup.description = "clone";
+  dup.plan = [](sim::SimCluster&, const ScenarioParams&) { return sim::FaultPlan{}; };
+  EXPECT_THROW(sim::register_scenario(std::move(dup)), std::invalid_argument);
+  EXPECT_THROW(sim::register_scenario({}), std::invalid_argument);
+}
+
+TEST(ScenarioRegistryTest, UnknownPolicyThrows) {
+  EXPECT_THROW(run_scenario("failover", params(1, "paxos")), std::invalid_argument);
+}
+
+// Acceptance gate: every registered scenario is deterministic (same seed =>
+// identical event trace) and never violates the Section V safety invariants.
+TEST(ScenarioRegistryTest, AllScenariosAreDeterministicAndSafe) {
+  for (const auto* spec : sim::all_scenarios()) {
+    const auto p = params(404, "escape", 5);
+    const ScenarioReport first = run_scenario(*spec, p);
+    const ScenarioReport second = run_scenario(*spec, p);
+
+    ASSERT_TRUE(first.bootstrapped) << spec->name;
+    EXPECT_TRUE(first.safety_ok()) << spec->name << ": " << first.violations.front();
+    ASSERT_FALSE(first.trace.empty()) << spec->name;
+    EXPECT_EQ(first.trace, second.trace) << spec->name << " is not deterministic";
+    EXPECT_EQ(first.episodes.size(), second.episodes.size()) << spec->name;
+  }
+}
+
+TEST(ScenarioRegistryTest, ScenariosAreSafeUnderRaftToo) {
+  for (const char* name : {"failover", "asymmetric_partition", "gray_leader",
+                           "leader_churn"}) {
+    const auto report = run_scenario(name, params(7, "raft"));
+    ASSERT_TRUE(report.bootstrapped) << name;
+    EXPECT_TRUE(report.safety_ok()) << name;
+  }
+}
+
+TEST(ScenarioRegistryTest, FailoverMeasuresOneSingleCampaignEpisode) {
+  const auto report = run_scenario("failover", params(5));
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_TRUE(report.episodes[0].converged);
+  EXPECT_EQ(report.episodes[0].campaigns, 1u);  // ESCAPE: no split votes
+  EXPECT_GT(report.traffic_submitted, 0u);
+  EXPECT_EQ(report.alive_servers, 5u);  // the victim was recovered
+}
+
+TEST(ScenarioRegistryTest, HandoverBeatsCrashDetection) {
+  const auto report = run_scenario("handover", params(6));
+  ASSERT_EQ(report.episodes.size(), 1u);
+  ASSERT_TRUE(report.episodes[0].converged);
+  EXPECT_NE(report.episodes[0].new_leader, report.bootstrap_leader);
+  // No failure detection wait: the handoff resolves in well under the
+  // 1500 ms ESCAPE baseTime.
+  EXPECT_LT(report.episodes[0].total, from_ms(1'500));
+}
+
+TEST(ScenarioRegistryTest, AsymmetricPartitionDeposesTheMutedLeader) {
+  const auto report = run_scenario("asymmetric_partition", params(8));
+  ASSERT_EQ(report.episodes.size(), 1u);
+  ASSERT_TRUE(report.episodes[0].converged);
+  EXPECT_NE(report.episodes[0].new_leader, report.bootstrap_leader);
+  EXPECT_GT(report.net.dropped_partition, 0u);
+  EXPECT_NE(report.final_leader, kNoServer);
+}
+
+TEST(ScenarioRegistryTest, GrayLeaderIsReplacedWithoutACrash) {
+  const auto report = run_scenario("gray_leader", params(9));
+  ASSERT_EQ(report.episodes.size(), 1u);
+  ASSERT_TRUE(report.episodes[0].converged);
+  EXPECT_NE(report.episodes[0].new_leader, report.bootstrap_leader);
+  EXPECT_EQ(report.alive_servers, 5u);  // nobody actually died
+}
+
+TEST(ScenarioRegistryTest, RollingRestartStaysAvailableThroughout) {
+  const auto report = run_scenario("rolling_restart", params(10));
+  // Only the leader's own restart forces an election; every such episode
+  // must converge, and the sweep ends with the full membership alive.
+  ASSERT_GE(report.episodes.size(), 1u);
+  for (const auto& e : report.episodes) EXPECT_TRUE(e.converged);
+  EXPECT_EQ(report.alive_servers, 5u);
+  EXPECT_NE(report.final_leader, kNoServer);
+  EXPECT_GT(report.traffic_submitted, 0u);
+}
+
+TEST(ScenarioRegistryTest, LeaderChurnMeasuresEveryCrash) {
+  const auto report = run_scenario("leader_churn", params(11));
+  ASSERT_EQ(report.episodes.size(), 3u);
+  for (const auto& e : report.episodes) {
+    EXPECT_TRUE(e.converged);
+    EXPECT_EQ(e.campaigns, 1u);  // ESCAPE: churn never splits votes
+  }
+  EXPECT_EQ(report.alive_servers, 5u);
+}
+
+TEST(ScenarioRegistryTest, LossSpikeElectsThroughTheStorm) {
+  const auto report = run_scenario("loss_spike", params(12));
+  ASSERT_EQ(report.episodes.size(), 1u);
+  EXPECT_TRUE(report.episodes[0].converged);
+  EXPECT_GT(report.net.dropped_omission, 0u);
+  // The storm subsides before the run ends: Δ is back at the params value.
+  EXPECT_EQ(report.alive_servers, 5u);
+}
+
+TEST(ScenarioRegistryTest, DifferentSeedsExploreDifferentTimelines) {
+  const auto a = run_scenario("failover", params(100));
+  const auto b = run_scenario("failover", params(101));
+  EXPECT_NE(a.trace, b.trace);
+}
+
+}  // namespace
+}  // namespace escape
