@@ -38,15 +38,13 @@ core::EscapeOptions with(std::function<void(core::EscapeOptions&)> tweak) {
 FailoverStats recovery_interference(std::uint64_t seed0, core::EscapeOptions opts,
                                     std::size_t count) {
   opts.patrol_every = 8;
-  FailoverStats stats;
-  for (std::size_t i = 0; i < count; ++i) {
+  std::vector<sim::FailoverResult> results(count);
+  sim::TrialPool::shared().run(count, [&](std::size_t i) {
+    sim::FailoverResult& result = results[i];
     sim::ScenarioRunner runner(
         sim::presets::paper_cluster(7, sim::presets::escape_policy(opts), seed0 + i * 17));
     auto& cluster = runner.cluster();
-    if (runner.bootstrap() == kNoServer) {
-      stats.add({});
-      continue;
-    }
+    if (runner.bootstrap() == kNoServer) return;
     // Wait out the first (slow, patrol_every=8) patrol round so the pool
     // {2..n} is distributed, then crash the holder of the *top* priority —
     // the stale copy it keeps must be the one that races the reassigned
@@ -62,10 +60,7 @@ FailoverStats recovery_interference(std::uint64_t seed0, core::EscapeOptions opt
         top = id;
       }
     }
-    if (top == kNoServer || best != static_cast<Priority>(cluster.size())) {
-      stats.add({});
-      continue;
-    }
+    if (top == kNoServer || best != static_cast<Priority>(cluster.size())) return;
     // The interference schedule as one declarative plan: crash the top
     // priority holder, let traffic make it lag (a patrol round re-issues its
     // priority to someone responsive), recover it, and give the repair path
@@ -77,13 +72,10 @@ FailoverStats recovery_interference(std::uint64_t seed0, core::EscapeOptions opt
     plan.at(0, sim::TrafficBurst{from_ms(7'000), from_ms(100)});
     plan.at(from_ms(6'000), sim::RecoverNode{sim::NodeRef::id(top)});
     runner.run_plan(plan);
-    if (cluster.leader() == kNoServer) {
-      stats.add({});
-      continue;
-    }
-    stats.add(runner.measure_failover(from_ms(120'000)));
-  }
-  return stats;
+    if (cluster.leader() == kNoServer) return;
+    result = runner.measure_failover(from_ms(120'000));
+  });
+  return fold(results);
 }
 
 }  // namespace
@@ -93,6 +85,7 @@ int main() {
   const std::uint64_t kSeed = seed_base(0xA000);
   JsonReport report("ablation_escape", kRuns, kSeed);
   std::printf("ESCAPE ablation benches (runs per point=%zu)\n", kRuns);
+  print_parallelism();
 
   print_header("A. Probing patrol function: ESCAPE vs Z-Raft (PPF off), s=50, loss sweep");
   std::printf("%-8s %14s %16s %12s\n", "Delta", "PPF on (ms)", "PPF off (ms)", "penalty");

@@ -2,6 +2,11 @@
 // aligned table printing, and the common measure loop (bootstrap -> crash
 // leader -> record detection/election/total), which is the measurement
 // protocol of Section VI.
+//
+// Every sweep fans its independent trials out over sim::TrialPool
+// (ESCAPE_BENCH_THREADS workers, default hardware concurrency) and folds
+// the per-trial results back in trial-index order, so the numbers — and the
+// BENCH_*.json files — are bit-identical regardless of thread count.
 #pragma once
 
 #include <cerrno>
@@ -15,6 +20,7 @@
 #include "common/stats.h"
 #include "sim/presets.h"
 #include "sim/scenario.h"
+#include "sim/trial_pool.h"
 
 namespace escape::bench {
 
@@ -68,52 +74,68 @@ struct FailoverStats {
     total_ms.add(to_ms_f(r.total));
     campaigns.add(static_cast<double>(r.campaigns));
   }
+
+  /// Appends another point's observations (shard order = trial-index order
+  /// keeps aggregates thread-count invariant; see Sample::merge).
+  void merge(const FailoverStats& other) {
+    detection_ms.merge(other.detection_ms);
+    election_ms.merge(other.election_ms);
+    total_ms.merge(other.total_ms);
+    campaigns.merge(other.campaigns);
+    runs += other.runs;
+    unconverged += other.unconverged;
+  }
 };
 
-/// Runs `count` independent leader-crash measurements (fresh cluster and
-/// ScenarioRunner per run, seeds varied deterministically) and aggregates
-/// them. `prepare`, when set, runs between bootstrap and the crash (e.g.
-/// drive_traffic so logs diverge under loss).
-inline FailoverStats measure_many(std::size_t count, std::uint64_t seed0,
-                                  const std::function<sim::ClusterOptions(std::uint64_t)>& make,
-                                  Duration max_wait = from_ms(120'000),
-                                  const std::function<void(sim::SimCluster&)>& prepare = {}) {
+/// Folds per-trial results into one point in trial-index order.
+inline FailoverStats fold(const std::vector<sim::FailoverResult>& results) {
   FailoverStats stats;
-  for (std::size_t i = 0; i < count; ++i) {
-    sim::ScenarioRunner runner(make(seed0 + i));
-    if (runner.bootstrap() == kNoServer) {
-      stats.add({});  // bootstrap failure counts as unconverged
-      continue;
-    }
-    if (prepare) {
-      prepare(runner.cluster());
-      if (runner.cluster().leader() == kNoServer &&
-          runner.cluster().run_until_leader(runner.loop().now() + from_ms(60'000)) ==
-              kNoServer) {
-        stats.add({});
-        continue;
-      }
-    }
-    stats.add(runner.measure_failover(max_wait));
-  }
+  for (const auto& r : results) stats.add(r);
   return stats;
 }
 
-/// The paper's repeated crash-recover protocol on one long-lived cluster
-/// (Section VI: "we repeatedly crashed the leader ... for 1000 runs"),
-/// driven through the scenario engine's series plan.
+/// Shard width of the series protocol: `count` runs split into independent
+/// long-lived clusters of at most this many crash-recover cycles each. A
+/// *fixed* width makes the decomposition a function of `count` alone — never
+/// of the thread count — which is what keeps BENCH_*.json bit-identical
+/// across ESCAPE_BENCH_THREADS settings while still exposing count/25-way
+/// parallelism at paper fidelity (1000 runs = 40 shards).
+inline constexpr std::size_t kSeriesShardRuns = 25;
+
+/// The paper's repeated crash-recover protocol (Section VI: "we repeatedly
+/// crashed the leader ... for 1000 runs"), sharded over the TrialPool: each
+/// shard replays the long-lived-cluster series on its own cluster seeded by
+/// stream_seed(options.seed, shard), and shard results merge in shard order.
 inline FailoverStats measure_series(sim::ClusterOptions options, std::size_t count,
                                     sim::SeriesOptions series = {}) {
-  series.runs = count;
-  sim::ScenarioRunner runner(std::move(options));
+  const std::size_t shards = (count + kSeriesShardRuns - 1) / kSeriesShardRuns;
+  std::vector<FailoverStats> per_shard(shards);
+  sim::TrialPool::shared().run(shards, [&](std::size_t shard) {
+    sim::ClusterOptions opts = options;
+    opts.seed = stream_seed(options.seed, shard);
+    sim::SeriesOptions shard_series = series;
+    shard_series.runs = std::min(kSeriesShardRuns, count - shard * kSeriesShardRuns);
+    sim::ScenarioRunner runner(std::move(opts));
+    FailoverStats stats;
+    for (const auto& r : runner.run_series(shard_series)) stats.add(r);
+    while (stats.runs < shard_series.runs) stats.add({});  // bootstrap failure
+    per_shard[shard] = std::move(stats);
+  });
   FailoverStats stats;
-  for (const auto& r : runner.run_series(series)) stats.add(r);
-  while (stats.runs < count) stats.add({});  // bootstrap failure: all unconverged
+  for (const auto& shard : per_shard) stats.merge(shard);
   return stats;
 }
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// One-line parallelism banner every harness prints, so logged tables are
+/// attributable to a worker count (the numbers never depend on it).
+inline void print_parallelism() {
+  std::printf("trial threads=%zu (ESCAPE_BENCH_THREADS; results are thread-count "
+              "invariant)\n",
+              sim::TrialPool::shared().threads());
 }
 
 /// Label suffix for a loss fraction, e.g. 0.29 -> "_d29" (rounded, not

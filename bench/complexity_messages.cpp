@@ -17,16 +17,27 @@ struct MessageCount {
 
 MessageCount count_messages(sim::PolicyFactory policy, std::size_t scale, std::size_t count,
                             std::uint64_t seed) {
-  MessageCount out;
-  for (std::size_t i = 0; i < count; ++i) {
+  struct Trial {
+    bool converged = false;
+    double messages = 0;
+    double campaigns = 0;
+  };
+  std::vector<Trial> trials(count);
+  sim::TrialPool::shared().run(count, [&](std::size_t i) {
     sim::ScenarioRunner runner(sim::presets::paper_cluster(scale, policy, seed + i * 101));
-    if (runner.bootstrap() == kNoServer) continue;
+    if (runner.bootstrap() == kNoServer) return;
     const auto before = runner.cluster().network().stats().sent;
     const auto result = runner.measure_failover();
-    if (!result.converged) continue;
+    if (!result.converged) return;
     const auto after = runner.cluster().network().stats().sent;
-    out.per_election.add(static_cast<double>(after - before));
-    out.campaigns.add(static_cast<double>(result.campaigns));
+    trials[i] = {true, static_cast<double>(after - before),
+                 static_cast<double>(result.campaigns)};
+  });
+  MessageCount out;
+  for (const auto& t : trials) {  // trial order: thread-count invariant
+    if (!t.converged) continue;
+    out.per_election.add(t.messages);
+    out.campaigns.add(t.campaigns);
   }
   return out;
 }
@@ -38,6 +49,7 @@ int main() {
   const std::uint64_t kSeed = seed_base(0xC0DE);
   JsonReport report("complexity_messages", kRuns, kSeed);
   std::printf("Theorem 5: messages exchanged per leader election (runs per point=%zu)\n", kRuns);
+  print_parallelism();
   std::printf("Note: the count includes the heartbeats the new leader immediately "
               "broadcasts.\n");
 

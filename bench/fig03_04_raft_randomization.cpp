@@ -22,6 +22,7 @@ int main() {
 
   std::printf("Figure 3/4 reproduction: Raft election time vs timeout randomness\n");
   std::printf("cluster=5 servers, latency=U(100,200)ms, runs per range=%zu\n", kRuns);
+  print_parallelism();
 
   print_header("Figure 3: CDF of leader election time per timeout range");
   std::vector<std::pair<std::string, FailoverStats>> results;

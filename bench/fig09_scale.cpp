@@ -26,6 +26,7 @@ int main() {
   std::printf("Figure 9 reproduction: election time at increasing scales\n");
   std::printf("latency=U(100,200)ms, Raft timeout 1500-3000ms, ESCAPE base=1500ms k=500ms, "
               "runs per point=%zu\n", kRuns);
+  print_parallelism();
 
   struct Row {
     std::size_t scale;

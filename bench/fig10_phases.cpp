@@ -18,8 +18,8 @@ namespace {
 
 FailoverStats measure_phases(std::uint64_t seed0, const std::string& policy,
                              std::size_t scale, int phases, std::size_t count) {
-  FailoverStats stats;
-  for (std::size_t i = 0; i < count; ++i) {
+  std::vector<sim::FailoverResult> results(count);
+  sim::TrialPool::shared().run(count, [&](std::size_t i) {
     const std::uint64_t seed = seed0 + scale * 1000 + static_cast<std::uint64_t>(phases) +
                                i * 131;
     auto options = policy == "raft"
@@ -27,14 +27,14 @@ FailoverStats measure_phases(std::uint64_t seed0, const std::string& policy,
                        : sim::presets::paper_cluster(scale, sim::presets::escape_policy(), seed);
     sim::ScenarioRunner runner(std::move(options));
     if (runner.bootstrap() == kNoServer) {
-      stats.add({});
-      continue;
+      results[i] = {};
+      return;
     }
     sim::CompetitionOptions comp;
     comp.phases = phases;
-    stats.add(runner.measure_competition(comp));
-  }
-  return stats;
+    results[i] = runner.measure_competition(comp);
+  });
+  return fold(results);
 }
 
 }  // namespace
@@ -47,6 +47,7 @@ int main() {
 
   std::printf("Figure 10 reproduction: election time under forced competing candidates\n");
   std::printf("runs per point=%zu (detection | election | total, ms)\n", kRuns);
+  print_parallelism();
 
   for (int phases = 0; phases <= 3; ++phases) {
     print_header(std::to_string(phases) + " phase(s) with competing candidates");

@@ -23,6 +23,7 @@ int main() {
 
   std::printf("Figure 11 reproduction: election time under message loss\n");
   std::printf("runs per point=%zu; broadcast receiver-omission loss\n", kRuns);
+  print_parallelism();
 
   for (std::size_t s : scales) {
     print_header("cluster size s=" + std::to_string(s));

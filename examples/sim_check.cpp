@@ -1,0 +1,134 @@
+// SimCheck CLI: randomized scenario fuzzing over the fault-plan vocabulary.
+//
+//   $ ./examples/sim_check                         # default fuzz run
+//   $ ./examples/sim_check --trials 500 --root-seed 99 --threads 8
+//   $ ./examples/sim_check --scenario-seed 1234567 # replay ONE trial, verbose
+//
+// Every trial derives entirely from one scenario seed, so the repro line a
+// failing run prints (`sim_check --scenario-seed N`) replays the exact
+// cluster, schedule, and RNG stream of the violation. Exits non-zero when
+// any trial violates an invariant or breaks trace determinism.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "sim/sim_check.h"
+#include "sim/trial_pool.h"
+
+using namespace escape;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trials N] [--root-seed S] [--threads T]\n"
+               "          [--max-faults K] [--no-determinism]\n"
+               "          [--scenario-seed N]   replay one trial verbosely\n",
+               argv0);
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end != '\0' || errno == ERANGE || s[0] == '-') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+int replay_one(std::uint64_t scenario_seed, const sim::SimCheckOptions& options) {
+  const sim::FuzzCase fuzz = sim::make_fuzz_case(scenario_seed, options);
+  std::printf("scenario-seed=%llu policy=%s servers=%zu baseline-loss=%.0f%% cluster-seed=%llu\n",
+              static_cast<unsigned long long>(scenario_seed), fuzz.params.policy.c_str(),
+              fuzz.params.servers, fuzz.params.broadcast_omission * 100,
+              static_cast<unsigned long long>(fuzz.params.seed));
+  std::printf("schedule (%zu actions):\n", fuzz.plan.actions().size());
+  for (const auto& line : sim::describe_plan(fuzz.plan)) {
+    std::printf("  %s\n", line.c_str());
+  }
+
+  sim::SimCheckFailure failure;
+  const sim::ScenarioReport report = sim::run_fuzz_trial(scenario_seed, options, &failure);
+  std::printf("\nbootstrapped=%s episodes=%zu (", report.bootstrapped ? "yes" : "NO",
+              report.episodes.size());
+  std::size_t converged = 0;
+  for (const auto& e : report.episodes) converged += e.converged ? 1 : 0;
+  std::printf("%zu converged) traffic=%zu executed-actions=%zu trace-events=%zu\n", converged,
+              report.traffic_submitted, report.executed_actions, report.trace.size());
+  std::printf("leaders by term:");
+  for (const auto& [term, leader] : report.leaders_by_term) {
+    std::printf(" %lld:%s", static_cast<long long>(term), server_name(leader).c_str());
+  }
+  std::printf("\n");
+
+  if (failure.repro.empty()) {
+    std::printf("verdict: OK (invariants hold%s)\n",
+                options.check_determinism ? ", trace deterministic" : "");
+    return 0;
+  }
+  std::printf("verdict: VIOLATION%s\n", failure.trace_diverged ? " [trace diverged]" : "");
+  for (const auto& v : failure.violations) std::printf("  violation: %s\n", v.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SimCheckOptions options;
+  options.trials = 100;
+  std::optional<std::uint64_t> scenario_seed;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto flag = [arg](const char* name) { return std::strcmp(arg, name) == 0; };
+    std::uint64_t value = 0;
+    if (flag("--no-determinism")) {
+      options.check_determinism = false;
+    } else if (i + 1 < argc && parse_u64(argv[i + 1], &value)) {
+      ++i;
+      if (flag("--trials")) {
+        options.trials = static_cast<std::size_t>(value);
+      } else if (flag("--root-seed")) {
+        options.root_seed = value;
+      } else if (flag("--threads")) {
+        options.threads = static_cast<std::size_t>(value);
+      } else if (flag("--max-faults")) {
+        options.max_faults = static_cast<std::size_t>(value);
+      } else if (flag("--scenario-seed")) {
+        scenario_seed = value;
+      } else {
+        return usage(argv[0]);
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (scenario_seed) return replay_one(*scenario_seed, options);
+
+  const std::size_t threads =
+      options.threads == 0 ? sim::TrialPool::default_threads() : options.threads;
+  std::printf("SimCheck: %zu randomized trials, root-seed=%llu, threads=%zu%s\n",
+              options.trials, static_cast<unsigned long long>(options.root_seed), threads,
+              options.check_determinism ? ", determinism replay on" : "");
+
+  const sim::SimCheckResult result = sim::run_sim_check(options);
+  std::printf("trials=%zu actions=%zu episodes=%zu (%zu converged) traffic=%zu\n",
+              result.trials, result.executed_actions, result.episodes,
+              result.converged_episodes, result.traffic_submitted);
+  if (result.ok()) {
+    std::printf("SimCheck PASSED: zero invariant or determinism violations\n");
+    return 0;
+  }
+  std::printf("SimCheck FAILED: %zu violating trial(s)\n", result.failures.size());
+  for (const auto& f : result.failures) {
+    std::printf("  seed=%llu policy=%s servers=%zu%s%s — repro: %s\n",
+                static_cast<unsigned long long>(f.scenario_seed), f.policy.c_str(), f.servers,
+                f.trace_diverged ? " [trace diverged]" : "",
+                f.bootstrapped ? "" : " [bootstrap failed]", f.repro.c_str());
+    for (const auto& v : f.violations) std::printf("    violation: %s\n", v.c_str());
+  }
+  return 1;
+}

@@ -18,6 +18,16 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t stream_seed(std::uint64_t root, std::uint64_t index) {
+  // Finalize the root once so structured roots (small integers, bit flags)
+  // land in a well-mixed region, fold the index in with a large odd
+  // multiplier, and finalize again. Two SplitMix64 rounds keep adjacent
+  // indices decorrelated well past the avalanche threshold.
+  std::uint64_t x = root;
+  std::uint64_t mixed = splitmix64(x) ^ (index * 0xD1342543DE82EF95ull);
+  return splitmix64(mixed);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

@@ -11,6 +11,13 @@
 
 namespace escape {
 
+/// Derives the seed of the `index`-th independent stream of `root`. A pure
+/// function of its arguments — unlike Rng::fork(), which advances the parent
+/// stream — so trial i's generator never depends on how many other trials
+/// were derived before it or on which thread derived it. This is the
+/// splittable-stream primitive behind sim::TrialPool and SimCheck.
+std::uint64_t stream_seed(std::uint64_t root, std::uint64_t index);
+
 /// Deterministic random number generator (xoshiro256**).
 ///
 /// Not thread-safe; each simulated component owns its own stream, usually
@@ -19,6 +26,11 @@ class Rng {
  public:
   /// Seeds the generator. Equal seeds yield equal streams.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// The `index`-th independent stream of `root` (see stream_seed).
+  static Rng stream(std::uint64_t root, std::uint64_t index) {
+    return Rng(stream_seed(root, index));
+  }
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64();

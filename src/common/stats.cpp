@@ -12,6 +12,18 @@ void Sample::add(double v) {
   sorted_valid_ = false;
 }
 
+Sample& Sample::merge(const Sample& other) {
+  if (&other == this) {  // self-insert from own iterators would be UB
+    const std::size_t n = values_.size();
+    values_.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) values_.push_back(values_[i]);
+  } else {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
+  sorted_valid_ = false;
+  return *this;
+}
+
 double Sample::mean() const {
   if (values_.empty()) return 0.0;
   double sum = 0.0;

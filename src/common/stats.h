@@ -19,6 +19,13 @@ class Sample {
   /// Adds one observation.
   void add(double v);
 
+  /// Appends every observation of `other`, preserving both insertion orders
+  /// (this sample's values first). Merging the pieces of a partitioned
+  /// sample in partition order reproduces the whole sample exactly, which is
+  /// what lets sim::TrialPool aggregate per-trial samples into bit-identical
+  /// statistics regardless of the thread count that produced them.
+  Sample& merge(const Sample& other);
+
   /// Number of observations recorded.
   std::size_t count() const { return values_.size(); }
 

@@ -56,6 +56,19 @@ struct EscapeOptions {
   LogIndex lag_threshold = 10;
 };
 
+/// Configuration-clock stride per term. A new leader floors its clock at
+/// term * kConfClockStride before minting rearrangement generations, so the
+/// clock ranges minted by distinct leaderships are disjoint (election safety
+/// gives at most one leader per term, and terms strictly increase across
+/// leaderships). Without the floor, a leader that crashes after stamping a
+/// generation but before any follower adopts it leaves that clock value
+/// unknowable to its successor, which can re-mint it with different
+/// contents — two configurations sharing a confClock, the exact Lemma 3
+/// violation SimCheck found. A leadership would need 2^20 rearrangements to
+/// overflow its range; the patrol only mints on material responsiveness
+/// changes, so real runs stay orders of magnitude below that.
+inline constexpr ConfClock kConfClockStride = ConfClock{1} << 20;
+
 /// Eq. 1: election timeout implied by priority `p` in an `n`-server cluster.
 constexpr Duration election_period(const EscapeOptions& opts, std::size_t n, Priority p) {
   return opts.base_time + opts.gap * (static_cast<Duration>(n) - static_cast<Duration>(p));

@@ -52,7 +52,7 @@ Duration EscapePolicy::sample_election_timeout(Rng&) {
                                    : election_period(options_, n_, current_.priority);
 }
 
-void EscapePolicy::on_become_leader(const std::vector<ServerId>& others, Term) {
+void EscapePolicy::on_become_leader(const std::vector<ServerId>& others, Term term) {
   leading_ = true;
   followers_ = others;
   std::sort(followers_.begin(), followers_.end());
@@ -62,8 +62,11 @@ void EscapePolicy::on_become_leader(const std::vector<ServerId>& others, Term) {
   patrol_round_pending_ = false;
   // Continue the clock from the freshest value this server has ever seen so
   // followers holding configurations from a previous leadership still adopt
-  // ours (clock strictly increases across leaderships).
-  round_clock_ = std::max(round_clock_, max_clock_seen_);
+  // ours, and floor it into this term's stride so generations minted by
+  // distinct leaderships can never collide — even when a predecessor stamped
+  // a clock and crashed before any follower learned of it (Lemma 3 must
+  // survive that window; see kConfClockStride).
+  round_clock_ = std::max({round_clock_, max_clock_seen_, term * kConfClockStride});
   for (ServerId f : followers_) probes_[f];  // default probe entries
 }
 

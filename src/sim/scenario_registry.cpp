@@ -186,7 +186,12 @@ ScenarioReport run_scenario(const ScenarioSpec& spec, const ScenarioParams& para
   ScenarioReport report;
   report.bootstrap_leader = runner.bootstrap();
   if (report.bootstrap_leader == kNoServer) {
+    // Even a failed bootstrap may have tripped the listener-driven checks
+    // (e.g. two leaders in one term); a report must never read safe while
+    // the checker recorded otherwise.
     report.trace = runner.trace();
+    report.leaders_by_term = invariants.leaders_by_term();
+    report.violations = invariants.violations();
     return report;
   }
   report.bootstrapped = true;
@@ -195,6 +200,8 @@ ScenarioReport run_scenario(const ScenarioSpec& spec, const ScenarioParams& para
   invariants.deep_check();
 
   report.episodes = runner.episodes();
+  report.executed_actions = runner.runtime().markers().size();
+  report.leaders_by_term = invariants.leaders_by_term();
   report.traffic_submitted = runner.runtime().traffic_submitted();
   report.net = cluster.network().stats();
   report.final_leader = cluster.leader();

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,11 @@ struct ScenarioReport {
   NetworkStats net{};
   ServerId final_leader = kNoServer;
   std::size_t alive_servers = 0;
+  std::size_t executed_actions = 0;     ///< plan actions the runtime executed
+  /// Election-safety ledger from the InvariantChecker: who won each term.
+  /// Single-campaign claims are assertable directly (one new term per
+  /// episode, no interleaved losers).
+  std::map<Term, ServerId> leaders_by_term;
   std::vector<std::string> trace;       ///< canonical event trace
   std::vector<std::string> violations;  ///< safety-invariant violations
   bool safety_ok() const { return violations.empty(); }

@@ -1,0 +1,166 @@
+#include "sim/trial_pool.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace escape::sim {
+
+namespace {
+
+// Set while a pool thread (worker or caller) is inside a trial; a nested
+// run() from such a thread executes inline instead of corrupting the batch
+// state of the pool it is itself draining.
+thread_local bool t_inside_trial = false;
+
+// Scoped save/restore so nested inline batches can't clobber the flag of an
+// enclosing trial.
+struct InsideTrialScope {
+  bool saved = t_inside_trial;
+  InsideTrialScope() { t_inside_trial = true; }
+  ~InsideTrialScope() { t_inside_trial = saved; }
+};
+
+}  // namespace
+
+std::size_t TrialPool::default_threads() {
+  // More workers than this buys nothing (trials are CPU-bound) and risks
+  // std::system_error from thread exhaustion escaping shared()'s static
+  // initializer; clamp rather than crash on an absurd env value.
+  constexpr std::size_t kMaxThreads = 256;
+  if (const char* env = std::getenv("ESCAPE_BENCH_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && errno != ERANGE && v > 0) {
+      if (static_cast<std::size_t>(v) > kMaxThreads) {
+        std::fprintf(stderr, "warning: clamping ESCAPE_BENCH_THREADS=%ld to %zu\n", v,
+                     kMaxThreads);
+        return kMaxThreads;
+      }
+      return static_cast<std::size_t>(v);
+    }
+    std::fprintf(stderr, "warning: ignoring unparsable ESCAPE_BENCH_THREADS='%s'\n", env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+TrialPool& TrialPool::shared() {
+  static TrialPool pool;
+  return pool;
+}
+
+TrialPool::TrialPool(std::size_t threads)
+    : threads_(threads == 0 ? default_threads() : threads) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+TrialPool::~TrialPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TrialPool::run_inline(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  // Same exception contract as the pooled path: trials are independent, so
+  // one failure must not skip the rest (otherwise a throwing trial would
+  // make aggregates thread-count-dependent).
+  InsideTrialScope scope;
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < count; ++i) {
+    try {
+      fn(i);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void TrialPool::run(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1 || t_inside_trial) {
+    run_inline(count, fn);
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (job_ != nullptr) {
+      // Another top-level caller's batch is in flight; taking it over would
+      // orphan its unclaimed trials. Concurrent callers degrade to inline
+      // execution instead (the pool carries one batch at a time).
+      lock.unlock();
+      run_inline(count, fn);
+      return;
+    }
+    job_ = &fn;
+    count_ = count;
+    next_ = 0;
+    unfinished_ = count;
+    error_ = nullptr;
+    ++batch_;
+  }
+  work_cv_.notify_all();
+  drain_current_batch();  // the calling thread is one of the pool's threads
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  job_ = nullptr;
+  if (error_) {
+    auto error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void TrialPool::worker_main() {
+  std::uint64_t seen_batch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || batch_ != seen_batch; });
+      if (shutdown_) return;
+      seen_batch = batch_;
+    }
+    drain_current_batch();
+  }
+}
+
+void TrialPool::drain_current_batch() {
+  while (true) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t i = 0;
+    {
+      // Claim under the mutex: a worker that raced past the end of the
+      // previous batch sees either job_ == nullptr or next_ >= count_ and
+      // leaves; it can never double-claim or miss a trial.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job_ == nullptr || next_ >= count_) return;
+      i = next_++;
+      job = job_;
+    }
+    std::exception_ptr error;
+    {
+      InsideTrialScope scope;
+      try {
+        (*job)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !error_) error_ = error;
+    if (--unfinished_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace escape::sim

@@ -1,0 +1,100 @@
+// Parallel Monte-Carlo trial engine.
+//
+// The paper's experiment points are aggregates over hundreds to a thousand
+// independent seeded trials; each trial owns its whole world (EventLoop,
+// SimCluster, RNG stream), so trials are embarrassingly parallel. TrialPool
+// runs them on a fixed-size std::thread pool in the FoundationDB
+// deterministic-simulation mold: parallelism changes only the wall clock,
+// never the numbers.
+//
+// The determinism contract rests on two rules enforced here:
+//   1. trial i draws its randomness from Rng::stream(root_seed, i) — a pure
+//      derivation (common/rng.h), independent of scheduling order; and
+//   2. results are aggregated in trial-index order (map_seeded returns a
+//      vector indexed by trial), never in completion order.
+// Together they make every aggregate bit-identical across thread counts.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace escape::sim {
+
+/// A fixed-size worker pool for independent seeded trials.
+class TrialPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread participates in every
+  /// batch, so `threads == 1` runs batches inline with no threads at all).
+  /// `threads == 0` resolves via default_threads().
+  explicit TrialPool(std::size_t threads = 0);
+  ~TrialPool();
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  /// Degree of parallelism, including the calling thread.
+  std::size_t threads() const { return threads_; }
+
+  /// ESCAPE_BENCH_THREADS when set to a positive integer, otherwise the
+  /// hardware concurrency (at least 1).
+  static std::size_t default_threads();
+
+  /// Process-wide pool sized by default_threads(); shared by the bench
+  /// harnesses so one sweep reuses one set of workers.
+  static TrialPool& shared();
+
+  /// Runs fn(0), fn(1), ..., fn(count - 1), each exactly once, distributed
+  /// over the pool. Blocks until every trial finished; the first exception
+  /// any trial threw is rethrown (remaining trials still run — trials are
+  /// independent by construction). `fn` must not touch shared mutable state.
+  ///
+  /// The pool carries one batch at a time. Re-entrant calls (a trial that
+  /// itself runs a batch) and concurrent top-level callers both degrade to
+  /// inline execution on their own thread — never blocking on, or stealing
+  /// from, a batch already in flight.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Seeded fan-out: trial i computes fn(i, stream_seed(root_seed, i)) and
+  /// the results come back in trial-index order. This is the canonical
+  /// thread-count-invariant shape (SimCheck runs on it); bench sweeps that
+  /// must preserve historical per-trial seed schemes use run() directly and
+  /// apply the same two rules by hand.
+  template <typename R>
+  std::vector<R> map_seeded(std::size_t count, std::uint64_t root_seed,
+                            const std::function<R(std::size_t, std::uint64_t)>& fn) {
+    std::vector<R> out(count);
+    run(count, [&](std::size_t i) { out[i] = fn(i, stream_seed(root_seed, i)); });
+    return out;
+  }
+
+ private:
+  void worker_main();
+  void drain_current_batch();
+  static void run_inline(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  const std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  // Batch state, all guarded by mutex_. Trials run for milliseconds of
+  // wall clock each, so a mutex hit per claim/finish is noise.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< workers wait here for a new batch
+  std::condition_variable done_cv_;  ///< run() waits here for completion
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t count_ = 0;       ///< trials in the current batch
+  std::size_t next_ = 0;        ///< next unclaimed trial index
+  std::size_t unfinished_ = 0;  ///< trials not yet completed
+  std::uint64_t batch_ = 0;     ///< bumped per run(); wakes workers
+  std::exception_ptr error_;    ///< first exception thrown by a trial
+  bool shutdown_ = false;
+};
+
+}  // namespace escape::sim

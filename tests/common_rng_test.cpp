@@ -97,6 +97,36 @@ TEST(RngTest, ForkIsDeterministic) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
 }
 
+TEST(RngTest, StreamSeedIsAPureFunction) {
+  EXPECT_EQ(stream_seed(42, 7), stream_seed(42, 7));
+  // Unlike fork(), deriving other streams first must not perturb a stream.
+  Rng a = Rng::stream(42, 7);
+  (void)stream_seed(42, 0);
+  (void)stream_seed(42, 99);
+  Rng b = Rng::stream(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, StreamSeedSeparatesIndicesAndRoots) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t root : {0ull, 1ull, 42ull, ~0ull}) {
+    for (std::uint64_t index = 0; index < 64; ++index) {
+      seeds.insert(stream_seed(root, index));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 4u * 64u);  // no collisions across a small grid
+}
+
+TEST(RngTest, StreamsAreDecorrelated) {
+  Rng a = Rng::stream(31, 0);
+  Rng b = Rng::stream(31, 1);  // adjacent indices, same root
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
 TEST(RngTest, ShufflePreservesElements) {
   Rng rng(37);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 namespace escape {
 namespace {
@@ -45,6 +46,93 @@ TEST(SampleTest, PercentileSingleValue) {
   s.add(7.5);
   EXPECT_DOUBLE_EQ(s.percentile(1), 7.5);
   EXPECT_DOUBLE_EQ(s.percentile(99), 7.5);
+}
+
+TEST(SampleTest, PercentileBoundaryRanks) {
+  // Nearest-rank edges: p=0 must clamp to the smallest observation (the
+  // rank formula yields rank 0), p=100 to the largest, and the midpoint of
+  // an even-sized sample takes the lower of the two central values.
+  Sample s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  // Out-of-range requests clamp rather than index out of bounds.
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(150), 40.0);
+}
+
+TEST(SampleTest, PercentileSingleObservationEverywhere) {
+  Sample s;
+  s.add(3.25);
+  for (double p : {0.0, 0.1, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.percentile(p), 3.25) << "p=" << p;
+  }
+}
+
+TEST(SampleTest, CdfAtCountsEveryDuplicate) {
+  // cdf_at(x) is the fraction <= x; a run of duplicates at x must all be
+  // counted, and a query just below the run counts none of them.
+  Sample s;
+  for (double v : {1.0, 5.0, 5.0, 5.0, 5.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(5.0 - 1e-9), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(5.0), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(9.0), 1.0);
+}
+
+TEST(SampleTest, MergeOfSplitsEqualsWhole) {
+  // The TrialPool contract: splitting a sample into consecutive chunks and
+  // merging them back in chunk order reproduces the whole sample exactly —
+  // raw value order included, so every derived statistic is bit-identical.
+  Sample whole;
+  std::vector<Sample> chunks(3);
+  for (int i = 0; i < 31; ++i) {
+    const double v = (i * 37) % 13 + i * 0.25;
+    whole.add(v);
+    chunks[static_cast<std::size_t>(i / 11)].add(v);
+  }
+  Sample merged;
+  for (const auto& c : chunks) merged.merge(c);
+  EXPECT_EQ(merged.values(), whole.values());
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(merged.stddev(), whole.stddev());
+  EXPECT_DOUBLE_EQ(merged.percentile(50), whole.percentile(50));
+  EXPECT_DOUBLE_EQ(merged.percentile(99), whole.percentile(99));
+  EXPECT_DOUBLE_EQ(merged.cdf_at(5.0), whole.cdf_at(5.0));
+}
+
+TEST(SampleTest, MergeWithEmptySides) {
+  Sample empty;
+  Sample s;
+  s.add(1.0);
+  s.add(2.0);
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  Sample target;
+  target.merge(s).merge(empty);
+  EXPECT_EQ(target.values(), s.values());
+  EXPECT_EQ(empty.merge(s).count(), 2u);
+}
+
+TEST(SampleTest, SelfMergeDoublesTheSample) {
+  Sample s;
+  for (double v : {1.0, 2.0, 3.0}) s.add(v);
+  s.merge(s);
+  EXPECT_EQ(s.values(), (std::vector<double>{1.0, 2.0, 3.0, 1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(SampleTest, MergeInvalidatesSortedCache) {
+  Sample a;
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);  // populates the sorted cache
+  Sample b;
+  b.add(50.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.max(), 50.0);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 50.0);
 }
 
 TEST(SampleTest, CdfMatchesDefinition) {

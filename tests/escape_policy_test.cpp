@@ -297,10 +297,12 @@ TEST(PpfTest, LosingLeadershipStopsPatrol) {
   Patrol p;
   p.policy.begin_heartbeat_round();
   ASSERT_TRUE(p.policy.config_for(2).has_value());
-  // Adopting a config means another server leads now.
+  // Adopting a config means another server leads now. The clock must outrank
+  // what this leadership (term 10) minted, i.e. come from a later term's
+  // stride (see kConfClockStride).
   rpc::Configuration cfg;
   cfg.priority = 3;
-  cfg.conf_clock = 1000;
+  cfg.conf_clock = 11 * kConfClockStride;
   cfg.timer_period = from_ms(2500);
   p.policy.on_config_received(cfg);
   p.policy.begin_heartbeat_round();

@@ -1,0 +1,152 @@
+// Regression tests for the Lemma 3 staleness path: a server that recovers
+// carrying a stale configuration (an old confClock) must never win an
+// election against the patrol-groomed candidate, and — the hole SimCheck
+// found — two leaderships must never mint the same configuration clock even
+// when a leader crashes before any follower learns its latest generation.
+// Driven end-to-end through declarative FaultPlan crash+recover schedules.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/configuration.h"
+#include "sim/fault_plan.h"
+#include "sim/invariants.h"
+#include "sim/presets.h"
+#include "sim/scenario.h"
+
+namespace escape {
+namespace {
+
+using sim::FaultPlan;
+using sim::NodeRef;
+using sim::SimCluster;
+
+/// The ablation-B deployment: patrol_every = 8 widens the window in which a
+/// recovered server still holds its stale configuration (with the paper
+/// default per-heartbeat piggyback the window is one heartbeat wide and the
+/// race is essentially unobservable).
+sim::ClusterOptions slow_patrol_cluster(std::size_t n, std::uint64_t seed) {
+  auto opts = sim::presets::paper_escape_options();
+  opts.patrol_every = 8;
+  return sim::presets::paper_cluster(n, sim::presets::escape_policy(opts), seed);
+}
+
+/// The follower currently holding the top priority (kNoServer if the pool
+/// is not fully distributed yet).
+ServerId top_priority_follower(SimCluster& cluster) {
+  ServerId top = kNoServer;
+  Priority best = 0;
+  for (ServerId id : cluster.members()) {
+    if (id == cluster.leader() || !cluster.alive(id)) continue;
+    const auto p = cluster.node(id).policy().current_config().priority;
+    if (p > best) {
+      best = p;
+      top = id;
+    }
+  }
+  return best == static_cast<Priority>(cluster.size()) ? top : kNoServer;
+}
+
+/// One interference run. Returns nullopt when the hazard never materialized
+/// for this seed (the patrol refreshed the victim before the leader died —
+/// a timing phase, not a failure); otherwise whether the stale server won.
+std::optional<bool> stale_server_wins(std::uint64_t seed) {
+  sim::ScenarioRunner runner(slow_patrol_cluster(7, seed));
+  auto& cluster = runner.cluster();
+  sim::InvariantChecker invariants(cluster);
+  if (runner.bootstrap() == kNoServer) return std::nullopt;
+  // Let the first slow patrol round distribute the pool {2..n}.
+  cluster.loop().run_until(cluster.loop().now() + from_ms(5'000));
+  const ServerId stale = top_priority_follower(cluster);
+  if (stale == kNoServer) return std::nullopt;
+  const ConfClock stale_clock = cluster.node(stale).policy().current_config().conf_clock;
+
+  // The Figure 5b interference schedule as one declarative plan: the
+  // top-priority follower crashes, client traffic advances the log past the
+  // lag hysteresis so a patrol round re-issues its priority to a responsive
+  // server, and the victim recovers with its stale copy intact.
+  FaultPlan interference;
+  interference.at(0, sim::CrashNode{NodeRef::id(stale)});
+  interference.at(0, sim::TrafficBurst{from_ms(7'000), from_ms(100)});
+  interference.at(from_ms(6'000), sim::RecoverNode{NodeRef::id(stale)});
+  runner.run_plan(interference);
+  if (cluster.leader() == kNoServer || cluster.leader() == stale) return std::nullopt;
+
+  // Preconditions of the hazard: the victim still holds its stale-clocked
+  // config, and some responsive server duplicates that priority. A patrol
+  // round landing between recovery and here defuses the race for this seed.
+  const auto recovered_cfg = cluster.node(stale).policy().current_config();
+  if (recovered_cfg.conf_clock != stale_clock) return std::nullopt;
+  bool duplicated = false;
+  for (ServerId id : cluster.members()) {
+    if (id == stale) continue;
+    duplicated |= cluster.node(id).policy().current_config().priority ==
+                  recovered_cfg.priority;
+  }
+  if (!duplicated) return std::nullopt;
+
+  // The leader dies while the duplicate priorities race; the staleness vote
+  // rule must refuse the stale copy.
+  FaultPlan kill_leader;
+  kill_leader.at(0, sim::CrashNode{NodeRef::leader()});
+  const auto result = runner.run_failover_plan(kill_leader, from_ms(120'000));
+  EXPECT_TRUE(result.converged) << "seed " << seed;
+  invariants.deep_check();
+  EXPECT_TRUE(invariants.ok()) << "seed " << seed << ": " << invariants.violations().front();
+  return result.converged && result.new_leader == stale;
+}
+
+TEST(StaleConfClockTest, RecoveredServerWithStaleClockCannotWin) {
+  // Patrol phase vs. recovery timing decides whether a given seed actually
+  // produces the hazard, so scan a deterministic seed range and demand a
+  // minimum number of genuine races — each of which the stale server must
+  // lose. If a protocol change ever defuses the race entirely (hazards = 0),
+  // this fails loudly rather than passing vacuously.
+  int hazards = 0;
+  for (std::uint64_t seed = 0xB10; seed < 0xB10 + 40 && hazards < 3; ++seed) {
+    const auto won = stale_server_wins(seed);
+    if (!won.has_value()) continue;
+    ++hazards;
+    EXPECT_FALSE(*won) << "stale-clocked server won despite the confClock rule (seed "
+                       << seed << ")";
+  }
+  EXPECT_GE(hazards, 3) << "interference schedule no longer produces the hazard";
+}
+
+TEST(ConfClockStrideTest, LeadershipsNeverMintTheSameClock) {
+  // The SimCheck finding distilled: the leader stamps a new generation and
+  // dies before any follower adopts it. Its successor must not re-mint that
+  // clock value — on_become_leader floors the clock into the new term's
+  // stride, so generations of distinct leaderships stay disjoint.
+  core::EscapeOptions opts;  // defaults: ppf + vote rule on
+  core::EscapePolicy first(1, 5, opts);
+  first.on_become_leader({2, 3, 4, 5}, 5);
+  first.begin_heartbeat_round();  // mints generation (5 * stride) + 1
+  const ConfClock minted = first.current_config().conf_clock;
+  EXPECT_EQ(minted, 5 * core::kConfClockStride + 1);
+
+  // The successor saw nothing of that round (clock 0 world) and wins term 9.
+  core::EscapePolicy second(2, 5, opts);
+  second.on_become_leader({1, 3, 4, 5}, 9);
+  second.begin_heartbeat_round();
+  EXPECT_GT(second.current_config().conf_clock, minted);
+  EXPECT_EQ(second.current_config().conf_clock, 9 * core::kConfClockStride + 1);
+}
+
+TEST(ConfClockStrideTest, StrideStillContinuesFromObservedClocks) {
+  // A clock inherited from a *later* term's leadership outranks the floor:
+  // max_clock_seen_ still wins when it is ahead of term * stride.
+  core::EscapeOptions opts;
+  core::EscapePolicy p(3, 5, opts);
+  rpc::Configuration cfg;
+  cfg.priority = 4;
+  cfg.conf_clock = 40 * core::kConfClockStride + 7;  // from a term-40 leader
+  cfg.timer_period = from_ms(1500);
+  ASSERT_TRUE(p.on_config_received(cfg));
+  p.on_become_leader({1, 2, 4, 5}, 12);  // stale term, fresher observed clock
+  p.begin_heartbeat_round();
+  EXPECT_GT(p.current_config().conf_clock, cfg.conf_clock);
+}
+
+}  // namespace
+}  // namespace escape

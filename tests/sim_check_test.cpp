@@ -1,0 +1,140 @@
+// Tests for SimCheck, the randomized scenario fuzzer: fuzz cases derive
+// purely from their scenario seed, generated plans are legal (quorum kept,
+// everything healed), a bounded fuzz run holds every invariant, and the
+// aggregate result is bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <variant>
+
+#include "sim/sim_check.h"
+
+namespace escape {
+namespace {
+
+using sim::FuzzCase;
+using sim::SimCheckOptions;
+using sim::SimCheckResult;
+using sim::make_fuzz_case;
+
+SimCheckOptions small_options() {
+  SimCheckOptions o;
+  o.trials = 10;
+  o.root_seed = 0x51AC4EC;
+  o.threads = 2;
+  o.announce_failures = false;
+  return o;
+}
+
+TEST(SimCheckTest, FuzzCaseIsAPureFunctionOfTheSeed) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xFEEDull}) {
+    const FuzzCase a = make_fuzz_case(seed);
+    const FuzzCase b = make_fuzz_case(seed);
+    EXPECT_EQ(a.params.servers, b.params.servers);
+    EXPECT_EQ(a.params.policy, b.params.policy);
+    EXPECT_EQ(a.params.seed, b.params.seed);
+    EXPECT_EQ(a.plan.actions().size(), b.plan.actions().size());
+    EXPECT_EQ(sim::describe_plan(a.plan), sim::describe_plan(b.plan));
+  }
+  EXPECT_NE(sim::describe_plan(make_fuzz_case(1).plan),
+            sim::describe_plan(make_fuzz_case(2).plan));
+}
+
+TEST(SimCheckTest, GeneratedPlansStayLegal) {
+  // Across many seeds: cluster shape within bounds, every crash paired with
+  // its own targeted recovery, and the world restored — the final planned
+  // instant recovers everyone, and loss/latency overrides are cleared
+  // whenever they were touched.
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const FuzzCase c = make_fuzz_case(seed);
+    ASSERT_GE(c.params.servers, 3u) << seed;
+    ASSERT_LE(c.params.servers, 7u) << seed;
+    ASSERT_TRUE(c.params.policy == "escape" || c.params.policy == "zraft" ||
+                c.params.policy == "raft")
+        << seed;
+    std::size_t crashes = 0, recovers = 0, recover_alls = 0, loss_sets = 0, degrades = 0,
+                restore_latency = 0;
+    Duration last_recover_all = -1;
+    for (const auto& planned : c.plan.actions()) {
+      if (std::holds_alternative<sim::CrashNode>(planned.action)) ++crashes;
+      if (std::holds_alternative<sim::RecoverNode>(planned.action)) ++recovers;
+      if (std::holds_alternative<sim::RecoverAll>(planned.action)) {
+        ++recover_alls;
+        last_recover_all = std::max(last_recover_all, planned.at);
+      }
+      if (std::holds_alternative<sim::SetLossRate>(planned.action)) ++loss_sets;
+      if (std::holds_alternative<sim::DegradeNode>(planned.action)) ++degrades;
+      if (std::holds_alternative<sim::RestoreLatency>(planned.action)) ++restore_latency;
+    }
+    EXPECT_EQ(recovers, crashes) << seed;            // one targeted repair per crash
+    EXPECT_GE(recover_alls, 2u) << seed;             // closing + mid-drain sweeps
+    EXPECT_EQ(last_recover_all, c.plan.span()) << seed;  // final action recovers all
+    if (degrades > 0) EXPECT_GE(restore_latency, 1u) << seed;
+    if (loss_sets > 0) EXPECT_GE(loss_sets, 2u) << seed;  // storm + baseline restore
+  }
+}
+
+TEST(SimCheckTest, SeedsExploreTheWholeVocabulary) {
+  std::set<std::string> kinds;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    for (const auto& planned : make_fuzz_case(seed).plan.actions()) {
+      kinds.insert(sim::action_name(planned.action));
+    }
+  }
+  for (const char* expected : {"crash", "recover", "recover-all", "cut-link", "heal-link",
+                               "partial-isolate", "heal-partial", "isolate", "heal",
+                               "degrade", "restore-latency", "set-loss", "leader-transfer",
+                               "traffic"}) {
+    EXPECT_TRUE(kinds.count(expected)) << "vocabulary never sampled: " << expected;
+  }
+}
+
+TEST(SimCheckTest, SingleTrialReproducesBitExactly) {
+  SimCheckOptions options = small_options();
+  sim::SimCheckFailure failure;
+  const auto first = sim::run_fuzz_trial(99, options, &failure);
+  EXPECT_TRUE(failure.repro.empty()) << failure.repro;
+  const auto second = sim::run_fuzz_trial(99, options, nullptr);
+  ASSERT_TRUE(first.bootstrapped);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.episodes.size(), second.episodes.size());
+  EXPECT_EQ(first.traffic_submitted, second.traffic_submitted);
+}
+
+TEST(SimCheckTest, BoundedFuzzRunHoldsAllInvariants) {
+  const SimCheckOptions options = small_options();
+  const SimCheckResult result = sim::run_sim_check(options);
+  EXPECT_EQ(result.trials, options.trials);
+  EXPECT_GT(result.executed_actions, 0u);
+  ASSERT_TRUE(result.ok()) << result.failures.front().repro << " ("
+                           << (result.failures.front().violations.empty()
+                                   ? "trace diverged"
+                                   : result.failures.front().violations.front())
+                           << ")";
+}
+
+TEST(SimCheckTest, AggregateIsThreadCountInvariant) {
+  SimCheckOptions serial = small_options();
+  serial.threads = 1;
+  serial.check_determinism = false;  // per-trial replay already covered above
+  SimCheckOptions parallel = serial;
+  parallel.threads = 4;
+  const SimCheckResult a = sim::run_sim_check(serial);
+  const SimCheckResult b = sim::run_sim_check(parallel);
+  EXPECT_EQ(a.executed_actions, b.executed_actions);
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.converged_episodes, b.converged_episodes);
+  EXPECT_EQ(a.traffic_submitted, b.traffic_submitted);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(SimCheckTest, PassingTrialLeavesTheFailureRecordUntouched) {
+  sim::SimCheckFailure untouched;
+  (void)sim::run_fuzz_trial(7, small_options(), &untouched);
+  EXPECT_TRUE(untouched.repro.empty());
+  EXPECT_TRUE(untouched.violations.empty());
+}
+
+}  // namespace
+}  // namespace escape

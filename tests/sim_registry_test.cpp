@@ -4,6 +4,8 @@
 // must show the behaviour they were designed to provoke.
 #include <gtest/gtest.h>
 
+#include "sim/invariants.h"
+#include "sim/scenario.h"
 #include "sim/scenario_registry.h"
 
 namespace escape {
@@ -60,6 +62,45 @@ TEST(ScenarioRegistryTest, AllScenariosAreDeterministicAndSafe) {
     EXPECT_EQ(first.trace, second.trace) << spec->name << " is not deterministic";
     EXPECT_EQ(first.episodes.size(), second.episodes.size()) << spec->name;
   }
+}
+
+// Every registry scenario must also survive the *expensive* full-state
+// checks — pairwise log matching, applied-prefix consistency, leader
+// completeness — run explicitly at quiescence. This drives the scenario by
+// hand (cluster + checker + runner) so the deep_check() call is visible in
+// the test rather than buried in run_scenario.
+TEST(ScenarioRegistryTest, DeepCheckHoldsAtQuiescenceForEveryScenario) {
+  for (const auto* spec : sim::all_scenarios()) {
+    const auto p = params(271, "escape", 5);
+    sim::SimCluster cluster(sim::scenario_cluster_options(p));
+    sim::InvariantChecker invariants(cluster);
+    sim::ScenarioRunner runner(cluster);
+    ASSERT_NE(runner.bootstrap(), kNoServer) << spec->name;
+    runner.run_plan(spec->plan(cluster, p), spec->drain);
+    invariants.deep_check();
+    EXPECT_TRUE(invariants.ok())
+        << spec->name << ": " << invariants.violations().front();
+    EXPECT_FALSE(invariants.leaders_by_term().empty()) << spec->name;
+  }
+}
+
+TEST(ScenarioRegistryTest, FailoverElectionsAreSingleCampaignPerTerm) {
+  // leaders_by_term is the election-safety ledger: the failover scenario
+  // under ESCAPE must show exactly two led terms (bootstrap + the measured
+  // failover), i.e. every election was won by the first campaign — no
+  // intermediate terms with winners, and the failover winner's term matches
+  // the episode measurement.
+  const auto report = run_scenario("failover", params(5));
+  ASSERT_TRUE(report.bootstrapped);
+  ASSERT_EQ(report.episodes.size(), 1u);
+  ASSERT_TRUE(report.episodes[0].converged);
+  ASSERT_EQ(report.leaders_by_term.size(), 2u);
+  const auto first = report.leaders_by_term.begin();
+  const auto second = std::next(first);
+  EXPECT_EQ(first->second, report.bootstrap_leader);
+  EXPECT_EQ(second->second, report.episodes[0].new_leader);
+  EXPECT_EQ(second->first, report.episodes[0].new_term);
+  EXPECT_EQ(report.episodes[0].campaigns, 1u);
 }
 
 TEST(ScenarioRegistryTest, ScenariosAreSafeUnderRaftToo) {

@@ -1,0 +1,140 @@
+// Tests for the parallel Monte-Carlo trial engine: every trial runs exactly
+// once, seeds derive purely from (root, index), results aggregate in index
+// order, and — the load-bearing contract — the numbers are bit-identical
+// no matter how many threads the pool uses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/trial_pool.h"
+
+namespace escape {
+namespace {
+
+using sim::TrialPool;
+
+TEST(TrialPoolTest, ResolvesExplicitThreadCount) {
+  TrialPool one(1);
+  EXPECT_EQ(one.threads(), 1u);
+  TrialPool three(3);
+  EXPECT_EQ(three.threads(), 3u);
+  EXPECT_GE(TrialPool::default_threads(), 1u);
+}
+
+TEST(TrialPoolTest, RunsEveryTrialExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 5u}) {
+    TrialPool pool(threads);
+    constexpr std::size_t kTrials = 97;
+    std::vector<std::atomic<int>> hits(kTrials);
+    pool.run(kTrials, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "trial " << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(TrialPoolTest, ZeroTrialsIsANoOp) {
+  TrialPool pool(2);
+  pool.run(0, [](std::size_t) { FAIL() << "no trial should run"; });
+}
+
+TEST(TrialPoolTest, BatchesAreReusableAcrossRuns) {
+  TrialPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.run(10, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 45u);
+  }
+}
+
+TEST(TrialPoolTest, MapSeededReturnsIndexOrderedResults) {
+  TrialPool pool(4);
+  const auto seeds = pool.map_seeded<std::uint64_t>(
+      64, 42, [](std::size_t, std::uint64_t seed) { return seed; });
+  ASSERT_EQ(seeds.size(), 64u);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(seeds[i], stream_seed(42, i)) << i;
+  }
+}
+
+TEST(TrialPoolTest, AggregatesAreThreadCountInvariant) {
+  // The acceptance-gate property in miniature: a seeded Monte-Carlo
+  // aggregate must be bit-identical across pool sizes.
+  auto sweep = [](std::size_t threads) {
+    TrialPool pool(threads);
+    const auto values = pool.map_seeded<double>(
+        200, 7, [](std::size_t, std::uint64_t seed) {
+          Rng rng(seed);
+          double acc = 0;
+          for (int i = 0; i < 100; ++i) acc += rng.uniform_real(0.0, 1.0);
+          return acc;
+        });
+    Sample sample;
+    for (double v : values) sample.add(v);
+    return sample;
+  };
+  const Sample serial = sweep(1);
+  const Sample parallel = sweep(4);
+  EXPECT_EQ(serial.values(), parallel.values());  // bitwise, order included
+  EXPECT_DOUBLE_EQ(serial.mean(), parallel.mean());
+  EXPECT_DOUBLE_EQ(serial.percentile(99), parallel.percentile(99));
+}
+
+TEST(TrialPoolTest, FirstTrialExceptionPropagates) {
+  // Both execution legs (inline for threads == 1, pooled otherwise) share
+  // the contract: every trial still runs, the first exception rethrows.
+  for (std::size_t threads : {1u, 3u}) {
+    TrialPool pool(threads);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        pool.run(20,
+                 [&](std::size_t i) {
+                   if (i == 7) throw std::runtime_error("trial 7 failed");
+                   completed.fetch_add(1);
+                 }),
+        std::runtime_error);
+    // Trials are independent: the failure does not cancel the rest.
+    EXPECT_EQ(completed.load(), 19) << "threads=" << threads;
+    // The pool stays usable after a failed batch.
+    std::atomic<int> ok{0};
+    pool.run(4, [&](std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 4) << "threads=" << threads;
+  }
+}
+
+TEST(TrialPoolTest, NestedRunExecutesInline) {
+  // A trial that itself fans out must not deadlock the pool it runs on;
+  // nested batches execute inline on the claiming thread.
+  TrialPool pool(2);
+  std::atomic<std::size_t> inner_total{0};
+  pool.run(6, [&](std::size_t) {
+    pool.run(5, [&](std::size_t j) { inner_total.fetch_add(j + 1); });
+  });
+  EXPECT_EQ(inner_total.load(), 6u * 15u);
+}
+
+TEST(TrialPoolTest, ConcurrentTopLevelCallersDoNotCorruptEachOther) {
+  // The pool carries one batch at a time; a second top-level caller degrades
+  // to inline execution instead of stealing the in-flight batch's trials.
+  TrialPool pool(3);
+  std::vector<std::atomic<int>> hits_a(60), hits_b(60);
+  std::thread other([&] { pool.run(60, [&](std::size_t i) { hits_b[i].fetch_add(1); }); });
+  pool.run(60, [&](std::size_t i) { hits_a[i].fetch_add(1); });
+  other.join();
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(hits_a[i].load(), 1) << i;
+    EXPECT_EQ(hits_b[i].load(), 1) << i;
+  }
+}
+
+TEST(TrialPoolTest, SharedPoolIsASingleton) {
+  EXPECT_EQ(&TrialPool::shared(), &TrialPool::shared());
+  EXPECT_GE(TrialPool::shared().threads(), 1u);
+}
+
+}  // namespace
+}  // namespace escape
