@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: BENCH_*.json output must not silently rot.
+
+Diffs the bench JSON files a run_all pass produced against the checked-in
+manifest (bench/baseline/manifest.json): every figure the manifest lists must
+exist, parse as JSON, carry at least the manifest's point count, and contain
+every (experiment, label[, metric]) series key the manifest records. A bench
+harness that stops emitting a figure, drops a series, or writes malformed
+JSON fails CI here instead of producing a quietly empty artifact.
+
+Numeric values are deliberately NOT compared: run counts differ between CI
+smoke runs and paper-fidelity runs, and the simulator's numbers change with
+intentional protocol work. The gate protects the *shape* of the output.
+
+Usage:
+    python3 bench/compare_bench.py --baseline bench/baseline/manifest.json \
+        --dir build
+    python3 bench/compare_bench.py --write-baseline bench/baseline/manifest.json \
+        --dir build          # regenerate after adding a figure or series
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def series_key(point):
+    """Canonical identity of one emitted point."""
+    key = [point.get("experiment", "?"), point.get("label", "?")]
+    if "metric" in point:
+        key.append(point["metric"])
+    return "/".join(key)
+
+
+def load_figure(path):
+    """Parses one BENCH_*.json; raises ValueError with a readable message."""
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        raise ValueError(f"{path.name}: malformed JSON ({e})")
+    for field in ("bench", "runs_per_point", "points"):
+        if field not in data:
+            raise ValueError(f"{path.name}: missing field '{field}'")
+    if not isinstance(data["points"], list) or not data["points"]:
+        raise ValueError(f"{path.name}: empty points array")
+    for point in data["points"]:
+        if "experiment" not in point or "label" not in point:
+            raise ValueError(f"{path.name}: point without experiment/label: {point}")
+    return data
+
+
+def collect(bench_dir):
+    """Figure name -> parsed JSON for every BENCH_*.json in bench_dir."""
+    figures = {}
+    for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        if name == "micro_components":
+            continue  # google-benchmark format, optional dependency
+        figures[name] = load_figure(path)
+    return figures
+
+
+def write_baseline(figures, baseline_path):
+    manifest = {
+        "figures": {
+            name: {
+                "min_points": len(data["points"]),
+                "series": sorted({series_key(p) for p in data["points"]}),
+            }
+            for name, data in sorted(figures.items())
+        }
+    }
+    Path(baseline_path).parent.mkdir(parents=True, exist_ok=True)
+    Path(baseline_path).write_text(json.dumps(manifest, indent=2) + "\n")
+    print(f"wrote {baseline_path}: {len(manifest['figures'])} figures")
+
+
+def check(figures, baseline_path):
+    manifest = json.loads(Path(baseline_path).read_text())
+    errors = []
+    for name, expected in sorted(manifest["figures"].items()):
+        data = figures.get(name)
+        if data is None:
+            errors.append(f"{name}: BENCH_{name}.json missing from bench output")
+            continue
+        points = data["points"]
+        if len(points) < expected["min_points"]:
+            errors.append(
+                f"{name}: {len(points)} points, baseline requires >= "
+                f"{expected['min_points']}")
+        emitted = {series_key(p) for p in points}
+        for series in expected["series"]:
+            if series not in emitted:
+                errors.append(f"{name}: series '{series}' disappeared")
+    extra = sorted(set(figures) - set(manifest["figures"]))
+    for name in extra:
+        # New figures are fine to emit but must be enrolled in the baseline,
+        # otherwise the gate would never notice them disappearing again.
+        errors.append(
+            f"{name}: not in baseline manifest — regenerate with --write-baseline")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default="build", help="directory holding BENCH_*.json")
+    parser.add_argument("--baseline", help="manifest to check against")
+    parser.add_argument("--write-baseline", help="regenerate the manifest instead")
+    args = parser.parse_args()
+    if bool(args.baseline) == bool(args.write_baseline):
+        parser.error("exactly one of --baseline / --write-baseline is required")
+
+    try:
+        figures = collect(args.dir)
+    except ValueError as e:
+        print(f"FAIL: {e}")
+        return 1
+    if not figures:
+        print(f"FAIL: no BENCH_*.json files found in {args.dir}")
+        return 1
+
+    if args.write_baseline:
+        write_baseline(figures, args.write_baseline)
+        return 0
+
+    errors = check(figures, args.baseline)
+    if errors:
+        print(f"FAIL: bench output diverges from {args.baseline}:")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    total = sum(len(d["points"]) for d in figures.values())
+    print(f"OK: {len(figures)} figures, {total} points, all baseline series present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,16 +2,21 @@
 //
 //   $ ./examples/sim_check                         # default fuzz run
 //   $ ./examples/sim_check --trials 500 --root-seed 99 --threads 8
+//   $ ./examples/sim_check --actions snapshot=30,crash=20   # reweight vocabulary
 //   $ ./examples/sim_check --scenario-seed 1234567 # replay ONE trial, verbose
 //
 // Every trial derives entirely from one scenario seed, so the repro line a
 // failing run prints (`sim_check --scenario-seed N`) replays the exact
-// cluster, schedule, and RNG stream of the violation. Exits non-zero when
-// any trial violates an invariant or breaks trace determinism.
+// cluster, schedule, and RNG stream of the violation — under the same
+// --actions weights, which change the seed -> schedule mapping. Exits
+// non-zero when any trial violates an invariant or breaks trace determinism.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
+#include <string>
 
 #include "sim/sim_check.h"
 #include "sim/trial_pool.h"
@@ -21,12 +26,53 @@ using namespace escape;
 namespace {
 
 int usage(const char* argv0) {
+  std::string names;
+  for (const auto& [name, weight] : sim::default_action_weights()) {
+    if (!names.empty()) names += ",";
+    names += name + ("=" + std::to_string(weight));
+  }
   std::fprintf(stderr,
                "usage: %s [--trials N] [--root-seed S] [--threads T]\n"
                "          [--max-faults K] [--no-determinism]\n"
-               "          [--scenario-seed N]   replay one trial verbosely\n",
-               argv0);
+               "          [--actions name=weight,...]  reweight the fuzz vocabulary\n"
+               "          [--scenario-seed N]   replay one trial verbosely\n"
+               "default action weights: %s\n",
+               argv0, names.c_str());
   return 2;
+}
+
+/// Parses "name=weight,name=weight" into options. Unknown names or
+/// unparsable weights fail (returning false) rather than silently fuzzing a
+/// different vocabulary than the caller asked for.
+bool parse_actions(const char* spec, std::map<std::string, int>* out) {
+  const auto& known = sim::default_action_weights();
+  std::string s(spec);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = std::min(s.find(',', pos), s.size());
+    const std::size_t eq = s.find('=', pos);
+    if (eq == std::string::npos || eq >= comma) return false;
+    const std::string name = s.substr(pos, eq - pos);
+    if (known.find(name) == known.end()) {
+      std::fprintf(stderr, "unknown action '%s'\n", name.c_str());
+      return false;
+    }
+    if (eq + 1 >= comma) return false;  // empty weight ("crash=") is a typo, not 0
+    char* end = nullptr;
+    const long weight = std::strtol(s.c_str() + eq + 1, &end, 10);
+    if (end != s.c_str() + comma || weight < 0) return false;
+    (*out)[name] = static_cast<int>(weight);
+    pos = comma + (comma < s.size() ? 1 : 0);
+  }
+  if (out->empty()) return false;
+  // Retiring every family leaves nothing to schedule; reject up front with a
+  // usage error instead of throwing from deep inside plan generation (same
+  // arithmetic as the engine, so CLI and engine can never disagree).
+  if (sim::effective_action_weight_total(*out) <= 0) {
+    std::fprintf(stderr, "--actions retires every action family\n");
+    return false;
+  }
+  return true;
 }
 
 bool parse_u64(const char* s, std::uint64_t* out) {
@@ -86,6 +132,10 @@ int main(int argc, char** argv) {
     std::uint64_t value = 0;
     if (flag("--no-determinism")) {
       options.check_determinism = false;
+    } else if (flag("--actions")) {
+      if (i + 1 >= argc || !parse_actions(argv[++i], &options.action_weights)) {
+        return usage(argv[0]);
+      }
     } else if (i + 1 < argc && parse_u64(argv[i + 1], &value)) {
       ++i;
       if (flag("--trials")) {
@@ -118,6 +168,10 @@ int main(int argc, char** argv) {
   std::printf("trials=%zu actions=%zu episodes=%zu (%zu converged) traffic=%zu\n",
               result.trials, result.executed_actions, result.episodes,
               result.converged_episodes, result.traffic_submitted);
+  std::printf("action coverage (scheduled plan actions across all trials):\n");
+  for (const auto& [name, count] : result.action_histogram) {
+    std::printf("  %-16s %zu\n", name.c_str(), count);
+  }
   if (result.ok()) {
     std::printf("SimCheck PASSED: zero invariant or determinism violations\n");
     return 0;

@@ -176,4 +176,11 @@ std::optional<rpc::Configuration> EscapePolicy::config_for(ServerId dest) {
   return it->second;
 }
 
+std::optional<rpc::Configuration> EscapePolicy::assignment_for(ServerId dest) {
+  if (!leading_ || !options_.enable_ppf) return std::nullopt;
+  const auto it = assignments_.find(dest);
+  if (it == assignments_.end()) return std::nullopt;
+  return it->second;
+}
+
 }  // namespace escape::core

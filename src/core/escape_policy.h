@@ -47,6 +47,7 @@ class EscapePolicy final : public raft::ElectionPolicy {
   void on_follower_status(ServerId from, const rpc::ConfigStatus& status) override;
   void begin_heartbeat_round() override;
   std::optional<rpc::Configuration> config_for(ServerId dest) override;
+  std::optional<rpc::Configuration> assignment_for(ServerId dest) override;
 
   // --- introspection (tests, invariant checkers) --------------------------
   const EscapeOptions& options() const { return options_; }

@@ -22,6 +22,22 @@ KvCluster::KvCluster(sim::SimCluster& cluster) : cluster_(cluster) {
       }
     }
   });
+  // Compaction glue: snapshots serialize the replica's KvStore (sessions
+  // included, so exactly-once survives), and a restore — whether from the
+  // leader's InstallSnapshot or a restart from the local snapshot store —
+  // replaces the replica's store wholesale and fast-forwards its applied
+  // cursor to the snapshot boundary.
+  cluster_.set_snapshot_state_hook(
+      [this](ServerId id) { return stores_.at(id)->snapshot(); });
+  cluster_.set_snapshot_restore_hook(
+      [this](ServerId id, const storage::Snapshot& snap) {
+        auto store = std::make_unique<KvStore>();
+        if (!snap.state.empty() && !store->restore(snap.state)) {
+          LOG_WARN("S" << id << ": malformed snapshot state; starting empty");
+        }
+        stores_[id] = std::move(store);
+        last_applied_[id] = snap.last_included_index;
+      });
 }
 
 std::optional<CommandResult> KvCluster::put(const std::string& key, const std::string& value,

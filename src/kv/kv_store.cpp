@@ -1,11 +1,60 @@
 #include "kv/kv_store.h"
 
+#include "common/serde.h"
+
 namespace escape::kv {
 
 std::vector<std::uint8_t> KvStore::apply(const rpc::LogEntry& entry) {
   const auto cmd = decode_command(entry.command);
   if (!cmd) return encode_result({});  // malformed/no-op entries apply as no-ops
   return encode_result(execute(*cmd));
+}
+
+std::vector<std::uint8_t> KvStore::snapshot() const {
+  // std::map iteration is key-ordered, so equal states serialize to equal
+  // bytes on every replica.
+  Encoder e;
+  e.u32(static_cast<std::uint32_t>(data_.size()));
+  for (const auto& [key, value] : data_) {
+    e.str(key);
+    e.str(value);
+  }
+  e.u32(static_cast<std::uint32_t>(sessions_.size()));
+  for (const auto& [client, session] : sessions_) {
+    e.u64(client);
+    e.u64(session.last_sequence);
+    e.boolean(session.last_result.ok);
+    e.str(session.last_result.value);
+  }
+  return e.take();
+}
+
+bool KvStore::restore(const std::vector<std::uint8_t>& bytes) {
+  std::map<std::string, std::string> data;
+  std::map<std::uint64_t, Session> sessions;
+  try {
+    Decoder d(bytes);
+    const auto n = d.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto key = d.str();
+      data.emplace(std::move(key), d.str());
+    }
+    const auto s = d.u32();
+    for (std::uint32_t i = 0; i < s; ++i) {
+      const auto client = d.u64();
+      Session session;
+      session.last_sequence = d.u64();
+      session.last_result.ok = d.boolean();
+      session.last_result.value = d.str();
+      sessions.emplace(client, std::move(session));
+    }
+    d.expect_end();
+  } catch (const DecodeError&) {
+    return false;  // malformed snapshot: state unchanged
+  }
+  data_ = std::move(data);
+  sessions_ = std::move(sessions);
+  return true;
 }
 
 CommandResult KvStore::execute(const Command& cmd) {

@@ -20,6 +20,13 @@ class KvStore final : public StateMachine {
  public:
   std::vector<std::uint8_t> apply(const rpc::LogEntry& entry) override;
 
+  /// Serializes data and sessions. Sessions are part of the snapshot so
+  /// exactly-once semantics survive a snapshot-based restore: a client retry
+  /// that lands after the restore still deduplicates against the session
+  /// table the snapshot carried.
+  std::vector<std::uint8_t> snapshot() const override;
+  bool restore(const std::vector<std::uint8_t>& bytes) override;
+
   /// Executes a decoded command with session dedup; exposed for direct
   /// (non-replicated) unit testing.
   CommandResult execute(const Command& cmd);

@@ -4,6 +4,13 @@
 // incarnation. Implementations must be deterministic: equal entry sequences
 // produce equal states and outputs on every replica (State-Machine Safety
 // turns that determinism into replica consistency).
+//
+// snapshot()/restore() close the loop for log compaction: snapshot()
+// serializes the full state (including any session/dedup bookkeeping — the
+// exactly-once guarantee must survive a restore), and restore() replaces the
+// state wholesale with a previously serialized one. The pair must be
+// lossless: restore(snapshot()) yields a machine indistinguishable from the
+// original under every later apply().
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,15 @@ class StateMachine {
   /// Applies one committed entry and returns its output (returned to the
   /// submitting client by the leader).
   virtual std::vector<std::uint8_t> apply(const rpc::LogEntry& entry) = 0;
+
+  /// Serializes the whole state for a snapshot. Deterministic: equal states
+  /// produce equal bytes (snapshots of replicas at the same applied index
+  /// are byte-identical).
+  virtual std::vector<std::uint8_t> snapshot() const = 0;
+
+  /// Replaces the state with one produced by snapshot(). Returns false (and
+  /// leaves the machine unchanged) when the bytes are malformed.
+  virtual bool restore(const std::vector<std::uint8_t>& bytes) = 0;
 };
 
 }  // namespace escape::kv

@@ -80,6 +80,15 @@ class ElectionPolicy {
   /// Configuration to piggyback to `dest` in the current round, if any.
   virtual std::optional<rpc::Configuration> config_for(ServerId dest) = 0;
 
+  /// The standing assignment for `dest` regardless of patrol rounds; shipped
+  /// inside InstallSnapshot so a follower catching up via snapshot resumes
+  /// at the generation the leader last assigned *to it* (never the leader's
+  /// own configuration — two servers must not share a (P, k) pair).
+  virtual std::optional<rpc::Configuration> assignment_for(ServerId dest) {
+    (void)dest;
+    return std::nullopt;
+  }
+
   // --- test / scenario scripting ------------------------------------------
 
   /// Overrides timeout sampling; used by scenario drivers (e.g. Figure 10's

@@ -12,12 +12,13 @@ namespace escape::raft {
 RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
                    std::unique_ptr<ElectionPolicy> policy, storage::StateStore& state_store,
                    storage::Wal& wal, Rng rng, NodeOptions options,
-                   std::vector<rpc::LogEntry> recovered_log)
+                   std::vector<rpc::LogEntry> recovered_log, storage::SnapshotStore* snapshots)
     : id_(id),
       members_(std::move(members)),
       policy_(std::move(policy)),
       state_store_(state_store),
       wal_(wal),
+      snapshot_store_(snapshots),
       rng_(rng),
       options_(options) {
   if (id_ == kNoServer) throw std::invalid_argument("server id 0 is reserved");
@@ -31,7 +32,31 @@ RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
     }
   }
   if (!self_listed) throw std::invalid_argument("member list must include self");
-  for (const auto& e : recovered_log) log_.append(e);
+  if (snapshot_store_) {
+    if (auto snap = snapshot_store_->load()) {
+      // The snapshot is the log's new origin: commit/applied resume at its
+      // boundary (the runtime restores the state machine from the store).
+      log_.reset_to(snap->last_included_index, snap->last_included_term);
+      commit_index_ = snap->last_included_index;
+      last_applied_ = snap->last_included_index;
+      snapshot_boot_config_ = snap->config;
+    }
+  }
+  for (const auto& e : recovered_log) {
+    if (e.index <= log_.base()) continue;  // absorbed by the snapshot
+    if (e.index != log_.last_index() + 1) {
+      // The WAL was compacted past our snapshot view (the snapshot file is
+      // missing or was rejected as corrupt): the prefix below this entry is
+      // gone and nothing stands in for it. Booting anyway would silently
+      // lose committed state; fail with the actual diagnosis instead of the
+      // contiguity assertion deep inside Log::append.
+      throw std::runtime_error(
+          "recovered WAL resumes at index " + std::to_string(e.index) +
+          " but the log ends at " + std::to_string(log_.last_index()) +
+          ": no snapshot covers the compacted prefix (snapshot store missing or corrupt)");
+    }
+    log_.append(e);
+  }
 }
 
 void RaftNode::start(TimePoint now) {
@@ -40,6 +65,15 @@ void RaftNode::start(TimePoint now) {
     current_term_ = persisted->current_term;
     voted_for_ = persisted->voted_for;
     policy_->restore(persisted->config);
+  }
+  // The snapshotted state embodies configuration generation k; restoring the
+  // state but an older configuration would regress the confClock (and with
+  // it the staleness vote rule). Normally the state store is at least as
+  // fresh — every adoption persists — but a lost or corrupt state file must
+  // not un-adopt what the snapshot proves this server held.
+  if (snapshot_boot_config_ &&
+      snapshot_boot_config_->conf_clock > policy_->current_config().conf_clock) {
+    policy_->restore(*snapshot_boot_config_);
   }
   started_ = true;
   arm_election_timer(now);
@@ -62,6 +96,10 @@ void RaftNode::on_message(const rpc::Envelope& envelope, TimePoint now) {
           handle_append_entries_reply(m, now);
         } else if constexpr (std::is_same_v<T, rpc::TimeoutNow>) {
           handle_timeout_now(m, now);
+        } else if constexpr (std::is_same_v<T, rpc::InstallSnapshot>) {
+          handle_install_snapshot(m, now);
+        } else if constexpr (std::is_same_v<T, rpc::InstallSnapshotReply>) {
+          handle_install_snapshot_reply(m, now);
         } else {
           // Client traffic is handled by the application layer (kv::Server);
           // the consensus core only sees consensus RPCs.
@@ -121,9 +159,39 @@ void RaftNode::handle_timeout_now(const rpc::TimeoutNow& m, TimePoint now) {
   start_campaign(now);
 }
 
+std::optional<LogIndex> RaftNode::compact(LogIndex upto, std::vector<std::uint8_t> state,
+                                          TimePoint now) {
+  assert(started_);
+  if (!snapshot_store_) return std::nullopt;  // compaction disabled
+  upto = std::min(upto, last_applied_);       // never snapshot unapplied entries
+  if (upto <= log_.base()) return std::nullopt;
+  storage::Snapshot snap;
+  snap.last_included_index = upto;
+  snap.last_included_term = *log_.term_at(upto);
+  snap.config = policy_->current_config();
+  snap.state = std::move(state);
+  // Snapshot first, compact second: a crash between the two replays a log
+  // whose prefix the snapshot already covers (harmless), never a log whose
+  // prefix is gone with no snapshot to stand in for it.
+  snapshot_store_->save(snap);
+  wal_.compact_to(upto);
+  log_.compact_to(upto);
+  ++counters_.snapshots_taken;
+  emit({.kind = NodeEvent::Kind::kSnapshotTaken,
+        .term = current_term_,
+        .index = upto,
+        .at = now});
+  LOG_DEBUG(server_name(id_) << " compacted log through " << upto);
+  return upto;
+}
+
 std::vector<rpc::Envelope> RaftNode::take_outbox() { return std::exchange(outbox_, {}); }
 
 std::vector<rpc::LogEntry> RaftNode::take_committed() { return std::exchange(committed_out_, {}); }
+
+std::optional<storage::Snapshot> RaftNode::take_installed_snapshot() {
+  return std::exchange(installed_out_, std::nullopt);
+}
 
 TimePoint RaftNode::next_deadline() const {
   return std::min(election_deadline_, heartbeat_deadline_);
@@ -185,6 +253,7 @@ void RaftNode::become_leader(TimePoint now) {
   election_deadline_ = kNever;
   next_index_.clear();
   match_index_.clear();
+  install_sent_round_.clear();
   for (ServerId peer : others_) {
     next_index_[peer] = log_.last_index() + 1;
     match_index_[peer] = 0;
@@ -285,7 +354,13 @@ void RaftNode::handle_append_entries(ServerId from, const rpc::AppendEntries& m,
   reply.term = current_term_;
   reply.from = id_;
 
-  if (!log_.matches(m.prev_log_index, m.prev_log_term)) {
+  // A prev inside our compacted prefix is vacuously consistent: everything
+  // at or below the snapshot boundary is committed, and committed prefixes
+  // agree on every server (Leader Completeness). The boundary itself still
+  // checks its retained term.
+  const bool prefix_ok = m.prev_log_index < log_.base() ||
+                         log_.matches(m.prev_log_index, m.prev_log_term);
+  if (!prefix_ok) {
     reply.success = false;
     if (log_.last_index() < m.prev_log_index) {
       // Log too short: leader should back up to our tail.
@@ -303,6 +378,7 @@ void RaftNode::handle_append_entries(ServerId from, const rpc::AppendEntries& m,
   }
 
   for (const auto& e : m.entries) {
+    if (e.index <= log_.base()) continue;  // already absorbed by our snapshot
     const auto existing = log_.term_at(e.index);
     if (existing && *existing != e.term) {
       wal_.truncate_from(e.index);
@@ -336,6 +412,10 @@ void RaftNode::handle_append_entries_reply(const rpc::AppendEntriesReply& m, Tim
   }
   if (role_ != Role::kLeader || m.term < current_term_) return;
 
+  // The peer is alive and talking: lift the snapshot-resend throttle so a
+  // follower that still needs the snapshot gets it immediately.
+  install_sent_round_.erase(m.from);
+
   // PPF input: track log responsiveness regardless of replication outcome.
   policy_->on_follower_status(m.from, m.status);
 
@@ -363,6 +443,113 @@ void RaftNode::handle_append_entries_reply(const rpc::AppendEntriesReply& m, Tim
   }
 }
 
+void RaftNode::handle_install_snapshot(const rpc::InstallSnapshot& m, TimePoint now) {
+  rpc::InstallSnapshotReply reply;
+  reply.from = id_;
+  if (m.term < current_term_) {
+    reply.term = current_term_;
+    reply.success = false;
+    reply.status = own_status();
+    send(m.leader_id, reply);
+    return;
+  }
+  if (m.term > current_term_ || role_ == Role::kCandidate) {
+    become_follower(m.term, m.leader_id, now, /*reset_timer=*/false);
+  } else if (role_ == Role::kLeader) {
+    // Same-term InstallSnapshot from another leader: Election Safety is
+    // broken; refuse loudly, as with AppendEntries.
+    LOG_ERROR(server_name(id_) << " saw InstallSnapshot from " << server_name(m.leader_id)
+                               << " in own leadership term " << current_term_);
+    return;
+  }
+  leader_id_ = m.leader_id;
+  arm_election_timer(now);
+  reply.term = current_term_;
+  reply.success = true;
+
+  if (m.last_included_index <= commit_index_) {
+    // Stale or duplicate snapshot: we already hold (and may have applied)
+    // everything it covers. Report how far we actually are so the leader's
+    // next_index jumps past the resend.
+    reply.match_index = commit_index_;
+    reply.status = own_status();
+    send(m.leader_id, reply);
+    return;
+  }
+
+  // The message carries this follower's own PPF assignment; only a strictly
+  // fresher clock is adopted, so an old snapshot resend can never roll the
+  // confClock back.
+  if (policy_->on_config_received(m.config)) {
+    ++counters_.config_adoptions;
+    emit({.kind = NodeEvent::Kind::kConfigAdopted,
+          .term = current_term_,
+          .config = m.config,
+          .at = now});
+    arm_election_timer(now);  // the adopted timeout takes effect immediately
+  }
+  persist_state();
+
+  storage::Snapshot snap;
+  snap.last_included_index = m.last_included_index;
+  snap.last_included_term = m.last_included_term;
+  // Our own snapshot stores *our* adopted configuration (it restores our
+  // identity at restart), which the adoption above just refreshed.
+  snap.config = policy_->current_config();
+  snap.state = m.state;
+  // Same crash-ordering rule as compact(): the snapshot must be durable
+  // before the WAL drops the prefix it stands in for — a crash in between
+  // otherwise reopens a WAL rebased past a snapshot that does not exist.
+  if (snapshot_store_) snapshot_store_->save(snap);
+
+  // When our log already contains the boundary entry with the right term,
+  // the suffix beyond it is consistent and survives; otherwise the whole
+  // log is superseded and rebases onto the snapshot.
+  const auto existing = log_.term_at(m.last_included_index);
+  if (existing && *existing == m.last_included_term) {
+    wal_.compact_to(m.last_included_index);
+    log_.compact_to(m.last_included_index);
+  } else {
+    if (m.last_included_index < log_.last_index()) {
+      wal_.truncate_from(std::max(m.last_included_index + 1, log_.first_index()));
+    }
+    wal_.compact_to(m.last_included_index);
+    log_.reset_to(m.last_included_index, m.last_included_term);
+  }
+  commit_index_ = m.last_included_index;
+  last_applied_ = m.last_included_index;
+  committed_out_.clear();  // superseded by the snapshot's state
+  installed_out_ = std::move(snap);
+  ++counters_.snapshots_installed;
+  emit({.kind = NodeEvent::Kind::kSnapshotInstalled,
+        .term = current_term_,
+        .index = m.last_included_index,
+        .at = now});
+  LOG_DEBUG(server_name(id_) << " installed snapshot through " << m.last_included_index);
+
+  reply.match_index = m.last_included_index;
+  reply.status = own_status();
+  send(m.leader_id, reply);
+}
+
+void RaftNode::handle_install_snapshot_reply(const rpc::InstallSnapshotReply& m,
+                                             TimePoint now) {
+  if (m.term > current_term_) {
+    become_follower(m.term, kNoServer, now, /*reset_timer=*/false);
+    return;
+  }
+  if (role_ != Role::kLeader || m.term < current_term_) return;
+  install_sent_round_.erase(m.from);  // it arrived; resume normal flow
+  if (!m.success) return;
+  policy_->on_follower_status(m.from, m.status);
+  match_index_[m.from] = std::max(match_index_[m.from], m.match_index);
+  next_index_[m.from] = std::max(next_index_[m.from], m.match_index + 1);
+  maybe_advance_commit();
+  if (next_index_[m.from] <= log_.last_index()) {
+    send_append_entries(m.from, /*include_config=*/false);  // ship the suffix
+  }
+}
+
 // --- leader machinery ----------------------------------------------------------
 
 void RaftNode::broadcast_heartbeat_round(TimePoint now) {
@@ -373,10 +560,24 @@ void RaftNode::broadcast_heartbeat_round(TimePoint now) {
 }
 
 void RaftNode::send_append_entries(ServerId peer, bool include_config) {
+  const LogIndex next = next_index_.at(peer);
+  if (next <= log_.base()) {
+    // The entries this follower needs are compacted away; only the snapshot
+    // can catch it up (Raft §7). Re-ship to a *silent* peer (likely down —
+    // every copy would be dropped anyway) only every snapshot_retry_rounds
+    // heartbeats; any reply from the peer clears the throttle.
+    const auto it = install_sent_round_.find(peer);
+    if (it != install_sent_round_.end() &&
+        counters_.heartbeat_rounds - it->second < options_.snapshot_retry_rounds) {
+      return;
+    }
+    install_sent_round_[peer] = counters_.heartbeat_rounds;
+    send_install_snapshot(peer);
+    return;
+  }
   rpc::AppendEntries ae;
   ae.term = current_term_;
   ae.leader_id = id_;
-  const LogIndex next = next_index_.at(peer);
   ae.prev_log_index = next - 1;
   ae.prev_log_term = log_.term_at(next - 1).value_or(0);
   ae.entries = log_.slice(next, options_.max_entries_per_rpc);
@@ -384,6 +585,30 @@ void RaftNode::send_append_entries(ServerId peer, bool include_config) {
   if (include_config) ae.new_config = policy_->config_for(peer);
   send(peer, std::move(ae));
   ++counters_.append_entries_sent;
+}
+
+void RaftNode::send_install_snapshot(ServerId peer) {
+  auto snap = snapshot_store_ ? snapshot_store_->load() : std::nullopt;
+  if (!snap) {
+    // A compacted log without a loadable snapshot should be impossible
+    // (compact() saves before compacting); surface it instead of spinning.
+    LOG_ERROR(server_name(id_) << " log compacted to " << log_.base()
+                               << " but no snapshot available for " << server_name(peer));
+    return;
+  }
+  rpc::InstallSnapshot is;
+  is.term = current_term_;
+  is.leader_id = id_;
+  is.last_included_index = snap->last_included_index;
+  is.last_included_term = snap->last_included_term;
+  // Ship the *destination's* standing PPF assignment (as a heartbeat would),
+  // never this leader's own stored configuration: two servers holding the
+  // same (P, k) pair is exactly the Lemma 3 violation the clock exists to
+  // rule out. Zeros (no assignment / non-ESCAPE policy) adopt as a no-op.
+  is.config = policy_->assignment_for(peer).value_or(rpc::Configuration{});
+  is.state = std::move(snap->state);
+  send(peer, std::move(is));
+  ++counters_.install_snapshots_sent;
 }
 
 void RaftNode::maybe_advance_commit() {

@@ -32,6 +32,7 @@
 #include "raft/election_policy.h"
 #include "rpc/messages.h"
 #include "storage/log.h"
+#include "storage/snapshot_store.h"
 #include "storage/state_store.h"
 #include "storage/wal.h"
 
@@ -52,18 +53,28 @@ struct NodeOptions {
   /// (net::RealNode) turns it on — without it a fresh leader cannot commit
   /// entries recovered from prior terms until new client traffic arrives.
   bool commit_noop_on_elect = false;
+
+  /// Heartbeat rounds between InstallSnapshot retries to a follower that has
+  /// not replied (e.g. it is down): the snapshot is the full state payload,
+  /// so re-shipping it on *every* round while a peer is dark is pure waste.
+  /// Any reply from the peer clears the throttle immediately. Keep the
+  /// retry period (rounds x heartbeat_interval) below the minimum election
+  /// timeout so a recovering follower is caught up before its timer fires.
+  std::uint64_t snapshot_retry_rounds = 2;
 };
 
 /// Observable state transitions, consumed by measurement observers and the
 /// invariant checkers. Delivered synchronously from within the node.
 struct NodeEvent {
   enum class Kind : std::uint8_t {
-    kCampaignStarted,   ///< became candidate / re-candidate; term is the campaign term
-    kBecameLeader,      ///< won an election
-    kSteppedDown,       ///< leader or candidate reverted to follower
-    kConfigAdopted,     ///< ESCAPE configuration adopted (config field valid)
-    kCommitAdvanced,    ///< commit_index moved (index field valid)
-    kVoteGranted,       ///< this node granted its vote (to `peer`) in `term`
+    kCampaignStarted,    ///< became candidate / re-candidate; term is the campaign term
+    kBecameLeader,       ///< won an election
+    kSteppedDown,        ///< leader or candidate reverted to follower
+    kConfigAdopted,      ///< ESCAPE configuration adopted (config field valid)
+    kCommitAdvanced,     ///< commit_index moved (index field valid)
+    kVoteGranted,        ///< this node granted its vote (to `peer`) in `term`
+    kSnapshotTaken,      ///< compacted own log (index = last included index)
+    kSnapshotInstalled,  ///< installed a leader snapshot (index = last included)
   };
   Kind kind{};
   ServerId node = kNoServer;
@@ -85,6 +96,9 @@ struct NodeCounters {
   std::uint64_t messages_received = 0;
   std::uint64_t entries_committed = 0;
   std::uint64_t config_adoptions = 0;
+  std::uint64_t snapshots_taken = 0;           ///< local compactions
+  std::uint64_t snapshots_installed = 0;       ///< leader snapshots restored
+  std::uint64_t install_snapshots_sent = 0;    ///< snapshot catch-ups shipped
 };
 
 /// One consensus participant. Single-threaded; not internally synchronized.
@@ -92,11 +106,17 @@ class RaftNode {
  public:
   /// `members` lists every cluster member including `id`. `state_store` and
   /// `wal` must outlive the node; `recovered_log` seeds the in-memory log
-  /// (e.g. FileWal::recovered_entries() after a restart).
+  /// (e.g. FileWal::recovered_entries() after a restart). `snapshots`, when
+  /// provided (it must then outlive the node), enables log compaction and
+  /// snapshot-based recovery: a stored snapshot rebases the log, recovered
+  /// entries at or below its boundary are skipped, and commit/applied resume
+  /// from the snapshot point (the runtime restores the state machine from
+  /// the same store). Without it the node retains its whole log forever.
   RaftNode(ServerId id, std::vector<ServerId> members,
            std::unique_ptr<ElectionPolicy> policy, storage::StateStore& state_store,
            storage::Wal& wal, Rng rng, NodeOptions options = {},
-           std::vector<rpc::LogEntry> recovered_log = {});
+           std::vector<rpc::LogEntry> recovered_log = {},
+           storage::SnapshotStore* snapshots = nullptr);
 
   RaftNode(const RaftNode&) = delete;
   RaftNode& operator=(const RaftNode&) = delete;
@@ -123,11 +143,28 @@ class RaftNode {
   /// is sent — an uncaught-up target could not win anyway).
   bool transfer_leadership(ServerId target, TimePoint now);
 
+  /// Takes a snapshot at `upto` (clamped to last_applied()) and compacts the
+  /// log + WAL up to it. `state` must be the application state machine's
+  /// serialized state after applying exactly the entries through that index
+  /// (the runtime drains take_committed() and applies synchronously, so its
+  /// state machine is always at last_applied()). Returns the snapshot's last
+  /// included index, or nullopt when there is nothing new to compact or no
+  /// snapshot store was provided. The ESCAPE configuration currently adopted
+  /// is captured inside the snapshot, so the confClock travels with the
+  /// state through every later restore or InstallSnapshot.
+  std::optional<LogIndex> compact(LogIndex upto, std::vector<std::uint8_t> state,
+                                  TimePoint now);
+
   /// Drains messages produced since the last call.
   std::vector<rpc::Envelope> take_outbox();
 
   /// Drains entries newly committed since the last call, in log order.
   std::vector<rpc::LogEntry> take_committed();
+
+  /// Drains the snapshot installed by the most recent InstallSnapshot, if
+  /// any. The runtime must restore its state machine from it *before*
+  /// applying entries drained by take_committed() afterwards.
+  std::optional<storage::Snapshot> take_installed_snapshot();
 
   /// Earliest pending timer deadline (election or heartbeat); kNever when
   /// no timer is armed. The runtime must call on_tick no later than this.
@@ -145,6 +182,7 @@ class RaftNode {
   /// The leader this node currently believes in (kNoServer when unknown).
   ServerId leader_hint() const { return leader_id_; }
   LogIndex commit_index() const { return commit_index_; }
+  LogIndex last_applied() const { return last_applied_; }
   const storage::Log& log() const { return log_; }
   std::size_t cluster_size() const { return members_.size(); }
   std::size_t quorum() const { return members_.size() / 2 + 1; }
@@ -166,10 +204,13 @@ class RaftNode {
   void handle_append_entries(ServerId from, const rpc::AppendEntries& m, TimePoint now);
   void handle_append_entries_reply(const rpc::AppendEntriesReply& m, TimePoint now);
   void handle_timeout_now(const rpc::TimeoutNow& m, TimePoint now);
+  void handle_install_snapshot(const rpc::InstallSnapshot& m, TimePoint now);
+  void handle_install_snapshot_reply(const rpc::InstallSnapshotReply& m, TimePoint now);
 
   // Leader machinery.
   void broadcast_heartbeat_round(TimePoint now);
   void send_append_entries(ServerId peer, bool include_config);
+  void send_install_snapshot(ServerId peer);
   void maybe_advance_commit();
 
   // Common machinery.
@@ -187,8 +228,13 @@ class RaftNode {
   std::unique_ptr<ElectionPolicy> policy_;
   storage::StateStore& state_store_;
   storage::Wal& wal_;
+  storage::SnapshotStore* snapshot_store_ = nullptr;  ///< null: compaction off
   Rng rng_;
   const NodeOptions options_;
+  /// Configuration carried by the boot-time snapshot; merged with the
+  /// persisted configuration in start() so a restored node's confClock never
+  /// regresses below the generation its snapshotted state embodies.
+  std::optional<rpc::Configuration> snapshot_boot_config_;
 
   // Persistent state (mirrored to state_store_ on change).
   Term current_term_ = 0;
@@ -207,6 +253,9 @@ class RaftNode {
   // Leader state.
   std::unordered_map<ServerId, LogIndex> next_index_;
   std::unordered_map<ServerId, LogIndex> match_index_;
+  /// Heartbeat round at which an InstallSnapshot was last shipped per peer;
+  /// throttles resends to silent followers (see snapshot_retry_rounds).
+  std::unordered_map<ServerId, std::uint64_t> install_sent_round_;
 
   // Timers (deadlines in virtual time; kNever = disarmed).
   TimePoint election_deadline_ = kNever;
@@ -215,6 +264,7 @@ class RaftNode {
   // Outputs.
   std::vector<rpc::Envelope> outbox_;
   std::vector<rpc::LogEntry> committed_out_;
+  std::optional<storage::Snapshot> installed_out_;
   std::function<void(const NodeEvent&)> event_hook_;
 
   NodeCounters counters_;

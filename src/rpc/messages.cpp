@@ -13,6 +13,8 @@ enum class Tag : std::uint8_t {
   kClientRequest = 5,
   kClientReply = 6,
   kTimeoutNow = 7,
+  kInstallSnapshot = 8,
+  kInstallSnapshotReply = 9,
 };
 
 void encode(Encoder& e, const Configuration& c) {
@@ -125,6 +127,21 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
           e.u8(static_cast<std::uint8_t>(Tag::kTimeoutNow));
           e.i64(msg.term);
           e.u32(msg.leader_id);
+        } else if constexpr (std::is_same_v<T, InstallSnapshot>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kInstallSnapshot));
+          e.i64(msg.term);
+          e.u32(msg.leader_id);
+          e.i64(msg.last_included_index);
+          e.i64(msg.last_included_term);
+          encode(e, msg.config);
+          e.bytes(msg.state);
+        } else if constexpr (std::is_same_v<T, InstallSnapshotReply>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kInstallSnapshotReply));
+          e.i64(msg.term);
+          e.u32(msg.from);
+          e.boolean(msg.success);
+          e.i64(msg.match_index);
+          encode(e, msg.status);
         }
       },
       m);
@@ -195,6 +212,27 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       out = m;
       break;
     }
+    case Tag::kInstallSnapshot: {
+      InstallSnapshot m;
+      m.term = d.i64();
+      m.leader_id = d.u32();
+      m.last_included_index = d.i64();
+      m.last_included_term = d.i64();
+      m.config = decode_config(d);
+      m.state = d.bytes();
+      out = m;
+      break;
+    }
+    case Tag::kInstallSnapshotReply: {
+      InstallSnapshotReply m;
+      m.term = d.i64();
+      m.from = d.u32();
+      m.success = d.boolean();
+      m.match_index = d.i64();
+      m.status = decode_status(d);
+      out = m;
+      break;
+    }
     case Tag::kClientReply: {
       ClientReply m;
       m.client_id = d.u64();
@@ -253,6 +291,13 @@ std::string to_string(const Message& m) {
              << " status=" << static_cast<int>(msg.status) << "}";
         } else if constexpr (std::is_same_v<T, TimeoutNow>) {
           os << "TimeoutNow{t=" << msg.term << " ldr=" << server_name(msg.leader_id) << "}";
+        } else if constexpr (std::is_same_v<T, InstallSnapshot>) {
+          os << "InstallSnapshot{t=" << msg.term << " ldr=" << server_name(msg.leader_id)
+             << " last=" << msg.last_included_index << "/" << msg.last_included_term
+             << " cfg=" << to_string(msg.config) << " bytes=" << msg.state.size() << "}";
+        } else if constexpr (std::is_same_v<T, InstallSnapshotReply>) {
+          os << "InstallSnapshotReply{t=" << msg.term << " from=" << server_name(msg.from)
+             << " ok=" << msg.success << " match=" << msg.match_index << "}";
         }
       },
       m);

@@ -105,6 +105,44 @@ struct AppendEntriesReply {
   bool operator==(const AppendEntriesReply&) const = default;
 };
 
+/// Leader -> follower: ship a whole snapshot when the follower's next index
+/// has fallen below the leader's compacted log prefix (Raft §7). The
+/// snapshot carries the boundary (last included index/term) the follower
+/// rebases its log onto, the serialized application state, and — as on
+/// AppendEntries — the destination's own PPF configuration assignment, so a
+/// follower catching up by snapshot resumes at the freshest generation the
+/// leader assigned *to it* and its confClock cannot regress. (Never the
+/// snapshotting server's own configuration: two servers sharing a (P, k)
+/// pair is the Lemma 3 violation the clock rules out.) Snapshots ship in
+/// one message (no chunking): the paper's deployments replicate
+/// kilobyte-scale state machines, and the wire layer already bounds frames
+/// at kMaxFrameBytes.
+struct InstallSnapshot {
+  Term term = 0;
+  ServerId leader_id = kNoServer;
+  LogIndex last_included_index = 0;
+  Term last_included_term = 0;
+  Configuration config;             ///< destination's PPF assignment (zeros: none)
+  std::vector<std::uint8_t> state;  ///< serialized state machine
+
+  bool operator==(const InstallSnapshot&) const = default;
+};
+
+/// Follower -> leader.
+struct InstallSnapshotReply {
+  Term term = 0;
+  ServerId from = kNoServer;
+  /// True when the follower now holds everything up to `match_index` (it
+  /// installed the snapshot, or already had that prefix); false only on a
+  /// stale-term rejection.
+  bool success = false;
+  /// Highest index the follower is known to hold after processing.
+  LogIndex match_index = 0;
+  ConfigStatus status;  ///< PPF input, as on AppendEntriesReply
+
+  bool operator==(const InstallSnapshotReply&) const = default;
+};
+
 /// Client -> any server: submit one state-machine command. `client_id` and
 /// `sequence` implement exactly-once application (session dedup).
 struct ClientRequest {
@@ -146,7 +184,8 @@ struct ClientReply {
 
 /// Any protocol message.
 using Message = std::variant<RequestVote, RequestVoteReply, AppendEntries, AppendEntriesReply,
-                             ClientRequest, ClientReply, TimeoutNow>;
+                             ClientRequest, ClientReply, TimeoutNow, InstallSnapshot,
+                             InstallSnapshotReply>;
 
 /// A routed message: what the node hands to the transport.
 struct Envelope {

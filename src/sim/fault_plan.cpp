@@ -36,6 +36,8 @@ const char* action_name(const FaultAction& action) {
     const char* operator()(const TrafficBurst&) const { return "traffic"; }
     const char* operator()(const ScriptTimeout&) const { return "script-timeout"; }
     const char* operator()(const MarkEpisode&) const { return "mark-episode"; }
+    const char* operator()(const TriggerSnapshot&) const { return "snapshot"; }
+    const char* operator()(const SnapshotAndCrash&) const { return "snapshot-crash"; }
   };
   return std::visit(Visitor{}, action);
 }
@@ -392,6 +394,29 @@ void PlanRuntime::execute(const FaultAction& action) {
     void operator()(const MarkEpisode& a) {
       marker.episode = true;
       marker.label = a.label;
+    }
+    void operator()(const TriggerSnapshot& a) {
+      const ServerId id = rt.resolve(a.node);
+      marker.node = id;
+      if (id == kNoServer || !rt.cluster_.alive(id)) {
+        marker.ok = false;
+        return;
+      }
+      marker.ok = rt.cluster_.trigger_snapshot(id).has_value();
+    }
+    void operator()(const SnapshotAndCrash& a) {
+      const ServerId id = rt.resolve(a.node);
+      marker.node = id;
+      if (id == kNoServer || !rt.cluster_.alive(id)) {
+        marker.ok = false;
+        return;
+      }
+      rt.cluster_.trigger_snapshot(id);  // best-effort: crash follows anyway
+      rt.crash_now(id, /*deferred=*/false);
+      // crash_now recorded the marker (incl. the episode flag); rename it so
+      // traces attribute the crash to this compound action.
+      if (!rt.markers_.empty()) rt.markers_.back().what = "snapshot-crash";
+      marker.what.clear();
     }
   };
 

@@ -3,7 +3,8 @@
 // A FaultPlan is a typed, virtual-time-stamped schedule of actions — crash or
 // recover a node, isolate it, cut links (symmetric or one-way), swap the
 // latency model, change the loss rate Δ, transfer leadership, drive client
-// traffic, script election timeouts — that a PlanRuntime executes
+// traffic, script election timeouts, snapshot/compact a node's log (alone or
+// paired with an immediate crash) — that a PlanRuntime executes
 // deterministically on a SimCluster's EventLoop. Scenarios thereby become
 // *data*: the paper's drivers (src/sim/scenario.cpp), every bench harness,
 // and the named scenarios in the registry (src/sim/scenario_registry.h) all
@@ -158,11 +159,26 @@ struct MarkEpisode {
   std::string label;
 };
 
+/// Snapshots the node's state machine at its applied index and compacts its
+/// log (SimCluster::trigger_snapshot). Recorded as a failed marker when the
+/// node is down or nothing new is compactable.
+struct TriggerSnapshot {
+  NodeRef node = NodeRef::leader();
+};
+
+/// Snapshot immediately followed by a crash of the same node — the
+/// compact-to-last-applied-then-restart hazard as one atomic action (a
+/// paired RecoverNode/RecoverAll restarts it from the snapshot). Crashing
+/// the leader this way opens a measurement episode, as CrashNode does.
+struct SnapshotAndCrash {
+  NodeRef node = NodeRef::leader();
+};
+
 using FaultAction =
     std::variant<CrashNode, RecoverNode, RecoverAll, IsolateNode, HealNode, CutLink,
                  HealLink, PartialIsolate, HealPartial, SwapLatency, DegradeNode,
                  RestoreLatency, SetLossRate, LeaderTransfer, TrafficBurst, ScriptTimeout,
-                 MarkEpisode>;
+                 MarkEpisode, TriggerSnapshot, SnapshotAndCrash>;
 
 /// Human-readable tag for traces and markers ("crash", "traffic", ...).
 const char* action_name(const FaultAction& action);

@@ -54,21 +54,24 @@ void InvariantChecker::deep_check() {
   const auto& members = cluster_.members();
 
   // Log Matching: if two logs agree on (index, term) they agree on the whole
-  // prefix up to that index.
+  // prefix up to that index. Only the stored overlap is comparable — entries
+  // below either snapshot boundary are gone (their consistency is covered by
+  // the snapshot checks below and Leader Completeness).
   for (std::size_t i = 0; i < members.size(); ++i) {
     for (std::size_t j = i + 1; j < members.size(); ++j) {
       if (!cluster_.alive(members[i]) || !cluster_.alive(members[j])) continue;
       const auto& la = cluster_.node(members[i]).log();
       const auto& lb = cluster_.node(members[j]).log();
       const LogIndex common = std::min(la.last_index(), lb.last_index());
+      const LogIndex floor = std::max(la.first_index(), lb.first_index());
       LogIndex agree = 0;
-      for (LogIndex x = common; x >= 1; --x) {
+      for (LogIndex x = common; x >= floor; --x) {
         if (la.term_at(x) == lb.term_at(x)) {
           agree = x;
           break;
         }
       }
-      for (LogIndex x = 1; x <= agree; ++x) {
+      for (LogIndex x = floor; x <= agree; ++x) {
         const auto* ea = la.entry_at(x);
         const auto* eb = lb.entry_at(x);
         if (ea == nullptr || eb == nullptr || !(*ea == *eb)) {
@@ -79,20 +82,41 @@ void InvariantChecker::deep_check() {
           break;
         }
       }
+      // The snapshot boundary participates too: if one log's base falls
+      // inside the other's stored range, the retained boundary term must
+      // match the stored entry's term.
+      for (const auto* pair : {&la, &lb}) {
+        const auto& snapped = *pair;
+        const auto& other = (pair == &la) ? lb : la;
+        const LogIndex b = snapped.base();
+        if (b >= other.first_index() && b <= other.last_index() &&
+            other.term_at(b) != snapped.term_at(b)) {
+          std::ostringstream os;
+          os << "log matching: snapshot boundary " << b << " term mismatch between "
+             << server_name(members[i]) << " and " << server_name(members[j]);
+          add_violation(os.str());
+        }
+      }
     }
   }
 
-  // State-Machine Safety: applied sequences are prefixes of one another.
+  // State-Machine Safety: replicas never apply different entries at the same
+  // log index. Compared by index, not stream position: a snapshot-restored
+  // replica's applied stream begins past the snapshot, and a recovered one
+  // replays from its snapshot boundary.
   for (std::size_t i = 0; i < members.size(); ++i) {
+    std::map<LogIndex, const rpc::LogEntry*> by_index;
+    for (const auto& entry : cluster_.applied(members[i])) {
+      by_index[entry.index] = &entry;
+    }
     for (std::size_t j = i + 1; j < members.size(); ++j) {
-      const auto& aa = cluster_.applied(members[i]);
-      const auto& ab = cluster_.applied(members[j]);
-      const std::size_t common = std::min(aa.size(), ab.size());
-      for (std::size_t x = 0; x < common; ++x) {
-        if (!(aa[x] == ab[x])) {
+      for (const auto& entry : cluster_.applied(members[j])) {
+        const auto it = by_index.find(entry.index);
+        if (it != by_index.end() && !(*it->second == entry)) {
           std::ostringstream os;
           os << "state-machine safety: " << server_name(members[i]) << " and "
-             << server_name(members[j]) << " applied different entries at position " << x;
+             << server_name(members[j]) << " applied different entries at index "
+             << entry.index;
           add_violation(os.str());
           break;
         }
@@ -101,12 +125,16 @@ void InvariantChecker::deep_check() {
   }
 
   // Leader Completeness: every applied (hence committed) entry must be in
-  // the current leader's log at the same index and term.
+  // the current leader's log at the same index and term — or below the
+  // leader's snapshot boundary, where it is committed by construction (a
+  // leader only compacts its own applied prefix, and an installed snapshot
+  // only covers committed state).
   const ServerId leader = cluster_.leader();
   if (leader != kNoServer) {
     const auto& llog = cluster_.node(leader).log();
     for (ServerId id : members) {
       for (const auto& entry : cluster_.applied(id)) {
+        if (entry.index <= llog.base()) continue;  // compacted, committed
         const auto* in_leader = llog.entry_at(entry.index);
         if (in_leader == nullptr || !(*in_leader == entry)) {
           std::ostringstream os;
@@ -117,6 +145,39 @@ void InvariantChecker::deep_check() {
           break;
         }
       }
+    }
+  }
+
+  // Snapshot clock monotonicity: the configuration generation a snapshot
+  // carries is a floor for the server that holds it. A node whose adopted
+  // confClock is behind its own snapshot's has regressed through a restore —
+  // exactly the hazard carrying π(P, k) through snapshots exists to prevent.
+  // The snapshot's boundary must also never outrun what the server applied.
+  for (ServerId id : members) {
+    if (!cluster_.alive(id)) continue;
+    const auto snap = cluster_.snapshot_store(id).load();
+    if (!snap || snap->last_included_index == 0) continue;
+    const auto& node = cluster_.node(id);
+    const auto cfg = node.policy().current_config();
+    if (cfg.conf_clock < snap->config.conf_clock) {
+      std::ostringstream os;
+      os << "snapshot clock regression: " << server_name(id) << " adopted confClock "
+         << cfg.conf_clock << " behind its snapshot's " << snap->config.conf_clock;
+      add_violation(os.str());
+    }
+    if (snap->last_included_index > node.last_applied()) {
+      std::ostringstream os;
+      os << "snapshot ahead of state: " << server_name(id) << " snapshot covers "
+         << snap->last_included_index << " but applied only " << node.last_applied();
+      add_violation(os.str());
+    }
+    if (node.log().base() > 0 && !node.log().matches(snap->last_included_index,
+                                                     snap->last_included_term) &&
+        node.log().base() == snap->last_included_index) {
+      std::ostringstream os;
+      os << "snapshot boundary mismatch: " << server_name(id) << " log base term "
+         << node.log().base_term() << " != snapshot term " << snap->last_included_term;
+      add_violation(os.str());
     }
   }
 }

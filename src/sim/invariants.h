@@ -5,9 +5,17 @@
 //   * Election Safety    — at most one leader per term (Theorem 2 substrate)
 //   * Log Matching       — equal (index, term) implies equal prefixes
 //   * Leader Completeness— committed entries appear in every later leader log
-//   * State-Machine Safety — applied sequences are mutually consistent
+//     (or below its snapshot boundary — compacted entries are committed by
+//     construction)
+//   * State-Machine Safety — applied sequences are mutually consistent,
+//     compared by log index so snapshot-restored replicas (whose applied
+//     streams begin past the snapshot) still participate
 //   * Configuration uniqueness (Lemma 3) — servers sharing a confClock hold
 //     distinct priorities
+//   * Snapshot clock monotonicity — a server's adopted confClock is never
+//     behind the configuration its own snapshot carries (a restored node
+//     cannot regress the generation its state embodies), and a snapshot
+//     never claims an index past the server's applied point
 // Violations are recorded as human-readable strings; tests assert ok().
 #pragma once
 

@@ -32,6 +32,12 @@ std::string trace_line(const raft::NodeEvent& event) {
     case Kind::kVoteGranted:
       line += " vote->" + server_name(event.peer) + " term=" + std::to_string(event.term);
       break;
+    case Kind::kSnapshotTaken:
+      line += " snapshot index=" + std::to_string(event.index);
+      break;
+    case Kind::kSnapshotInstalled:
+      line += " install-snapshot index=" + std::to_string(event.index);
+      break;
   }
   return line;
 }

@@ -86,6 +86,44 @@ FaultPlan leader_churn_plan(SimCluster&, const ScenarioParams&) {
   return plan;
 }
 
+FaultPlan snapshot_catchup_plan(SimCluster& cluster, const ScenarioParams&) {
+  // The lagging-follower catch-up path: a follower crashes, sustained writes
+  // push the cluster far past its log position, the leader compacts its log
+  // behind a snapshot, and the follower recovers — its next index now falls
+  // below the leader's first retained entry, so the only way back is
+  // InstallSnapshot (restore + truncate + resume), not AppendEntries replay.
+  const ServerId leader = cluster.leader();
+  ServerId follower = kNoServer;
+  for (const ServerId id : cluster.members()) {
+    if (id != leader) {
+      follower = id;
+      break;
+    }
+  }
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(14'000), from_ms(60)});
+  plan.at(from_ms(1'000), CrashNode{NodeRef::id(follower)});
+  plan.at(from_ms(8'000), TriggerSnapshot{NodeRef::leader()});
+  plan.at(from_ms(9'000), RecoverNode{NodeRef::id(follower)});
+  return plan;
+}
+
+FaultPlan snapshot_churn_plan(SimCluster&, const ScenarioParams&) {
+  // Compact-then-die, three leaders in a row, under sustained traffic: every
+  // victim restarts from its own snapshot, successors catch stragglers up
+  // via InstallSnapshot, and the configuration clock must survive each hop
+  // (snapshot restore, install, and the new leadership's stride floor).
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(24'000), from_ms(80)});
+  for (int i = 0; i < 3; ++i) {
+    const Duration t = from_ms(3'000 + i * 7'000);
+    plan.at(t, SnapshotAndCrash{NodeRef::leader()});
+    plan.at(t + from_ms(3'500), RecoverAll{});
+  }
+  plan.at(from_ms(25'000), RecoverAll{});
+  return plan;
+}
+
 FaultPlan loss_spike_plan(SimCluster&, const ScenarioParams& params) {
   // A transient Δ = 40% broadcast-omission storm hits, the leader dies in
   // the middle of it, and conditions recover only after the election.
@@ -127,6 +165,14 @@ std::map<std::string, ScenarioSpec>& registry() {
     add({"loss_spike",
          "Transient 40% broadcast-omission storm with a mid-storm leader crash",
          loss_spike_plan, from_ms(15'000), 3});
+    add({"snapshot_catchup",
+         "Follower crashes, writes pass the compaction horizon, leader "
+         "compacts; recovery must go through InstallSnapshot",
+         snapshot_catchup_plan, from_ms(12'000), 3});
+    add({"snapshot_churn",
+         "Three compact-then-crash leader cycles under traffic; state and "
+         "confClock survive every snapshot hop",
+         snapshot_churn_plan, from_ms(12'000), 3});
     return built_in;
   }();
   return scenarios;
@@ -170,8 +216,10 @@ ClusterOptions scenario_cluster_options(const ScenarioParams& params) {
     throw std::invalid_argument("unknown policy '" + params.policy +
                                 "' (raft|zraft|escape)");
   }
-  return presets::paper_cluster(params.servers, std::move(policy), params.seed,
-                                params.broadcast_omission);
+  ClusterOptions options = presets::paper_cluster(params.servers, std::move(policy),
+                                                  params.seed, params.broadcast_omission);
+  options.snapshot_interval = params.snapshot_interval;
+  return options;
 }
 
 ScenarioReport run_scenario(const ScenarioSpec& spec, const ScenarioParams& params) {

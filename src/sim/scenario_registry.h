@@ -35,6 +35,9 @@ struct ScenarioParams {
   std::string policy = "escape";  ///< raft | zraft | escape
   double broadcast_omission = 0.0;
   std::uint64_t seed = 1;
+  /// Automatic compaction threshold (ClusterOptions::snapshot_interval);
+  /// 0 keeps the whole log unless the plan triggers snapshots itself.
+  LogIndex snapshot_interval = 0;
 };
 
 /// A named, declarative experiment.

@@ -1,8 +1,11 @@
 #include "sim/sim_check.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
+#include <iterator>
 #include <set>
+#include <stdexcept>
 #include <utility>
 
 #include "sim/trial_pool.h"
@@ -12,8 +15,9 @@ namespace escape::sim {
 namespace {
 
 // Action weights for the fuzz vocabulary. Crashes dominate (they are the
-// paper's subject and the only episode openers), but every fault family
-// keeps enough mass that a few hundred trials cover the whole vocabulary.
+// paper's subject and the only episode openers), but every fault family —
+// including the snapshot pair — keeps enough mass that a few hundred trials
+// cover the whole vocabulary.
 enum class FuzzAction : int {
   kCrash = 0,
   kCutLink,
@@ -23,19 +27,49 @@ enum class FuzzAction : int {
   kLossStorm,
   kTransfer,
   kBurst,
+  kSnapshot,
+  kSnapshotCrash,
   kCount,
 };
 
-FuzzAction pick_action(Rng& rng) {
-  // Cumulative weights over FuzzAction, crash-heavy.
-  static constexpr int kWeights[] = {30, 12, 12, 8, 10, 10, 8, 10};
-  static_assert(sizeof(kWeights) / sizeof(kWeights[0]) ==
-                static_cast<std::size_t>(FuzzAction::kCount));
+constexpr std::size_t kFuzzActionCount = static_cast<std::size_t>(FuzzAction::kCount);
+
+/// Name + default weight per FuzzAction, in enum order.
+struct ActionSpec {
+  const char* name;
+  int weight;
+};
+constexpr ActionSpec kActionSpecs[] = {
+    {"crash", 30},   {"cut-link", 12}, {"partial-isolate", 12}, {"isolate", 8},
+    {"degrade", 10}, {"loss-storm", 10}, {"transfer", 8},       {"burst", 10},
+    {"snapshot", 12}, {"snapshot-crash", 8},
+};
+static_assert(std::size(kActionSpecs) == kFuzzActionCount,
+              "every FuzzAction needs a name + default weight row");
+
+/// Default weights with `overrides` applied (unknown keys are ignored here;
+/// the CLI validates them against default_action_weights()). A fully zeroed
+/// table is a misconfiguration, not a request to fuzz nothing — honoring the
+/// "=0 retires a family" contract means never silently substituting one.
+std::array<int, kFuzzActionCount> resolve_weights(
+    const std::map<std::string, int>& overrides) {
+  if (effective_action_weight_total(overrides) <= 0) {
+    throw std::invalid_argument("SimCheck: every action weight is zero");
+  }
+  std::array<int, kFuzzActionCount> weights{};
+  for (std::size_t i = 0; i < kFuzzActionCount; ++i) {
+    const auto it = overrides.find(kActionSpecs[i].name);
+    weights[i] = it == overrides.end() ? kActionSpecs[i].weight : std::max(0, it->second);
+  }
+  return weights;
+}
+
+FuzzAction pick_action(Rng& rng, const std::array<int, kFuzzActionCount>& weights) {
   int total = 0;
-  for (int w : kWeights) total += w;
-  std::int64_t roll = rng.uniform_int(0, total - 1);
-  for (int i = 0;; ++i) {
-    roll -= kWeights[i];
+  for (int w : weights) total += w;
+  std::int64_t roll = rng.uniform_int(0, total - 1);  // total > 0 by resolve_weights
+  for (std::size_t i = 0;; ++i) {
+    roll -= weights[i];
     if (roll < 0) return static_cast<FuzzAction>(i);
   }
 }
@@ -45,6 +79,24 @@ Duration ms_between(Rng& rng, std::int64_t lo, std::int64_t hi) {
 }
 
 }  // namespace
+
+const std::map<std::string, int>& default_action_weights() {
+  static const std::map<std::string, int> weights = [] {
+    std::map<std::string, int> m;
+    for (const auto& spec : kActionSpecs) m.emplace(spec.name, spec.weight);
+    return m;
+  }();
+  return weights;
+}
+
+int effective_action_weight_total(const std::map<std::string, int>& overrides) {
+  int total = 0;
+  for (const auto& spec : kActionSpecs) {
+    const auto it = overrides.find(spec.name);
+    total += it == overrides.end() ? spec.weight : std::max(0, it->second);
+  }
+  return total;
+}
 
 FuzzCase make_fuzz_case(std::uint64_t scenario_seed, const SimCheckOptions& options) {
   FuzzCase c;
@@ -61,6 +113,12 @@ FuzzCase make_fuzz_case(std::uint64_t scenario_seed, const SimCheckOptions& opti
   c.params.policy = kPolicies[rng.uniform_int(0, 3)];
   static constexpr double kBaselineLoss[] = {0.0, 0.0, 0.1, 0.2};
   c.params.broadcast_omission = kBaselineLoss[rng.uniform_int(0, 3)];
+  // Half the trials run with automatic compaction so snapshots interleave
+  // with every other fault family even when no snapshot action is drawn; the
+  // thresholds are small enough that sustained background traffic crosses
+  // them several times per trial.
+  static constexpr LogIndex kSnapshotIntervals[] = {0, 0, 40, 80};
+  c.params.snapshot_interval = kSnapshotIntervals[rng.uniform_int(0, 3)];
   c.params.seed = rng.next_u64();
 
   // --- compose a legal schedule -------------------------------------------
@@ -73,6 +131,7 @@ FuzzCase make_fuzz_case(std::uint64_t scenario_seed, const SimCheckOptions& opti
   // invariants do not depend on liveness, and the closing sweep recovers
   // stragglers.)
   FaultPlan& plan = c.plan;
+  const auto weights = resolve_weights(options.action_weights);
   const auto fault_budget = static_cast<std::size_t>((n - 1) / 2);
   const std::size_t action_count = static_cast<std::size_t>(
       rng.uniform_int(3, static_cast<std::int64_t>(std::max<std::size_t>(options.max_faults, 3))));
@@ -116,7 +175,7 @@ FuzzCase make_fuzz_case(std::uint64_t scenario_seed, const SimCheckOptions& opti
       }
     }
 
-    switch (pick_action(rng)) {
+    switch (pick_action(rng, weights)) {
       case FuzzAction::kCrash: {
         if (crashed_down + isolated_down >= fault_budget) break;  // keep quorum
         // The leader is the interesting victim (it opens a measurement
@@ -191,6 +250,27 @@ FuzzCase make_fuzz_case(std::uint64_t scenario_seed, const SimCheckOptions& opti
         plan.at(t, TrafficBurst{ms_between(rng, 1'000, 5'000), ms_between(rng, 50, 250)});
         break;
       }
+      case FuzzAction::kSnapshot: {
+        // Compacting the leader is what forces InstallSnapshot catch-up on
+        // anyone who falls behind later; follower snapshots probe the
+        // restart-from-own-snapshot path.
+        const bool leader = rng.chance(0.6);
+        plan.at(t, TriggerSnapshot{leader ? NodeRef::leader() : NodeRef::id(random_server())});
+        break;
+      }
+      case FuzzAction::kSnapshotCrash: {
+        if (crashed_down + isolated_down >= fault_budget) break;  // keep quorum
+        // Compact-then-die: the victim restarts from the snapshot it just
+        // took. Same budget and targeted-recovery pairing as kCrash.
+        const bool leader = rng.chance(0.5);
+        const ServerId direct = random_server();
+        plan.at(t, SnapshotAndCrash{leader ? NodeRef::leader() : NodeRef::id(direct)});
+        ++crashed_down;
+        const Duration up = t + ms_between(rng, 2'500, 8'000);
+        plan.at(up, RecoverNode{leader ? NodeRef::last_crashed() : NodeRef::id(direct)});
+        crash_repairs.push_back(up);
+        break;
+      }
       case FuzzAction::kCount:
         break;  // unreachable
     }
@@ -256,6 +336,15 @@ ScenarioReport run_fuzz_trial(std::uint64_t scenario_seed, const SimCheckOptions
     failure->trace_diverged = diverged;
     failure->violations = report.violations;
     failure->repro = "sim_check --scenario-seed " + std::to_string(scenario_seed);
+    // Weight overrides redefine the seed -> schedule mapping; a repro line
+    // that omitted them would regenerate a different trial and "pass".
+    if (!options.action_weights.empty()) {
+      std::string spec;
+      for (const auto& [name, weight] : options.action_weights) {
+        spec += (spec.empty() ? "" : ",") + name + "=" + std::to_string(weight);
+      }
+      failure->repro += " --actions " + spec;
+    }
   }
   return report;
 }
@@ -266,6 +355,7 @@ SimCheckResult run_sim_check(const SimCheckOptions& options) {
     std::size_t episodes = 0;
     std::size_t converged = 0;
     std::size_t traffic = 0;
+    std::map<std::string, std::size_t> histogram;
     bool failed = false;
     SimCheckFailure failure;
   };
@@ -274,6 +364,13 @@ SimCheckResult run_sim_check(const SimCheckOptions& options) {
   const std::vector<TrialSummary> summaries = pool.map_seeded<TrialSummary>(
       options.trials, options.root_seed, [&](std::size_t, std::uint64_t seed) {
         TrialSummary s;
+        // Regenerating the case for the histogram is cheap (plan synthesis
+        // is RNG arithmetic, no simulation) and keeps run_fuzz_trial's
+        // signature focused on the verdict.
+        const FuzzCase fuzz = make_fuzz_case(seed, options);
+        for (const auto& planned : fuzz.plan.actions()) {
+          ++s.histogram[action_name(planned.action)];
+        }
         SimCheckFailure failure;  // failure.repro stays empty for a passing trial
         const ScenarioReport report = run_fuzz_trial(seed, options, &failure);
         s.executed_actions = report.executed_actions;
@@ -307,6 +404,7 @@ SimCheckResult run_sim_check(const SimCheckOptions& options) {
     result.episodes += s.episodes;
     result.converged_episodes += s.converged;
     result.traffic_submitted += s.traffic;
+    for (const auto& [name, count] : s.histogram) result.action_histogram[name] += count;
     if (s.failed) result.failures.push_back(s.failure);
   }
   return result;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,7 +38,23 @@ struct SimCheckOptions {
   Duration drain = from_ms(20'000);  ///< run-out after the last planned action
   bool check_determinism = true;     ///< replay every trial, compare traces
   bool announce_failures = true;     ///< print repro lines to stderr when found
+  /// Per-action sampling-weight overrides, keyed by the names in
+  /// default_action_weights(); entries replace the default weight (0 retires
+  /// an action from the vocabulary). Non-default weights change the
+  /// seed -> schedule mapping, so repro lines must quote the same --actions.
+  std::map<std::string, int> action_weights;
 };
+
+/// The fuzz vocabulary's default sampling weights, keyed by action name
+/// ("crash", "cut-link", ..., "snapshot", "snapshot-crash"). The CLI's
+/// --actions flag validates its overrides against these keys.
+const std::map<std::string, int>& default_action_weights();
+
+/// Sum of the effective weights after applying `overrides` to the defaults
+/// (negative overrides clamp to 0). A total of 0 retires every action
+/// family — make_fuzz_case rejects it, and callers validating user input
+/// should too, with the same arithmetic.
+int effective_action_weight_total(const std::map<std::string, int>& overrides);
 
 /// Everything one fuzzed trial is built from, derived purely from
 /// `scenario_seed` (see make_fuzz_case).
@@ -66,6 +83,10 @@ struct SimCheckResult {
   std::size_t episodes = 0;            ///< measured failover episodes
   std::size_t converged_episodes = 0;  ///< episodes that elected a leader
   std::size_t traffic_submitted = 0;   ///< client commands across all trials
+  /// Scheduled plan actions by name across every trial (closing-sweep heals
+  /// included) — the coverage evidence that each vocabulary family actually
+  /// ran; CI prints it so a silently retired action is visible in the log.
+  std::map<std::string, std::size_t> action_histogram;
   std::vector<SimCheckFailure> failures;
   bool ok() const { return failures.empty(); }
 };

@@ -26,6 +26,7 @@ SimCluster::SimCluster(ClusterOptions options)
     auto& host = hosts_[id];
     host.store = std::make_unique<storage::MemoryStateStore>();
     host.wal = std::make_unique<storage::MemoryWal>();
+    host.snaps = std::make_unique<storage::MemorySnapshotStore>();
   }
 }
 
@@ -33,7 +34,7 @@ void SimCluster::build_node(ServerId id) {
   auto& host = hosts_.at(id);
   host.node = std::make_unique<raft::RaftNode>(
       id, members_, options_.policy(id, members_.size()), *host.store, *host.wal,
-      rng_.fork(0x1000 + id), options_.node, host.wal->entries());
+      rng_.fork(0x1000 + id), options_.node, host.wal->entries(), host.snaps.get());
   host.node->set_event_hook([this](const raft::NodeEvent& ev) { on_node_event(ev); });
   host.alive = true;
   host.scheduled_wakeup = kNever;
@@ -89,13 +90,26 @@ void SimCluster::crash(ServerId id) {
 void SimCluster::recover(ServerId id) {
   auto& host = hosts_.at(id);
   if (host.alive) throw std::logic_error("recover() on a live node");
-  // The state machine restarts from scratch and replays the recovered log;
-  // `applied` tracks the current incarnation's input sequence.
+  // The state machine restarts from its last snapshot (when one exists) and
+  // replays the WAL suffix beyond it; `applied` tracks the current
+  // incarnation's input sequence.
   host.applied.clear();
   build_node(id);
+  if (snapshot_restore_hook_) {
+    if (const auto snap = host.snaps->load(); snap && snap->last_included_index > 0) {
+      snapshot_restore_hook_(id, *snap);
+    }
+  }
   host.node->start(loop_.now());
   LOG_DEBUG(server_name(id) << " recovered at " << to_ms(loop_.now()) << "ms");
   pump(id);
+}
+
+std::optional<LogIndex> SimCluster::trigger_snapshot(ServerId id) {
+  auto& host = hosts_.at(id);
+  if (!host.alive || !host.node) return std::nullopt;
+  auto state = snapshot_state_hook_ ? snapshot_state_hook_(id) : std::vector<std::uint8_t>{};
+  return host.node->compact(host.node->last_applied(), std::move(state), loop_.now());
 }
 
 std::optional<raft::NodeEvent> SimCluster::run_until_event(
@@ -154,9 +168,18 @@ void SimCluster::pump(ServerId id) {
   if (!host.alive || !host.node) return;
   auto outbox = host.node->take_outbox();
   if (!outbox.empty()) network_->send_batch(outbox);
+  // An installed snapshot must restore the state machine before any entry
+  // committed after it applies.
+  if (const auto snap = host.node->take_installed_snapshot()) {
+    if (snapshot_restore_hook_) snapshot_restore_hook_(id, *snap);
+  }
   for (auto& entry : host.node->take_committed()) {
     if (apply_hook_) apply_hook_(id, entry);
     host.applied.push_back(std::move(entry));
+  }
+  if (options_.snapshot_interval > 0 &&
+      host.node->last_applied() - host.node->log().base() >= options_.snapshot_interval) {
+    trigger_snapshot(id);
   }
   ensure_timer(id);
 }

@@ -18,6 +18,7 @@
 #include "raft/raft_node.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
+#include "storage/snapshot_store.h"
 #include "storage/state_store.h"
 #include "storage/wal.h"
 
@@ -37,6 +38,11 @@ struct ClusterOptions {
   raft::NodeOptions node;
   NetworkOptions network;
   std::uint64_t seed = 42;
+  /// Automatic log compaction: when > 0, a host snapshots its state machine
+  /// and compacts whenever it retains at least this many applied entries
+  /// beyond its last snapshot. 0 keeps the whole log (manual
+  /// trigger_snapshot() still works).
+  LogIndex snapshot_interval = 0;
 };
 
 /// A full simulated deployment of `size` consensus servers.
@@ -65,6 +71,7 @@ class SimCluster {
   /// Durable state of a host (survives crash/recover).
   storage::MemoryStateStore& state_store(ServerId id) { return *hosts_.at(id).store; }
   storage::MemoryWal& wal(ServerId id) { return *hosts_.at(id).wal; }
+  storage::MemorySnapshotStore& snapshot_store(ServerId id) { return *hosts_.at(id).snaps; }
 
   /// Entries applied (committed) by a host, in order, across incarnations.
   const std::vector<rpc::LogEntry>& applied(ServerId id) const { return hosts_.at(id).applied; }
@@ -74,8 +81,32 @@ class SimCluster {
   /// and WAL survive for recover().
   void crash(ServerId id);
 
-  /// Restarts a crashed node from its durable state.
+  /// Restarts a crashed node from its durable state (including its stored
+  /// snapshot, when one exists: the log rebases onto it and the restore hook
+  /// rebuilds the application state machine from its payload).
   void recover(ServerId id);
+
+  // --- snapshotting -----------------------------------------------------------
+  /// Takes a snapshot of `id` at its applied index and compacts its log and
+  /// WAL. Returns the compacted-through index, or nullopt when the node is
+  /// down or nothing new is compactable.
+  std::optional<LogIndex> trigger_snapshot(ServerId id);
+
+  /// Provider of the serialized application state of `id` at its current
+  /// applied index (KvCluster installs one). Unset: snapshots carry an empty
+  /// payload — the consensus-level mechanics still work, there is simply no
+  /// application state to preserve.
+  void set_snapshot_state_hook(std::function<std::vector<std::uint8_t>(ServerId)> hook) {
+    snapshot_state_hook_ = std::move(hook);
+  }
+
+  /// Invoked when a node installs a leader snapshot mid-run and when a
+  /// recovering node boots from a stored one — always *before* any
+  /// subsequently committed entries reach the apply hook.
+  void set_snapshot_restore_hook(
+      std::function<void(ServerId, const storage::Snapshot&)> hook) {
+    snapshot_restore_hook_ = std::move(hook);
+  }
 
   // --- driving ----------------------------------------------------------------
   /// Runs until `pred` matches an emitted NodeEvent, or `deadline` passes.
@@ -124,6 +155,7 @@ class SimCluster {
   struct Host {
     std::unique_ptr<storage::MemoryStateStore> store;
     std::unique_ptr<storage::MemoryWal> wal;
+    std::unique_ptr<storage::MemorySnapshotStore> snaps;
     std::unique_ptr<raft::RaftNode> node;
     bool alive = false;
     TimePoint scheduled_wakeup = kNever;
@@ -147,6 +179,8 @@ class SimCluster {
   std::function<bool(const raft::NodeEvent&)> stop_predicate_;
   std::optional<raft::NodeEvent> stop_event_;
   std::function<void(ServerId, const rpc::LogEntry&)> apply_hook_;
+  std::function<std::vector<std::uint8_t>(ServerId)> snapshot_state_hook_;
+  std::function<void(ServerId, const storage::Snapshot&)> snapshot_restore_hook_;
   bool started_ = false;
 };
 

@@ -6,13 +6,14 @@
 namespace escape::storage {
 
 Term Log::last_term() const {
-  if (entries_.empty()) return 0;
+  if (entries_.empty()) return base_term_;
   return entries_.back().term;
 }
 
 std::optional<Term> Log::term_at(LogIndex index) const {
   if (index == 0) return Term{0};
-  if (index <= base_ || index > last_index()) return std::nullopt;
+  if (index == base_) return base_term_;
+  if (index < base_ || index > last_index()) return std::nullopt;
   return entries_[static_cast<std::size_t>(index - base_ - 1)].term;
 }
 
@@ -36,14 +37,21 @@ void Log::truncate_from(LogIndex from) {
   entries_.resize(static_cast<std::size_t>(from - base_ - 1));
 }
 
-void Log::compact_prefix(LogIndex upto) {
+void Log::compact_to(LogIndex upto) {
   if (upto <= base_) return;
   if (upto > last_index()) {
-    throw std::logic_error("Log::compact_prefix: beyond tail");
+    throw std::logic_error("Log::compact_to: beyond tail");
   }
+  base_term_ = entries_[static_cast<std::size_t>(upto - base_ - 1)].term;
   entries_.erase(entries_.begin(),
                  entries_.begin() + static_cast<std::ptrdiff_t>(upto - base_));
   base_ = upto;
+}
+
+void Log::reset_to(LogIndex index, Term term) {
+  entries_.clear();
+  base_ = index;
+  base_term_ = term;
 }
 
 std::vector<rpc::LogEntry> Log::slice(LogIndex from, std::size_t max_count) const {
@@ -78,6 +86,13 @@ std::optional<LogIndex> Log::last_index_of_term(Term t) const {
     if (entries_[i - 1].term == t) return base_ + static_cast<LogIndex>(i);
   }
   return std::nullopt;
+}
+
+std::size_t Log::approx_bytes() const {
+  // Per-entry header: term + index (two i64s on the wire).
+  std::size_t bytes = 0;
+  for (const auto& e : entries_) bytes += 16 + e.command.size();
+  return bytes;
 }
 
 }  // namespace escape::storage

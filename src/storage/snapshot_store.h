@@ -1,0 +1,90 @@
+// Durable snapshot storage.
+//
+// A Snapshot captures everything a server needs to discard its log prefix:
+// the application state machine's serialized state, the (last included
+// index, last included term) boundary the Raft consistency check anchors on,
+// and — crucial for ESCAPE — the configuration π(P, k) adopted when the
+// snapshot was taken. Carrying the configuration through snapshots is what
+// keeps the confClock monotone across a restore: a server that restarts from
+// a snapshot (or installs one from the leader) resumes at a configuration
+// generation at least as fresh as the state it holds, so Lemma 3/4 reasoning
+// survives compaction.
+//
+// FileSnapshotStore writes WAL-style: the whole snapshot goes to
+// `<path>.tmp`, is fsynced, then atomically renamed over `<path>` — a crash
+// mid-write leaves the previous snapshot intact, and a CRC over the body
+// rejects torn or corrupted files at load time.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpc/messages.h"
+
+namespace escape::storage {
+
+/// One complete snapshot of a server's applied state.
+struct Snapshot {
+  LogIndex last_included_index = 0;  ///< last log index the state covers
+  Term last_included_term = 0;       ///< its term (consistency-check anchor)
+  rpc::Configuration config;         ///< ESCAPE config adopted at snapshot time
+  std::vector<std::uint8_t> state;   ///< serialized application state machine
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// Serializes a snapshot into a CRC-framed buffer.
+std::vector<std::uint8_t> encode_snapshot(const Snapshot& snapshot);
+
+/// Parses a buffer produced by encode_snapshot; nullopt when malformed or
+/// CRC-corrupt (a damaged snapshot is treated as absent, never installed).
+std::optional<Snapshot> decode_snapshot(const std::vector<std::uint8_t>& buf);
+
+/// Abstract durable store holding at most one snapshot (the newest wins).
+class SnapshotStore {
+ public:
+  virtual ~SnapshotStore() = default;
+
+  /// Durably replaces the stored snapshot (atomic: a crash mid-save keeps
+  /// the previous snapshot for file-backed implementations).
+  virtual void save(const Snapshot& snapshot) = 0;
+
+  /// Loads the last saved snapshot; nullopt when none exists (or the stored
+  /// one is corrupt).
+  virtual std::optional<Snapshot> load() = 0;
+};
+
+/// Volatile store for simulation and tests; survives a simulated crash the
+/// same way MemoryStateStore does (the host keeps the store while the node
+/// object is destroyed).
+class MemorySnapshotStore final : public SnapshotStore {
+ public:
+  void save(const Snapshot& snapshot) override {
+    snapshot_ = snapshot;
+    ++save_count_;
+  }
+  std::optional<Snapshot> load() override { return snapshot_; }
+
+  /// Number of save() calls (tests assert when snapshots must be taken).
+  std::size_t save_count() const { return save_count_; }
+
+ private:
+  std::optional<Snapshot> snapshot_;
+  std::size_t save_count_ = 0;
+};
+
+/// Crash-safe file-backed store (tmp + fsync + rename).
+class FileSnapshotStore final : public SnapshotStore {
+ public:
+  /// `path` is the snapshot file; writes go to `path.tmp` then rename.
+  explicit FileSnapshotStore(std::string path);
+
+  void save(const Snapshot& snapshot) override;
+  std::optional<Snapshot> load() override;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace escape::storage

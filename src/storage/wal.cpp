@@ -15,6 +15,7 @@ namespace {
 
 constexpr std::uint8_t kRecordAppend = 1;
 constexpr std::uint8_t kRecordTruncate = 2;
+constexpr std::uint8_t kRecordCompact = 3;
 
 std::vector<std::uint8_t> encode_entry_payload(const rpc::LogEntry& e) {
   Encoder enc;
@@ -41,17 +42,31 @@ void throw_errno(const std::string& op, const std::string& path) {
 }  // namespace
 
 void MemoryWal::append(const rpc::LogEntry& entry) {
-  if (entry.index != static_cast<LogIndex>(entries_.size()) + 1) {
+  if (entry.index != base_ + static_cast<LogIndex>(entries_.size()) + 1) {
     throw std::logic_error("MemoryWal::append: non-contiguous index");
   }
   entries_.push_back(entry);
 }
 
 void MemoryWal::truncate_from(LogIndex from) {
-  if (from < 1) from = 1;
-  if (from <= static_cast<LogIndex>(entries_.size())) {
-    entries_.resize(static_cast<std::size_t>(from - 1));
+  if (from <= base_) {
+    throw std::logic_error("MemoryWal::truncate_from: index already compacted");
   }
+  if (from - base_ <= static_cast<LogIndex>(entries_.size())) {
+    entries_.resize(static_cast<std::size_t>(from - base_ - 1));
+  }
+}
+
+void MemoryWal::compact_to(LogIndex upto) {
+  if (upto <= base_) return;
+  const LogIndex tail = base_ + static_cast<LogIndex>(entries_.size());
+  if (upto >= tail) {
+    entries_.clear();
+  } else {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(upto - base_));
+  }
+  base_ = upto;
 }
 
 FileWal::FileWal(std::string path, bool sync_every_record)
@@ -84,21 +99,37 @@ FileWal::FileWal(std::string path, bool sync_every_record)
                                       data.begin() + static_cast<std::ptrdiff_t>(pos + 9 + len));
     if (crc32(payload) != crc) break;  // corrupt tail
     try {
+      const auto tail = [this] { return base_ + static_cast<LogIndex>(recovered_.size()); };
       if (kind == kRecordAppend) {
         auto e = decode_entry_payload(payload);
+        if (e.index <= base_) break;  // append below the compaction point: stop
         // An append after an implicit divergence acts as truncate+append,
         // mirroring how the consensus core issues records.
-        if (e.index <= static_cast<LogIndex>(recovered_.size())) {
-          recovered_.resize(static_cast<std::size_t>(e.index - 1));
+        if (e.index <= tail()) {
+          recovered_.resize(static_cast<std::size_t>(e.index - base_ - 1));
         }
-        if (e.index != static_cast<LogIndex>(recovered_.size()) + 1) break;  // hole: stop
+        if (e.index != tail() + 1) break;  // hole: stop
         recovered_.push_back(std::move(e));
       } else if (kind == kRecordTruncate) {
         Decoder d(payload);
         const auto from = d.i64();
         d.expect_end();
-        if (from >= 1 && from <= static_cast<LogIndex>(recovered_.size())) {
-          recovered_.resize(static_cast<std::size_t>(from - 1));
+        if (from <= base_) break;  // truncating the compacted prefix: stop
+        if (from <= tail()) {
+          recovered_.resize(static_cast<std::size_t>(from - base_ - 1));
+        }
+      } else if (kind == kRecordCompact) {
+        Decoder d(payload);
+        const auto upto = d.i64();
+        d.expect_end();
+        if (upto > base_) {
+          if (upto >= tail()) {
+            recovered_.clear();
+          } else {
+            recovered_.erase(recovered_.begin(),
+                             recovered_.begin() + static_cast<std::ptrdiff_t>(upto - base_));
+          }
+          base_ = upto;
         }
       } else {
         break;  // unknown record kind: stop replay conservatively
@@ -151,6 +182,14 @@ void FileWal::truncate_from(LogIndex from) {
   Encoder e;
   e.i64(from);
   write_record(kRecordTruncate, e.take());
+}
+
+void FileWal::compact_to(LogIndex upto) {
+  if (upto <= base_) return;
+  Encoder e;
+  e.i64(upto);
+  write_record(kRecordCompact, e.take());
+  base_ = upto;
 }
 
 void FileWal::sync() {

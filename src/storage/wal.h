@@ -1,7 +1,8 @@
 // Write-ahead log for replicated entries.
 //
-// The consensus core emits log mutations (append / truncate-suffix) through
-// the Wal interface before acting on them. Implementations:
+// The consensus core emits log mutations (append / truncate-suffix /
+// compact-prefix) through the Wal interface before acting on them.
+// Implementations:
 //   * NullWal    — discards everything (pure in-memory simulation runs).
 //   * MemoryWal  — replays into a vector; lets tests model a disk that
 //                  survives a simulated crash.
@@ -9,6 +10,11 @@
 //                  torn-write recovery: a partially written final record is
 //                  detected and discarded on open, everything before it is
 //                  replayed.
+//
+// Compaction: compact_to(upto) records that every entry with index <= upto
+// is now covered by a snapshot (in the paired SnapshotStore) and need not be
+// replayed. Recovered entries therefore start at upto+1; the snapshot holds
+// the state that those dropped entries produced.
 //
 // FileWal record layout: [kind u8][len u32][crc u32][payload len bytes].
 #pragma once
@@ -32,6 +38,11 @@ class Wal {
   /// Records that all entries with index >= `from` were discarded.
   virtual void truncate_from(LogIndex from) = 0;
 
+  /// Records that entries with index <= `upto` were absorbed into a snapshot
+  /// and will never be replayed. Also rebases the WAL so a later append at
+  /// upto+1 is contiguous. Default: no-op (volatile implementations).
+  virtual void compact_to(LogIndex upto) { (void)upto; }
+
   /// Blocks until all prior records are durable (no-op for volatile impls).
   virtual void sync() = 0;
 };
@@ -49,12 +60,19 @@ class MemoryWal final : public Wal {
  public:
   void append(const rpc::LogEntry& entry) override;
   void truncate_from(LogIndex from) override;
+  void compact_to(LogIndex upto) override;
   void sync() override {}
 
-  /// Entry sequence as it would be recovered after a crash.
+  /// Entry sequence as it would be recovered after a crash; starts at
+  /// base()+1 once compacted.
   const std::vector<rpc::LogEntry>& entries() const { return entries_; }
 
+  /// Highest compacted index (0 when never compacted). The paired
+  /// SnapshotStore covers everything up to and including it.
+  LogIndex base() const { return base_; }
+
  private:
+  LogIndex base_ = 0;
   std::vector<rpc::LogEntry> entries_;
 };
 
@@ -72,10 +90,16 @@ class FileWal final : public Wal {
 
   void append(const rpc::LogEntry& entry) override;
   void truncate_from(LogIndex from) override;
+  void compact_to(LogIndex upto) override;
   void sync() override;
 
-  /// Entries reconstructed from the file at open time.
+  /// Entries reconstructed from the file at open time (those past the last
+  /// compaction record; see recovered_base()).
   const std::vector<rpc::LogEntry>& recovered_entries() const { return recovered_; }
+
+  /// Highest compacted index recorded in the file (0 when never compacted);
+  /// recovered_entries() starts at recovered_base()+1.
+  LogIndex recovered_base() const { return base_; }
 
  private:
   void write_record(std::uint8_t kind, const std::vector<std::uint8_t>& payload);
@@ -83,6 +107,7 @@ class FileWal final : public Wal {
   std::string path_;
   bool sync_every_record_;
   int fd_ = -1;
+  LogIndex base_ = 0;
   std::vector<rpc::LogEntry> recovered_;
 };
 

@@ -1,0 +1,331 @@
+// Snapshot/compaction unit tests of the consensus core: a RaftNode driven by
+// hand-crafted messages, no simulator. Covers the leader's snapshot-or-
+// entries decision, follower install (fresh, stale, and racing a leader
+// change mid-transfer), compact-to-last-applied-then-restart recovery, and
+// the ESCAPE confClock surviving a restore through the snapshot alone.
+#include <gtest/gtest.h>
+
+#include "core/configuration.h"
+#include "core/escape_policy.h"
+#include "raft/raft_node.h"
+#include "storage/snapshot_store.h"
+#include "storage/state_store.h"
+#include "storage/wal.h"
+
+namespace escape::raft {
+namespace {
+
+constexpr Duration kMin = from_ms(100);
+constexpr Duration kMax = from_ms(100);  // deterministic timeout for unit tests
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> b) { return b; }
+
+struct SnapFixture {
+  explicit SnapFixture(ServerId id = 1, std::size_t n = 3,
+                       std::unique_ptr<ElectionPolicy> policy = nullptr) {
+    std::vector<ServerId> members;
+    for (ServerId s = 1; s <= n; ++s) members.push_back(s);
+    if (!policy) policy = std::make_unique<RaftRandomizedPolicy>(kMin, kMax);
+    node = std::make_unique<RaftNode>(id, members, std::move(policy), store, wal, Rng(7),
+                                      NodeOptions{}, wal.entries(), &snaps);
+  }
+
+  void expire_election_timer() {
+    now += kMax + 1;
+    node->on_tick(now);
+  }
+
+  void deliver(ServerId from, rpc::Message m) {
+    node->on_message({from, node->id(), std::move(m)}, now);
+  }
+
+  /// Elects this node leader of its 3-node cluster (vote from S2).
+  void become_leader() {
+    node->start(now);
+    expire_election_timer();
+    node->take_outbox();
+    rpc::RequestVoteReply reply;
+    reply.term = node->term();
+    reply.vote_granted = true;
+    reply.voter_id = 2;
+    deliver(2, reply);
+    ASSERT_EQ(node->role(), Role::kLeader);
+  }
+
+  /// Submits `count` commands and commits them via success replies from S2.
+  void submit_and_commit(std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_TRUE(node->submit({static_cast<std::uint8_t>(i)}, now).has_value());
+    }
+    node->take_outbox();
+    rpc::AppendEntriesReply ok;
+    ok.term = node->term();
+    ok.success = true;
+    ok.from = 2;
+    ok.match_index = node->log().last_index();
+    deliver(2, ok);
+    ASSERT_EQ(node->commit_index(), node->log().last_index());
+    node->take_committed();
+  }
+
+  rpc::InstallSnapshot make_snapshot_msg(Term term, LogIndex last, Term last_term,
+                                         ServerId leader = 2) {
+    rpc::InstallSnapshot is;
+    is.term = term;
+    is.leader_id = leader;
+    is.last_included_index = last;
+    is.last_included_term = last_term;
+    is.state = bytes({0xAB, 0xCD});
+    return is;
+  }
+
+  storage::MemoryStateStore store;
+  storage::MemoryWal wal;
+  storage::MemorySnapshotStore snaps;
+  std::unique_ptr<RaftNode> node;
+  TimePoint now = 0;
+};
+
+TEST(RaftSnapshotTest, CompactRequiresStoreAndAppliedEntries) {
+  storage::MemoryStateStore store;
+  storage::MemoryWal wal;
+  RaftNode bare(1, {1, 2, 3}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store, wal,
+                Rng(7));
+  bare.start(0);
+  // No snapshot store: compaction is disabled.
+  EXPECT_FALSE(bare.compact(5, {}, 0).has_value());
+
+  SnapFixture f;
+  f.become_leader();
+  // Nothing applied yet: nothing to compact.
+  EXPECT_FALSE(f.node->compact(5, {}, f.now).has_value());
+}
+
+TEST(RaftSnapshotTest, CompactClampsToLastAppliedAndPersists) {
+  SnapFixture f;
+  f.become_leader();
+  f.submit_and_commit(6);
+  const auto compacted = f.node->compact(100, bytes({1, 2, 3}), f.now);
+  ASSERT_TRUE(compacted.has_value());
+  EXPECT_EQ(*compacted, f.node->last_applied());
+  EXPECT_EQ(f.node->log().base(), *compacted);
+  EXPECT_EQ(f.wal.base(), *compacted);
+  const auto snap = f.snaps.load();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->last_included_index, *compacted);
+  EXPECT_EQ(snap->last_included_term, f.node->log().base_term());
+  EXPECT_EQ(snap->state, bytes({1, 2, 3}));
+  // Re-compacting at the same point is a no-op.
+  EXPECT_FALSE(f.node->compact(100, {}, f.now).has_value());
+}
+
+TEST(RaftSnapshotTest, LeaderShipsSnapshotWhenFollowerFallsBelowHorizon) {
+  SnapFixture f;
+  f.become_leader();
+  f.submit_and_commit(6);
+  ASSERT_TRUE(f.node->compact(4, bytes({9}), f.now).has_value());
+
+  // S3 reports a log far behind the compaction horizon.
+  rpc::AppendEntriesReply behind;
+  behind.term = f.node->term();
+  behind.success = false;
+  behind.from = 3;
+  behind.conflict_index = 1;
+  behind.conflict_term = 0;
+  f.deliver(3, behind);
+
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_TRUE(std::holds_alternative<rpc::InstallSnapshot>(out[0].message));
+  const auto& is = std::get<rpc::InstallSnapshot>(out[0].message);
+  EXPECT_EQ(out[0].to, 3u);
+  EXPECT_EQ(is.last_included_index, 4);
+  EXPECT_EQ(is.state, bytes({9}));
+  EXPECT_EQ(f.node->counters().install_snapshots_sent, 1u);
+
+  // The follower's reply advances next_index past the snapshot; the
+  // remaining suffix then goes out as ordinary AppendEntries.
+  rpc::InstallSnapshotReply done;
+  done.term = f.node->term();
+  done.from = 3;
+  done.success = true;
+  done.match_index = 4;
+  f.deliver(3, done);
+  const auto after = f.node->take_outbox();
+  ASSERT_EQ(after.size(), 1u);
+  ASSERT_TRUE(std::holds_alternative<rpc::AppendEntries>(after[0].message));
+  const auto& ae = std::get<rpc::AppendEntries>(after[0].message);
+  EXPECT_EQ(ae.prev_log_index, 4);
+  ASSERT_FALSE(ae.entries.empty());
+  EXPECT_EQ(ae.entries.front().index, 5);
+}
+
+TEST(RaftSnapshotTest, FollowerInstallsAndResumesReplication) {
+  SnapFixture f(2);
+  f.node->start(0);
+
+  auto is = f.make_snapshot_msg(/*term=*/1, /*last=*/5, /*last_term=*/1);
+  f.deliver(2, is);
+
+  EXPECT_EQ(f.node->log().base(), 5);
+  EXPECT_EQ(f.node->log().base_term(), 1);
+  EXPECT_EQ(f.node->commit_index(), 5);
+  EXPECT_EQ(f.node->last_applied(), 5);
+  EXPECT_EQ(f.node->counters().snapshots_installed, 1u);
+  const auto installed = f.node->take_installed_snapshot();
+  ASSERT_TRUE(installed.has_value());
+  EXPECT_EQ(installed->state, bytes({0xAB, 0xCD}));
+  EXPECT_FALSE(f.node->take_installed_snapshot().has_value());  // drained
+  ASSERT_TRUE(f.snaps.load().has_value());
+
+  auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  const auto& reply = std::get<rpc::InstallSnapshotReply>(out[0].message);
+  EXPECT_TRUE(reply.success);
+  EXPECT_EQ(reply.match_index, 5);
+
+  // Replication resumes right after the boundary.
+  rpc::AppendEntries ae;
+  ae.term = 1;
+  ae.leader_id = 2;
+  ae.prev_log_index = 5;
+  ae.prev_log_term = 1;
+  rpc::LogEntry e;
+  e.term = 1;
+  e.index = 6;
+  e.command = {42};
+  ae.entries.push_back(e);
+  ae.leader_commit = 6;
+  f.deliver(2, ae);
+  EXPECT_EQ(f.node->log().last_index(), 6);
+  EXPECT_EQ(f.node->commit_index(), 6);
+  const auto committed = f.node->take_committed();
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0].index, 6);
+}
+
+TEST(RaftSnapshotTest, StaleSnapshotNeverRegressesCommit) {
+  SnapFixture f(2);
+  f.node->start(0);
+  f.deliver(2, f.make_snapshot_msg(1, 8, 1));
+  f.node->take_installed_snapshot();
+
+  // A duplicate/older snapshot (leader retransmission) must not reinstall or
+  // roll anything back — the reply reports how far we actually are.
+  f.node->take_outbox();
+  f.deliver(2, f.make_snapshot_msg(1, 5, 1));
+  EXPECT_EQ(f.node->commit_index(), 8);
+  EXPECT_EQ(f.node->counters().snapshots_installed, 1u);
+  EXPECT_FALSE(f.node->take_installed_snapshot().has_value());
+  const auto out = f.node->take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  const auto& reply = std::get<rpc::InstallSnapshotReply>(out[0].message);
+  EXPECT_TRUE(reply.success);
+  EXPECT_EQ(reply.match_index, 8);
+}
+
+TEST(RaftSnapshotTest, InstallRacingLeaderChangeMidTransfer) {
+  // The in-flight snapshot of a deposed leader arrives after the follower
+  // has already heard from the new term: it must be rejected outright, and
+  // the new leader's own snapshot must still install cleanly afterwards.
+  SnapFixture f(2);
+  f.node->start(0);
+
+  rpc::AppendEntries hb;  // new leader S3 announces term 5
+  hb.term = 5;
+  hb.leader_id = 3;
+  f.deliver(3, hb);
+  ASSERT_EQ(f.node->term(), 5);
+  f.node->take_outbox();
+
+  f.deliver(2, f.make_snapshot_msg(/*term=*/2, /*last=*/9, /*last_term=*/2));  // stale
+  EXPECT_EQ(f.node->log().base(), 0);
+  EXPECT_EQ(f.node->commit_index(), 0);
+  EXPECT_EQ(f.node->counters().snapshots_installed, 0u);
+  {
+    const auto out = f.node->take_outbox();
+    ASSERT_EQ(out.size(), 1u);
+    const auto& reply = std::get<rpc::InstallSnapshotReply>(out[0].message);
+    EXPECT_FALSE(reply.success);
+    EXPECT_EQ(reply.term, 5);
+  }
+
+  f.deliver(3, f.make_snapshot_msg(/*term=*/5, /*last=*/7, /*last_term=*/4, /*leader=*/3));
+  EXPECT_EQ(f.node->log().base(), 7);
+  EXPECT_EQ(f.node->commit_index(), 7);
+  EXPECT_EQ(f.node->counters().snapshots_installed, 1u);
+}
+
+TEST(RaftSnapshotTest, CompactToLastAppliedThenRestart) {
+  SnapFixture f;
+  f.become_leader();
+  f.submit_and_commit(5);
+  const Term term = f.node->term();
+  ASSERT_TRUE(f.node->compact(f.node->last_applied(), bytes({7, 7}), f.now).has_value());
+  // Two more entries after the snapshot, committed and retained in the WAL.
+  f.submit_and_commit(2);
+  const LogIndex tail = f.node->log().last_index();
+
+  // Crash: volatile state dies, store/wal/snaps survive.
+  f.node.reset();
+  std::vector<ServerId> members = {1, 2, 3};
+  RaftNode restarted(1, members, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), f.store,
+                     f.wal, Rng(8), NodeOptions{}, f.wal.entries(), &f.snaps);
+  restarted.start(0);
+  EXPECT_EQ(restarted.log().base(), 5);
+  EXPECT_EQ(restarted.log().base_term(), term);
+  EXPECT_EQ(restarted.log().last_index(), tail);  // WAL suffix re-seeded
+  EXPECT_EQ(restarted.last_applied(), 5);         // runtime restores state, then replays
+  EXPECT_EQ(restarted.commit_index(), 5);
+  // A fully caught-up restart can still vote sensibly: its last term is the
+  // retained suffix's, not zero.
+  EXPECT_EQ(restarted.log().last_term(), term);
+}
+
+TEST(RaftSnapshotTest, RestorePreservesConfClockThroughSnapshotAlone) {
+  // escape_staleness_test-style regression: the state store is lost but the
+  // snapshot survives. The restored node must resume at the snapshot's
+  // configuration generation — never regress to the SCA initial clock 0 —
+  // and new leaderships must keep minting strictly above it.
+  const ConfClock inherited = 6 * core::kConfClockStride + 11;
+  SnapFixture f(2, 3, std::make_unique<core::EscapePolicy>(2, 3));
+  f.node->start(0);
+
+  rpc::AppendEntries ae;  // leader S1 assigns us a groomed configuration
+  ae.term = 1;
+  ae.leader_id = 1;
+  rpc::Configuration cfg;
+  cfg.priority = 3;
+  cfg.timer_period = from_ms(1500);
+  cfg.conf_clock = inherited;
+  ae.new_config = cfg;
+  rpc::LogEntry e;
+  e.term = 1;
+  e.index = 1;
+  e.command = {1};
+  ae.entries.push_back(e);
+  ae.leader_commit = 1;
+  f.deliver(1, ae);
+  ASSERT_EQ(f.node->conf_clock(), inherited);
+  f.node->take_committed();
+  ASSERT_TRUE(f.node->compact(1, {}, f.now).has_value());
+  ASSERT_TRUE(f.snaps.load().has_value());
+  EXPECT_EQ(f.snaps.load()->config.conf_clock, inherited);
+
+  // Restart with a FRESH state store: only the snapshot knows the clock.
+  storage::MemoryStateStore lost_state;
+  RaftNode restarted(2, {1, 2, 3}, std::make_unique<core::EscapePolicy>(2, 3), lost_state,
+                     f.wal, Rng(9), NodeOptions{}, f.wal.entries(), &f.snaps);
+  restarted.start(0);
+  EXPECT_EQ(restarted.conf_clock(), inherited);
+
+  // And a policy that wins leadership afterwards floors into a disjoint,
+  // strictly higher stride (Lemma 3 across the restore).
+  core::EscapePolicy successor(3, 3);
+  successor.on_become_leader({1, 2}, 7);
+  successor.begin_heartbeat_round();
+  EXPECT_GT(successor.current_config().conf_clock, inherited);
+}
+
+}  // namespace
+}  // namespace escape::raft

@@ -50,7 +50,52 @@ void expect_roundtrip(const T& msg) {
   EXPECT_EQ(std::get<T>(out), msg);
 }
 
+InstallSnapshot sample_install_snapshot(std::size_t state_bytes) {
+  InstallSnapshot m;
+  m.term = 9;
+  m.leader_id = 2;
+  m.last_included_index = 64;
+  m.last_included_term = 8;
+  m.config.timer_period = from_ms(2000);
+  m.config.priority = 4;
+  m.config.conf_clock = (ConfClock{9} << 20) + 1;
+  for (std::size_t i = 0; i < state_bytes; ++i) {
+    m.state.push_back(static_cast<std::uint8_t>(i * 37));
+  }
+  return m;
+}
+
 TEST(MessagesTest, RequestVoteRoundtrip) { expect_roundtrip(sample_request_vote()); }
+
+TEST(MessagesTest, InstallSnapshotRoundtrip) {
+  expect_roundtrip(sample_install_snapshot(0));
+  expect_roundtrip(sample_install_snapshot(1024));
+}
+
+TEST(MessagesTest, InstallSnapshotReplyRoundtrip) {
+  InstallSnapshotReply m;
+  m.term = 9;
+  m.from = 5;
+  m.success = true;
+  m.match_index = 64;
+  m.status.log_index = 64;
+  m.status.timer_period = from_ms(2000);
+  m.status.conf_clock = 77;
+  expect_roundtrip(m);
+}
+
+TEST(MessagesTest, InstallSnapshotTruncatedRejected) {
+  auto bytes = encode_message(Message{sample_install_snapshot(100)});
+  bytes.resize(bytes.size() - 10);  // chop into the state payload
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(MessagesTest, InstallSnapshotToString) {
+  const auto s = to_string(Message{sample_install_snapshot(4)});
+  EXPECT_NE(s.find("InstallSnapshot"), std::string::npos);
+  EXPECT_NE(s.find("last=64/8"), std::string::npos);
+  EXPECT_NE(s.find("bytes=4"), std::string::npos);
+}
 
 TEST(MessagesTest, RequestVoteReplyRoundtrip) {
   RequestVoteReply m;

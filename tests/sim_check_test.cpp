@@ -57,7 +57,12 @@ TEST(SimCheckTest, GeneratedPlansStayLegal) {
                 restore_latency = 0;
     Duration last_recover_all = -1;
     for (const auto& planned : c.plan.actions()) {
-      if (std::holds_alternative<sim::CrashNode>(planned.action)) ++crashes;
+      // SnapshotAndCrash is a crash for pairing purposes: it downs its
+      // target and draws the same targeted recovery as CrashNode.
+      if (std::holds_alternative<sim::CrashNode>(planned.action) ||
+          std::holds_alternative<sim::SnapshotAndCrash>(planned.action)) {
+        ++crashes;
+      }
       if (std::holds_alternative<sim::RecoverNode>(planned.action)) ++recovers;
       if (std::holds_alternative<sim::RecoverAll>(planned.action)) {
         ++recover_alls;
@@ -78,16 +83,46 @@ TEST(SimCheckTest, GeneratedPlansStayLegal) {
 TEST(SimCheckTest, SeedsExploreTheWholeVocabulary) {
   std::set<std::string> kinds;
   for (std::uint64_t seed = 1; seed <= 300; ++seed) {
-    for (const auto& planned : make_fuzz_case(seed).plan.actions()) {
+    // Bind the case: actions() returns a reference into it, and a range-for
+    // over a temporary's member dangles (caught by the ASan CI job).
+    const FuzzCase c = make_fuzz_case(seed);
+    for (const auto& planned : c.plan.actions()) {
       kinds.insert(sim::action_name(planned.action));
     }
   }
   for (const char* expected : {"crash", "recover", "recover-all", "cut-link", "heal-link",
                                "partial-isolate", "heal-partial", "isolate", "heal",
                                "degrade", "restore-latency", "set-loss", "leader-transfer",
-                               "traffic"}) {
+                               "traffic", "snapshot", "snapshot-crash"}) {
     EXPECT_TRUE(kinds.count(expected)) << "vocabulary never sampled: " << expected;
   }
+}
+
+TEST(SimCheckTest, ActionWeightOverridesRetireAndBoostFamilies) {
+  // Zeroing a family removes it from generated schedules; boosting another
+  // keeps generation legal. Weight changes redefine the seed -> schedule
+  // mapping, which is exactly why the default table is the repro contract.
+  SimCheckOptions no_snapshots;
+  no_snapshots.action_weights = {{"snapshot", 0}, {"snapshot-crash", 0}};
+  SimCheckOptions snapshot_heavy;
+  snapshot_heavy.action_weights = {{"snapshot", 60}, {"crash", 0}};
+  std::set<std::string> without, heavy;
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    const FuzzCase a = make_fuzz_case(seed, no_snapshots);
+    for (const auto& planned : a.plan.actions()) {
+      without.insert(sim::action_name(planned.action));
+    }
+    const FuzzCase b = make_fuzz_case(seed, snapshot_heavy);
+    for (const auto& planned : b.plan.actions()) {
+      heavy.insert(sim::action_name(planned.action));
+    }
+  }
+  EXPECT_FALSE(without.count("snapshot"));
+  EXPECT_FALSE(without.count("snapshot-crash"));
+  EXPECT_TRUE(heavy.count("snapshot"));
+  // The default table is exposed for CLI validation and covers the enum.
+  EXPECT_TRUE(sim::default_action_weights().count("snapshot-crash"));
+  EXPECT_GE(sim::default_action_weights().size(), 10u);
 }
 
 TEST(SimCheckTest, SingleTrialReproducesBitExactly) {

@@ -1,0 +1,197 @@
+// End-to-end snapshot/compaction tests on the simulated cluster: the
+// acceptance scenario (a 5-node cluster where one follower crashes, the
+// cluster writes past the compaction horizon, and recovery must go through
+// InstallSnapshot to an identical applied state and confClock), the
+// registry's snapshot scenarios, automatic interval-driven compaction, and
+// trace determinism across all of it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/escape_policy.h"
+#include "kv/kv_cluster.h"
+#include "sim/fault_plan.h"
+#include "sim/invariants.h"
+#include "sim/presets.h"
+#include "sim/scenario_registry.h"
+
+namespace escape {
+namespace {
+
+using sim::FaultPlan;
+using sim::NodeRef;
+
+sim::ClusterOptions escape_cluster(std::size_t n, std::uint64_t seed,
+                                   LogIndex snapshot_interval = 0) {
+  auto opts = sim::presets::paper_cluster(n, sim::presets::escape_policy(), seed);
+  opts.snapshot_interval = snapshot_interval;
+  return opts;
+}
+
+bool trace_mentions(const std::vector<std::string>& trace, const std::string& needle) {
+  return std::any_of(trace.begin(), trace.end(), [&](const std::string& line) {
+    return line.find(needle) != std::string::npos;
+  });
+}
+
+TEST(SimSnapshotTest, CrashedFollowerRecoversViaInstallSnapshot) {
+  // The acceptance scenario, with a real KV state machine on top so
+  // "identical applied state" means identical key-value contents and
+  // session tables, not just matching log metadata.
+  sim::SimCluster cluster(escape_cluster(5, 0x51AB));
+  kv::KvCluster kv(cluster);
+  sim::InvariantChecker invariants(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(kv.put("warm" + std::to_string(i), "v" + std::to_string(i)).has_value());
+  }
+  const ServerId leader = cluster.leader();
+  ServerId follower = kNoServer;
+  for (const ServerId id : cluster.members()) {
+    if (id != leader) {
+      follower = id;
+      break;
+    }
+  }
+  cluster.crash(follower);
+
+  // Writes continue far past the crashed follower's log position, then the
+  // survivors compact — the follower's catch-up entries no longer exist.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(kv.put("k" + std::to_string(i), "val" + std::to_string(i)).has_value());
+  }
+  const ServerId l2 = cluster.leader();
+  ASSERT_NE(l2, kNoServer);
+  const auto compacted = cluster.trigger_snapshot(l2);
+  ASSERT_TRUE(compacted.has_value());
+  ASSERT_GT(cluster.node(l2).log().base(), LogIndex{0});
+
+  cluster.recover(follower);
+  const LogIndex target = cluster.node(l2).commit_index();
+  const auto caught_up = [&] {
+    return cluster.alive(follower) && cluster.node(follower).last_applied() >= target;
+  };
+  cluster.run_until_event([&](const raft::NodeEvent&) { return caught_up(); },
+                          cluster.loop().now() + from_ms(60'000));
+  ASSERT_TRUE(caught_up());
+
+  // Catch-up went through InstallSnapshot, not full replay.
+  EXPECT_GE(cluster.node(follower).counters().snapshots_installed, 1u);
+  EXPECT_GE(cluster.node(follower).log().base(), *compacted);
+
+  // Identical applied state: every key readable on the leader reads the
+  // same on the recovered follower, sessions included.
+  for (int i = 0; i < 30; ++i) {
+    const auto key = "k" + std::to_string(i);
+    EXPECT_EQ(kv.store(follower).peek(key), kv.store(l2).peek(key)) << key;
+  }
+  EXPECT_EQ(kv.store(follower).size(), kv.store(l2).size());
+  EXPECT_EQ(kv.store(follower).session_count(), kv.store(l2).session_count());
+
+  // Identical confClock trajectory: the recovered node's clock is exactly
+  // (never behind) a generation the leader has issued, and deep_check's
+  // snapshot-monotonicity assertions hold cluster-wide.
+  const ConfClock follower_clock = cluster.node(follower).conf_clock();
+  EXPECT_GT(follower_clock, ConfClock{0});
+  const auto& leader_policy =
+      dynamic_cast<const core::EscapePolicy&>(cluster.node(l2).policy());
+  EXPECT_LE(follower_clock, leader_policy.issued_clock());
+  invariants.deep_check();
+  EXPECT_TRUE(invariants.ok()) << invariants.violations().front();
+}
+
+TEST(SimSnapshotTest, AutomaticIntervalCompactionBoundsEveryLog) {
+  // snapshot_interval drives compaction with no manual trigger: after
+  // sustained traffic every live node's retained suffix stays near the
+  // interval instead of growing with the write volume.
+  sim::ScenarioRunner runner(escape_cluster(5, 0x51AC, /*snapshot_interval=*/32));
+  auto& cluster = runner.cluster();
+  sim::InvariantChecker invariants(cluster);
+  ASSERT_NE(runner.bootstrap(), kNoServer);
+
+  FaultPlan plan;
+  plan.at(0, sim::TrafficBurst{from_ms(15'000), from_ms(50)});
+  runner.run_plan(plan, from_ms(3'000));
+
+  for (const ServerId id : cluster.members()) {
+    ASSERT_TRUE(cluster.alive(id));
+    EXPECT_GT(cluster.node(id).counters().snapshots_taken, 0u) << server_name(id);
+    EXPECT_GT(cluster.node(id).log().base(), LogIndex{0}) << server_name(id);
+    // Retained suffix is bounded by the interval plus in-flight commits.
+    EXPECT_LE(cluster.node(id).log().size(), 32u + 16u) << server_name(id);
+  }
+  invariants.deep_check();
+  EXPECT_TRUE(invariants.ok()) << invariants.violations().front();
+}
+
+TEST(SimSnapshotTest, SnapshotCatchupScenarioInstallsAndStaysSafe) {
+  sim::ScenarioParams params;
+  params.seed = 11;
+  const auto report = sim::run_scenario("snapshot_catchup", params);
+  ASSERT_TRUE(report.bootstrapped);
+  EXPECT_TRUE(report.safety_ok()) << report.violations.front();
+  EXPECT_TRUE(trace_mentions(report.trace, "snapshot"));
+  EXPECT_TRUE(trace_mentions(report.trace, "install-snapshot"));
+  // Determinism: same params, same trace.
+  const auto replay = sim::run_scenario("snapshot_catchup", params);
+  EXPECT_EQ(report.trace, replay.trace);
+}
+
+TEST(SimSnapshotTest, SnapshotChurnScenarioSurvivesThreeLeaderHops) {
+  sim::ScenarioParams params;
+  params.seed = 23;
+  const auto report = sim::run_scenario("snapshot_churn", params);
+  ASSERT_TRUE(report.bootstrapped);
+  EXPECT_TRUE(report.safety_ok()) << report.violations.front();
+  EXPECT_GE(report.episodes.size(), 3u);  // every snapshot-crash of a leader measures
+  EXPECT_TRUE(trace_mentions(report.trace, "snapshot"));
+  const auto replay = sim::run_scenario("snapshot_churn", params);
+  EXPECT_EQ(report.trace, replay.trace);
+}
+
+TEST(SimSnapshotTest, SnapshotActionsComposeWithRaftAndZraftPolicies) {
+  // The snapshot path must stay policy-agnostic: vanilla Raft (no configs)
+  // and Z-Raft (configs without clocks) run the same scenarios safely.
+  for (const char* policy : {"raft", "zraft"}) {
+    sim::ScenarioParams params;
+    params.policy = policy;
+    params.seed = 31;
+    params.snapshot_interval = 48;
+    const auto report = sim::run_scenario("snapshot_churn", params);
+    ASSERT_TRUE(report.bootstrapped) << policy;
+    EXPECT_TRUE(report.safety_ok()) << policy << ": " << report.violations.front();
+  }
+}
+
+TEST(SimSnapshotTest, SnapshotAndCrashRestartsFromOwnSnapshot) {
+  // compact-to-last-applied then restart, at the cluster level: the victim
+  // restarts from the snapshot it took an instant before dying, and its
+  // log base proves it did not replay from index 1.
+  sim::ScenarioRunner runner(escape_cluster(5, 0x51AD));
+  auto& cluster = runner.cluster();
+  sim::InvariantChecker invariants(cluster);
+  ASSERT_NE(runner.bootstrap(), kNoServer);
+
+  FaultPlan plan;
+  plan.at(0, sim::TrafficBurst{from_ms(6'000), from_ms(60)});
+  plan.at(from_ms(6'500), sim::SnapshotAndCrash{NodeRef::leader()});
+  plan.at(from_ms(10'000), sim::RecoverAll{});
+  runner.run_plan(plan, from_ms(15'000));
+
+  ServerId victim = kNoServer;
+  for (const auto& marker : runner.runtime().markers()) {
+    if (marker.what == "snapshot-crash" && marker.ok) victim = marker.node;
+  }
+  ASSERT_NE(victim, kNoServer);
+  ASSERT_TRUE(cluster.alive(victim));
+  EXPECT_GT(cluster.node(victim).log().base(), LogIndex{0});
+  const auto snap = cluster.snapshot_store(victim).load();
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_GE(cluster.node(victim).conf_clock(), snap->config.conf_clock);
+  invariants.deep_check();
+  EXPECT_TRUE(invariants.ok()) << invariants.violations().front();
+}
+
+}  // namespace
+}  // namespace escape

@@ -11,7 +11,8 @@ namespace {
 
 /// Obviously-correct reference implementation.
 struct ModelLog {
-  LogIndex base = 0;  // highest compacted index
+  LogIndex base = 0;   // highest compacted index
+  Term base_term = 0;  // term retained at the compaction boundary
   std::vector<rpc::LogEntry> entries;
 
   LogIndex last_index() const { return base + static_cast<LogIndex>(entries.size()); }
@@ -19,7 +20,8 @@ struct ModelLog {
 
   std::optional<Term> term_at(LogIndex i) const {
     if (i == 0) return Term{0};
-    if (i <= base || i > last_index()) return std::nullopt;
+    if (i == base) return base_term;
+    if (i < base || i > last_index()) return std::nullopt;
     return entries[static_cast<std::size_t>(i - base - 1)].term;
   }
 
@@ -30,8 +32,9 @@ struct ModelLog {
     entries.resize(static_cast<std::size_t>(from - base - 1));
   }
 
-  void compact_prefix(LogIndex upto) {
+  void compact_to(LogIndex upto) {
     const auto drop = static_cast<std::size_t>(upto - base);
+    base_term = entries[drop - 1].term;
     entries.erase(entries.begin(), entries.begin() + static_cast<std::ptrdiff_t>(drop));
     base = upto;
   }
@@ -72,8 +75,8 @@ TEST_P(LogModelTest, RandomOpSequencesMatchModel) {
     } else if (op == 7) {  // compact prefix
       if (model.last_index() > model.base) {
         const LogIndex upto = rng.uniform_int(model.base + 1, model.last_index());
-        log.compact_prefix(upto);
-        model.compact_prefix(upto);
+        log.compact_to(upto);
+        model.compact_to(upto);
       }
     } else {  // probe queries
       const LogIndex probe = rng.uniform_int(0, model.last_index() + 3);
@@ -84,6 +87,8 @@ TEST_P(LogModelTest, RandomOpSequencesMatchModel) {
     ASSERT_EQ(log.last_index(), model.last_index());
     ASSERT_EQ(log.first_index(), model.first_index());
     ASSERT_EQ(log.size(), model.entries.size());
+    ASSERT_EQ(log.base(), model.base);
+    ASSERT_EQ(log.base_term(), model.base_term);
   }
 
   // Final deep comparison: entries, slices, term searches.

@@ -107,13 +107,20 @@ TEST(LogTest, TermIndexSearches) {
   EXPECT_FALSE(log.last_index_of_term(9).has_value());
 }
 
-TEST(LogTest, CompactPrefix) {
+TEST(LogTest, CompactTo) {
   Log log;
   for (LogIndex i = 1; i <= 6; ++i) log.append(entry(1, i));
-  log.compact_prefix(3);
+  log.compact_to(3);
   EXPECT_EQ(log.first_index(), 4);
   EXPECT_EQ(log.last_index(), 6);
-  EXPECT_FALSE(log.term_at(3).has_value());
+  EXPECT_EQ(log.base(), 3);
+  EXPECT_EQ(log.base_term(), 1);
+  // The boundary retains its term (the consistency check must still match
+  // there) but the entry itself is gone; deeper indices are unknown.
+  EXPECT_EQ(log.term_at(3), Term{1});
+  EXPECT_TRUE(log.matches(3, 1));
+  EXPECT_EQ(log.entry_at(3), nullptr);
+  EXPECT_FALSE(log.term_at(2).has_value());
   EXPECT_EQ(log.term_at(4), Term{1});
   // Appends continue at the tail.
   log.append(entry(2, 7));
@@ -122,16 +129,51 @@ TEST(LogTest, CompactPrefix) {
   EXPECT_THROW(log.truncate_from(2), std::logic_error);
   // Slice starting in the compacted prefix returns empty (caller snapshots).
   EXPECT_TRUE(log.slice(2, 3).empty());
+  // Compacting backwards is a no-op; past the tail is illegal.
+  log.compact_to(2);
+  EXPECT_EQ(log.base(), 3);
+  EXPECT_THROW(log.compact_to(8), std::logic_error);
 }
 
 TEST(LogTest, CompactEntireLogThenGrow) {
   Log log;
-  for (LogIndex i = 1; i <= 3; ++i) log.append(entry(1, i));
-  log.compact_prefix(3);
+  for (LogIndex i = 1; i <= 3; ++i) log.append(entry(2, i));
+  log.compact_to(3);
   EXPECT_EQ(log.size(), 0u);
   EXPECT_EQ(log.last_index(), 3);
-  log.append(entry(2, 4));
-  EXPECT_EQ(log.term_at(4), Term{2});
+  // A fully compacted log keeps the boundary term as its last term, so the
+  // election up-to-date comparison treats it as owning the absorbed suffix.
+  EXPECT_EQ(log.last_term(), 2);
+  EXPECT_FALSE(log.candidate_is_up_to_date(2, 2));
+  EXPECT_TRUE(log.candidate_is_up_to_date(3, 2));
+  log.append(entry(3, 4));
+  EXPECT_EQ(log.term_at(4), Term{3});
+  EXPECT_EQ(log.last_term(), 3);
+}
+
+TEST(LogTest, ResetToRebasesOntoSnapshot) {
+  Log log;
+  for (LogIndex i = 1; i <= 4; ++i) log.append(entry(1, i));
+  // InstallSnapshot ahead of the tail: everything is discarded and the log
+  // continues from the snapshot boundary.
+  log.reset_to(10, 5);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.base(), 10);
+  EXPECT_EQ(log.base_term(), 5);
+  EXPECT_EQ(log.last_index(), 10);
+  EXPECT_EQ(log.last_term(), 5);
+  EXPECT_TRUE(log.matches(10, 5));
+  EXPECT_FALSE(log.term_at(4).has_value());
+  log.append(entry(5, 11));
+  EXPECT_EQ(log.last_index(), 11);
+}
+
+TEST(LogTest, ApproxBytesTracksSuffixOnly) {
+  Log log;
+  for (LogIndex i = 1; i <= 4; ++i) log.append(entry(1, i));  // 1-byte commands
+  EXPECT_EQ(log.approx_bytes(), 4 * 17u);
+  log.compact_to(3);
+  EXPECT_EQ(log.approx_bytes(), 17u);
 }
 
 }  // namespace

@@ -1,0 +1,200 @@
+// SnapshotStore: serialization roundtrip, corruption rejection, the
+// file-backed store's atomic-replace contract, and WAL compaction records
+// (MemoryWal rebasing and FileWal compact-record replay across reopens).
+#include "storage/snapshot_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "storage/wal.h"
+
+namespace escape::storage {
+namespace {
+
+Snapshot sample_snapshot() {
+  Snapshot s;
+  s.last_included_index = 42;
+  s.last_included_term = 7;
+  s.config.priority = 5;
+  s.config.conf_clock = (ConfClock{9} << 20) + 3;
+  s.config.timer_period = from_ms(1500);
+  s.state = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42};
+  return s;
+}
+
+rpc::LogEntry entry(Term t, LogIndex i) {
+  rpc::LogEntry e;
+  e.term = t;
+  e.index = i;
+  e.command = {static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(t)};
+  return e;
+}
+
+TEST(SnapshotSerdeTest, Roundtrip) {
+  const Snapshot s = sample_snapshot();
+  const auto buf = encode_snapshot(s);
+  const auto back = decode_snapshot(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(SnapshotSerdeTest, EmptyStateRoundtrip) {
+  Snapshot s;
+  s.last_included_index = 1;
+  s.last_included_term = 1;
+  const auto back = decode_snapshot(encode_snapshot(s));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->state.empty());
+  EXPECT_EQ(*back, s);
+}
+
+TEST(SnapshotSerdeTest, CorruptionRejected) {
+  auto buf = encode_snapshot(sample_snapshot());
+  // Flip one payload byte: the CRC must catch it.
+  buf[buf.size() / 2] ^= 0xFF;
+  EXPECT_FALSE(decode_snapshot(buf).has_value());
+  // Truncation never throws out of the decoder.
+  buf.resize(buf.size() / 2);
+  EXPECT_FALSE(decode_snapshot(buf).has_value());
+  EXPECT_FALSE(decode_snapshot({}).has_value());
+}
+
+TEST(MemorySnapshotStoreTest, NewestWinsAndCounts) {
+  MemorySnapshotStore store;
+  EXPECT_FALSE(store.load().has_value());
+  Snapshot s = sample_snapshot();
+  store.save(s);
+  s.last_included_index = 100;
+  store.save(s);
+  ASSERT_TRUE(store.load().has_value());
+  EXPECT_EQ(store.load()->last_included_index, 100);
+  EXPECT_EQ(store.save_count(), 2u);
+}
+
+class FileSnapshotStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("escape_snap_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string snap_path() const { return (dir_ / "node.snap").string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileSnapshotStoreTest, MissingFileLoadsAbsent) {
+  FileSnapshotStore store(snap_path());
+  EXPECT_FALSE(store.load().has_value());
+}
+
+TEST_F(FileSnapshotStoreTest, SaveLoadAcrossReopen) {
+  const Snapshot s = sample_snapshot();
+  {
+    FileSnapshotStore store(snap_path());
+    store.save(s);
+  }
+  FileSnapshotStore reopened(snap_path());
+  const auto back = reopened.load();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+}
+
+TEST_F(FileSnapshotStoreTest, ReplaceIsAtomicOnDisk) {
+  FileSnapshotStore store(snap_path());
+  Snapshot s = sample_snapshot();
+  store.save(s);
+  s.last_included_index = 99;
+  s.state.assign(1000, 0x55);
+  store.save(s);
+  // No stale tmp file lingers, and the newest snapshot wins.
+  EXPECT_FALSE(std::filesystem::exists(snap_path() + ".tmp"));
+  ASSERT_TRUE(store.load().has_value());
+  EXPECT_EQ(store.load()->last_included_index, 99);
+}
+
+TEST_F(FileSnapshotStoreTest, CorruptFileTreatedAsAbsent) {
+  {
+    FileSnapshotStore store(snap_path());
+    store.save(sample_snapshot());
+  }
+  // Scribble over the stored bytes (the CRC frame must reject them).
+  std::ofstream f(snap_path(), std::ios::binary | std::ios::trunc);
+  f << "not a snapshot";
+  f.close();
+  FileSnapshotStore store(snap_path());
+  EXPECT_FALSE(store.load().has_value());
+}
+
+// --- WAL compaction ----------------------------------------------------------
+
+TEST(MemoryWalTest, CompactToRebasesAppends) {
+  MemoryWal wal;
+  for (LogIndex i = 1; i <= 5; ++i) wal.append(entry(1, i));
+  wal.compact_to(3);
+  EXPECT_EQ(wal.base(), 3);
+  ASSERT_EQ(wal.entries().size(), 2u);
+  EXPECT_EQ(wal.entries()[0].index, 4);
+  wal.append(entry(2, 6));
+  EXPECT_THROW(wal.append(entry(2, 6)), std::logic_error);  // non-contiguous
+  // Truncation below the compaction point is illegal; above it rebases.
+  EXPECT_THROW(wal.truncate_from(2), std::logic_error);
+  wal.truncate_from(5);
+  ASSERT_EQ(wal.entries().size(), 1u);
+  EXPECT_EQ(wal.entries()[0].index, 4);
+}
+
+TEST(MemoryWalTest, CompactBeyondTailClearsAndRebases) {
+  MemoryWal wal;
+  wal.append(entry(1, 1));
+  // InstallSnapshot far ahead of this log: everything is superseded.
+  wal.compact_to(10);
+  EXPECT_EQ(wal.base(), 10);
+  EXPECT_TRUE(wal.entries().empty());
+  wal.append(entry(3, 11));
+  EXPECT_EQ(wal.entries().front().index, 11);
+}
+
+class FileWalCompactTest : public FileSnapshotStoreTest {};
+
+TEST_F(FileWalCompactTest, CompactRecordSurvivesReopen) {
+  const std::string path = (dir_ / "node.wal").string();
+  {
+    FileWal wal(path);
+    for (LogIndex i = 1; i <= 6; ++i) wal.append(entry(1, i));
+    wal.compact_to(4);
+    wal.append(entry(2, 7));
+  }
+  FileWal reopened(path);
+  EXPECT_EQ(reopened.recovered_base(), 4);
+  ASSERT_EQ(reopened.recovered_entries().size(), 3u);
+  EXPECT_EQ(reopened.recovered_entries().front().index, 5);
+  EXPECT_EQ(reopened.recovered_entries().back().index, 7);
+  // Appends continue contiguously after recovery.
+  reopened.append(entry(2, 8));
+}
+
+TEST_F(FileWalCompactTest, CompactThenTruncateThenRecover) {
+  const std::string path = (dir_ / "node.wal").string();
+  {
+    FileWal wal(path);
+    for (LogIndex i = 1; i <= 8; ++i) wal.append(entry(1, i));
+    wal.compact_to(5);
+    wal.truncate_from(7);       // divergence past the snapshot
+    wal.append(entry(3, 7));    // replaced suffix
+  }
+  FileWal reopened(path);
+  EXPECT_EQ(reopened.recovered_base(), 5);
+  ASSERT_EQ(reopened.recovered_entries().size(), 2u);
+  EXPECT_EQ(reopened.recovered_entries()[0].index, 6);
+  EXPECT_EQ(reopened.recovered_entries()[1].term, 3);
+}
+
+}  // namespace
+}  // namespace escape::storage
