@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench shape gate (compare_bench.py).
+
+The gate guards CI against silently rotting bench output; these tests guard
+the gate itself: missing figures, point-count breaches, disappeared series,
+unenrolled extra figures, and malformed JSON must all be flagged, and a
+faithful run must pass clean. Stdlib unittest only — CI runs this right
+before the gate step with `python3 bench/test_compare_bench.py`.
+"""
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import compare_bench
+
+
+def figure(points):
+    return {"bench": "x", "runs_per_point": 5, "points": points}
+
+
+def point(experiment, label, metric=None):
+    p = {"experiment": experiment, "label": label}
+    if metric is not None:
+        p["metric"] = metric
+    return p
+
+
+class SeriesKeyTest(unittest.TestCase):
+    def test_key_without_metric(self):
+        self.assertEqual(compare_bench.series_key(point("e", "l")), "e/l")
+
+    def test_key_with_metric(self):
+        self.assertEqual(compare_bench.series_key(point("e", "l", "m")), "e/l/m")
+
+
+class LoadFigureTest(unittest.TestCase):
+    def write(self, name, text):
+        path = Path(self.dir.name) / name
+        path.write_text(text)
+        return path
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def test_malformed_json_is_rejected(self):
+        path = self.write("BENCH_bad.json", "{not json")
+        with self.assertRaisesRegex(ValueError, "malformed JSON"):
+            compare_bench.load_figure(path)
+
+    def test_missing_fields_are_rejected(self):
+        path = self.write("BENCH_bad.json", json.dumps({"bench": "x"}))
+        with self.assertRaisesRegex(ValueError, "missing field"):
+            compare_bench.load_figure(path)
+
+    def test_empty_points_are_rejected(self):
+        path = self.write("BENCH_bad.json", json.dumps(figure([])))
+        with self.assertRaisesRegex(ValueError, "empty points"):
+            compare_bench.load_figure(path)
+
+    def test_point_without_identity_is_rejected(self):
+        path = self.write("BENCH_bad.json", json.dumps(figure([{"metric": "m"}])))
+        with self.assertRaisesRegex(ValueError, "without experiment/label"):
+            compare_bench.load_figure(path)
+
+    def test_valid_figure_loads(self):
+        path = self.write("BENCH_ok.json", json.dumps(figure([point("e", "l")])))
+        self.assertEqual(len(compare_bench.load_figure(path)["points"]), 1)
+
+
+class CheckTest(unittest.TestCase):
+    """The shape-gate logic proper: figures dict vs baseline manifest."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.baseline = Path(self.dir.name) / "manifest.json"
+        self.figures = {
+            "fig": figure([point("e", "a"), point("e", "b", "m")]),
+        }
+        compare_bench.write_baseline(self.figures, self.baseline)
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def check(self, figures):
+        return compare_bench.check(figures, self.baseline)
+
+    def test_faithful_output_passes(self):
+        self.assertEqual(self.check(self.figures), [])
+
+    def test_extra_points_still_pass(self):
+        grown = {"fig": figure(self.figures["fig"]["points"] + [point("e", "c")])}
+        self.assertEqual(self.check(grown), [])
+
+    def test_missing_figure_fails(self):
+        errors = self.check({})
+        self.assertEqual(len(errors), 1)
+        self.assertIn("missing from bench output", errors[0])
+
+    def test_point_count_breach_fails(self):
+        shrunk = {"fig": figure([point("e", "a")])}
+        errors = self.check(shrunk)
+        self.assertTrue(any("baseline requires >=" in e for e in errors))
+
+    def test_disappeared_series_fails(self):
+        renamed = {"fig": figure([point("e", "a"), point("e", "z", "m")])}
+        errors = self.check(renamed)
+        self.assertTrue(any("series 'e/b/m' disappeared" in e for e in errors))
+
+    def test_extra_unenrolled_figure_fails(self):
+        extra = dict(self.figures)
+        extra["newfig"] = figure([point("e", "a")])
+        errors = self.check(extra)
+        self.assertTrue(any("not in baseline manifest" in e for e in errors))
+
+    def test_baseline_roundtrip_is_stable(self):
+        # Re-deriving the manifest from the same figures changes nothing.
+        second = Path(self.dir.name) / "manifest2.json"
+        compare_bench.write_baseline(self.figures, second)
+        self.assertEqual(self.baseline.read_text(), second.read_text())
+
+
+class CollectTest(unittest.TestCase):
+    def test_collect_skips_micro_components(self):
+        with tempfile.TemporaryDirectory() as d:
+            (Path(d) / "BENCH_fig.json").write_text(json.dumps(figure([point("e", "l")])))
+            # google-benchmark format, deliberately not parseable by the gate.
+            (Path(d) / "BENCH_micro_components.json").write_text("{}")
+            figures = compare_bench.collect(d)
+            self.assertEqual(sorted(figures), ["fig"])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -67,6 +67,17 @@ int main() {
   }
 
   std::printf("%d/10 transfers completed across the failover\n", completed);
+
+  // Audits ride the read fast path: linearizable (they observe every
+  // acknowledged transfer) but zero log entries — under a standing lease,
+  // zero messages. The counters show which route served them.
+  const auto audit = bank.read("carol");
+  std::printf("fast-path audit: carol=%s\n", audit && audit->ok ? audit->value.c_str() : "?");
+  const auto& counters = cluster.node(cluster.leader()).counters();
+  std::printf("read routes on %s: lease=%llu read-index=%llu\n",
+              server_name(cluster.leader()).c_str(),
+              static_cast<unsigned long long>(counters.lease_reads),
+              static_cast<unsigned long long>(counters.read_index_reads));
   std::printf("final: alice=%d bob=%d carol=%d (total=%d, conserved=%s)\n",
               balance(bank, "alice"), balance(bank, "bob"), balance(bank, "carol"),
               balance(bank, "alice") + balance(bank, "bob") + balance(bank, "carol"),

@@ -36,6 +36,7 @@ class EscapePolicy final : public raft::ElectionPolicy {
 
   // --- follower / candidate side -----------------------------------------
   Term campaign_term(Term current) const override;
+  Duration min_election_timeout() const override { return options_.base_time; }
   ConfClock vote_request_clock() const override { return current_.conf_clock; }
   bool approve_candidate(const rpc::RequestVote& request) const override;
   bool on_config_received(const rpc::Configuration& config) override;

@@ -38,6 +38,26 @@ KvCluster::KvCluster(sim::SimCluster& cluster) : cluster_(cluster) {
         stores_[id] = std::move(store);
         last_applied_[id] = snap.last_included_index;
       });
+  // Read fast path: grants arrive after the same pump applied every newly
+  // committed entry, so peeking the serving replica's store here observes a
+  // state at least as fresh as the grant's read index.
+  cluster_.add_read_listener([this](ServerId id, const raft::ReadGrant& grant) {
+    if (!pending_read_ || pending_read_->server != id || pending_read_->id != grant.id) {
+      // Not (yet) ours: either another issuer's read (a scenario's
+      // ClientRead probe) or our own grant racing the ticket record — a
+      // lease grant fires inside submit_read, before read() learns its id.
+      // Stash it; read() claims right after submitting. Bounded by evicting
+      // the oldest — never by dropping the new grant, which could be the
+      // one read() is about to claim (a dropped claim would stall the
+      // client for its whole timeout).
+      while (unclaimed_grants_.size() >= 256) {
+        unclaimed_grants_.erase(unclaimed_grants_.begin());
+      }
+      unclaimed_grants_[{id, grant.id}] = grant;
+      return;
+    }
+    resolve_grant(grant);
+  });
 }
 
 std::optional<CommandResult> KvCluster::put(const std::string& key, const std::string& value,
@@ -71,6 +91,60 @@ std::optional<CommandResult> KvCluster::cas(const std::string& key, const std::s
   c.expected = expected;
   c.value = value;
   return run(std::move(c), timeout);
+}
+
+void KvCluster::resolve_grant(const raft::ReadGrant& grant) {
+  if (!grant.ok) {
+    pending_read_->rejected = true;
+    return;
+  }
+  const auto value = stores_.at(pending_read_->server)->peek(pending_read_key_);
+  pending_read_->result.ok = value.has_value();
+  pending_read_->result.value = value.value_or("");
+  pending_read_->done = true;
+}
+
+std::optional<CommandResult> KvCluster::read(const std::string& key, Duration timeout) {
+  const TimePoint deadline = cluster_.loop().now() + timeout;
+  pending_read_key_ = key;
+  pending_read_.reset();
+  unclaimed_grants_.clear();
+  while (cluster_.loop().now() < deadline) {
+    if (!pending_read_ || pending_read_->rejected) {
+      // (Re)issue through whatever leads now; a rejection means the previous
+      // leadership ended before confirming the batch.
+      const ServerId leader = cluster_.leader();
+      if (leader != kNoServer) {
+        if (const auto read = cluster_.submit_read(leader)) {
+          pending_read_ = PendingClientRead{leader, *read, false, false, {}};
+          // A lease read already resolved inside submit_read; claim it. The
+          // peek happens in the same virtual instant as the grant (no loop
+          // turn in between), so it observes exactly the granted state.
+          const auto it = unclaimed_grants_.find({leader, *read});
+          if (it != unclaimed_grants_.end()) {
+            const raft::ReadGrant grant = it->second;
+            unclaimed_grants_.erase(it);
+            resolve_grant(grant);
+          }
+        }
+      }
+    }
+    if (pending_read_ && pending_read_->done) {
+      auto result = pending_read_->result;
+      pending_read_.reset();
+      return result;
+    }
+    // A crashed leader never answers; cap the wait so the retry loop can
+    // re-route instead of sleeping out the whole deadline.
+    cluster_.loop().run_until(std::min(deadline, cluster_.loop().now() + from_ms(100)));
+    if (pending_read_ && pending_read_->server != cluster_.leader() && !pending_read_->done) {
+      pending_read_->rejected = true;  // leadership moved; re-issue
+    }
+  }
+  std::optional<CommandResult> result;
+  if (pending_read_ && pending_read_->done) result = pending_read_->result;
+  pending_read_.reset();
+  return result;
 }
 
 std::optional<CommandResult> KvCluster::run(Command cmd, Duration timeout) {

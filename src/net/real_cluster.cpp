@@ -72,9 +72,27 @@ std::optional<LogIndex> RealNode::submit(std::vector<std::uint8_t> command) {
   return index;
 }
 
+std::optional<raft::ReadId> RealNode::submit_read() {
+  std::vector<rpc::Envelope> outbox;
+  std::optional<raft::ReadId> read;
+  {
+    std::lock_guard lock(mu_);
+    read = node_->submit_read(clock_.now());
+    outbox = node_->take_outbox();  // ReadIndex may open a confirmation round
+  }
+  for (const auto& env : outbox) transport_->send(env);
+  cv_.notify_one();  // the driver drains any lease grant released in place
+  return read;
+}
+
 void RealNode::set_apply_hook(std::function<void(const rpc::LogEntry&)> hook) {
   std::lock_guard lock(mu_);
   apply_hook_ = std::move(hook);
+}
+
+void RealNode::set_read_hook(std::function<void(const raft::ReadGrant&)> hook) {
+  std::lock_guard lock(mu_);
+  read_hook_ = std::move(hook);
 }
 
 Role RealNode::role() const {
@@ -97,12 +115,19 @@ LogIndex RealNode::commit_index() const {
   return node_->commit_index();
 }
 
+raft::NodeCounters RealNode::counters() const {
+  std::lock_guard lock(mu_);
+  return node_->counters();
+}
+
 void RealNode::run_loop() {
   using namespace std::chrono;
   while (running_.load()) {
     std::vector<rpc::Envelope> outbox;
     std::vector<rpc::LogEntry> committed;
+    std::vector<raft::ReadGrant> reads;
     std::function<void(const rpc::LogEntry&)> hook;
+    std::function<void(const raft::ReadGrant&)> read_hook;
     {
       std::unique_lock lock(mu_);
       if (mailbox_.empty()) {
@@ -122,11 +147,18 @@ void RealNode::run_loop() {
       node_->on_tick(clock_.now());
       outbox = node_->take_outbox();
       committed = node_->take_committed();
+      reads = node_->take_read_grants();
       hook = apply_hook_;
+      read_hook = read_hook_;
     }
     for (const auto& env : outbox) transport_->send(env);
     if (hook) {
       for (const auto& entry : committed) hook(entry);
+    }
+    // Strictly after the entries: an `ok` grant promises the state machine
+    // the read hook serves from already covers its read index.
+    if (read_hook) {
+      for (const auto& grant : reads) read_hook(grant);
     }
   }
 }

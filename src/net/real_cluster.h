@@ -63,14 +63,25 @@ class RealNode {
   /// Thread-safe command submission (leader only; nullopt otherwise).
   std::optional<LogIndex> submit(std::vector<std::uint8_t> command);
 
+  /// Thread-safe linearizable-read submission (leader only; nullopt
+  /// otherwise — redirect via leader_hint()). The completion arrives on the
+  /// driver thread through the read hook, after every committed entry up to
+  /// the grant's read index was handed to the apply hook; an `ok` grant
+  /// therefore licenses serving the read from the local state machine.
+  std::optional<raft::ReadId> submit_read();
+
   /// Hook invoked (on the driver thread) for every committed entry.
   void set_apply_hook(std::function<void(const rpc::LogEntry&)> hook);
+
+  /// Hook invoked (on the driver thread) for every read grant/rejection.
+  void set_read_hook(std::function<void(const raft::ReadGrant&)> hook);
 
   // Thread-safe snapshots of node state.
   Role role() const;
   Term term() const;
   ServerId leader_hint() const;
   LogIndex commit_index() const;
+  raft::NodeCounters counters() const;
   ServerId id() const { return id_; }
 
  private:
@@ -89,6 +100,7 @@ class RealNode {
   std::condition_variable cv_;
   std::deque<rpc::Envelope> mailbox_;
   std::function<void(const rpc::LogEntry&)> apply_hook_;
+  std::function<void(const raft::ReadGrant&)> read_hook_;
 
   std::thread driver_;
   std::atomic<bool> running_{false};

@@ -46,6 +46,16 @@ class ElectionPolicy {
   /// Raft: current + 1. ESCAPE: current + priority (Eq. 2).
   virtual Term campaign_term(Term current) const = 0;
 
+  /// Smallest election timeout any cluster member could currently be using.
+  /// Raft: the sampling range's lower bound. ESCAPE: baseTime — Eq. 1's
+  /// period for the top priority P = n, the floor of every π(P, k) the
+  /// patrol can mint, so patrol rearrangements can never shorten it. Two
+  /// read-path mechanisms derive from this floor: the leader lease is a
+  /// strict fraction of it, and the vote-recency guard refuses votes within
+  /// it of leader contact — together they guarantee a leaseholder is deposed
+  /// only after every lease it could have granted has expired.
+  virtual Duration min_election_timeout() const = 0;
+
   /// Configuration clock stamped on outgoing RequestVote (0 under Raft).
   virtual ConfClock vote_request_clock() const = 0;
 
@@ -117,6 +127,7 @@ class RaftRandomizedPolicy final : public ElectionPolicy {
   std::string name() const override { return "raft"; }
 
   Term campaign_term(Term current) const override { return current + 1; }
+  Duration min_election_timeout() const override { return timeout_min_; }
   ConfClock vote_request_clock() const override { return 0; }
   bool approve_candidate(const rpc::RequestVote&) const override { return true; }
   bool on_config_received(const rpc::Configuration&) override { return false; }

@@ -23,6 +23,12 @@ RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
       options_(options) {
   if (id_ == kNoServer) throw std::invalid_argument("server id 0 is reserved");
   if (!policy_) throw std::invalid_argument("null election policy");
+  if (options_.lease_ratio > 0 && options_.lease_ratio >= options_.vote_guard_ratio) {
+    // The whole lease argument is lease < guard: a voter that acked the
+    // round refuses rivals for guard x min_timeout after contact, so the
+    // lease must end first. Refuse the unsound configuration loudly.
+    throw std::invalid_argument("lease_ratio must be < vote_guard_ratio");
+  }
   bool self_listed = false;
   for (ServerId m : members_) {
     if (m == id_) {
@@ -76,6 +82,17 @@ void RaftNode::start(TimePoint now) {
     policy_->restore(*snapshot_boot_config_);
   }
   started_ = true;
+  if (current_term_ > 0 || log_.last_index() > 0) {
+    // Restarted, not newborn: this server may have acked a heartbeat round
+    // (extending some leader's lease) right before it died. Refusing votes
+    // for one guard window from here restores the lease argument's quorum-
+    // intersection step for its pre-crash acks — any lease it helped grant
+    // expires before this refusal window does (lease_ratio < vote_guard_ratio
+    // and the lease was anchored at or before the crash).
+    restart_guard_until_ =
+        now + static_cast<Duration>(options_.vote_guard_ratio *
+                                    static_cast<double>(policy_->min_election_timeout()));
+  }
   arm_election_timer(now);
   LOG_DEBUG(server_name(id_) << " started t=" << current_term_ << " log=" << log_.last_index());
 }
@@ -131,17 +148,25 @@ std::optional<LogIndex> RaftNode::submit(std::vector<std::uint8_t> command, Time
   // Replicate eagerly; heartbeats would pick it up anyway, but latency
   // matters to clients.
   for (ServerId peer : others_) send_append_entries(peer, /*include_config=*/false);
-  maybe_advance_commit();  // single-node clusters commit immediately
-  (void)now;
+  maybe_advance_commit(now);  // single-node clusters commit immediately
   return entry.index;
 }
 
 bool RaftNode::transfer_leadership(ServerId target, TimePoint now) {
-  (void)now;
   if (role_ != Role::kLeader || target == id_) return false;
   const auto match = match_index_.find(target);
   if (match == match_index_.end()) return false;
   if (match->second < log_.last_index()) return false;  // target not caught up
+  // The target's transfer campaign bypasses the vote-recency guard, so the
+  // usual "no rival before the lease expires" argument no longer covers this
+  // leadership — from this instant until step-down, and not just until the
+  // next quorum-acked round re-extends the lease (an in-flight ack arriving
+  // after a one-shot revocation would re-arm it while the rival can already
+  // be campaigning). The pending ReadIndex batch stays safe: it needs quorum
+  // acks in the current term, which the transfer itself will invalidate.
+  transfer_pending_ = true;
+  revoke_lease();
+  (void)now;
   rpc::TimeoutNow m;
   m.term = current_term_;
   m.leader_id = id_;
@@ -150,13 +175,202 @@ bool RaftNode::transfer_leadership(ServerId target, TimePoint now) {
   return true;
 }
 
+// --- read fast path ----------------------------------------------------------
+
+void RaftNode::append_noop() {
+  rpc::LogEntry noop;
+  noop.term = current_term_;
+  noop.index = log_.last_index() + 1;
+  wal_.append(noop);
+  log_.append(noop);
+}
+
+bool RaftNode::lease_valid(TimePoint now) const {
+  return role_ == Role::kLeader && !transfer_pending_ && options_.lease_ratio > 0 &&
+         lease_until_ > 0 && now < lease_until_ &&
+         policy_->current_config().conf_clock == lease_clock_;
+}
+
+std::optional<ReadId> RaftNode::submit_read(TimePoint now) {
+  assert(started_);
+  if (role_ != Role::kLeader) return std::nullopt;
+  const ReadId id = ++next_read_id_;
+  // A fresh leader's commit index can trail what its predecessor committed
+  // (it only learns the true frontier by committing in its own term —
+  // dissertation §6.4's "no-op at start of term" problem; SimCheck found the
+  // stale read within a few hundred trials). Until an own-term entry is
+  // committed, a read may not use commit_index_ as its index; Leader
+  // Completeness bounds every possibly-committed entry by our log tail, so
+  // the read waits on that instead, and an on-demand no-op barrier makes
+  // sure something of this term commits even on an otherwise idle cluster.
+  const bool term_committed =
+      log_.last_index() == 0 || log_.term_at(commit_index_) == current_term_;
+  // A single-node cluster is its own quorum: every read is trivially
+  // current-leader-confirmed (mirrors submit()'s immediate commit). The
+  // fresh-leadership barrier still applies — a restarted singleton resumes
+  // with commit_index at its snapshot boundary, below what it acked before.
+  if (others_.empty()) {
+    if (!term_committed) {
+      append_noop();
+      maybe_advance_commit(now);  // self-quorum: commits the whole log
+    }
+    grant_read(id, commit_index_, /*via_lease=*/false, now);
+    ++counters_.read_index_reads;
+    return id;
+  }
+  if (term_committed && lease_valid(now) && last_applied_ >= commit_index_) {
+    grant_read(id, commit_index_, /*via_lease=*/true, now);
+    ++counters_.lease_reads;
+    return id;
+  }
+  // Backpressure: a leader that cannot reach a quorum (minority partition)
+  // would otherwise queue reads without bound until it finally steps down.
+  // Past the cap, reject immediately — the client retries or re-routes.
+  if (pending_reads_.size() >= kMaxPendingReads) {
+    read_grants_out_.push_back({id, 0, /*ok=*/false, false});
+    ++counters_.reads_rejected;
+    NodeEvent ev;
+    ev.kind = NodeEvent::Kind::kReadRejected;
+    ev.term = current_term_;
+    ev.at = now;
+    ev.read_id = id;
+    emit(ev);
+    return id;
+  }
+  // ReadIndex: remember today's commit frontier; quorum acks to a round
+  // *broadcast after this instant* prove no newer leader existed when the
+  // read arrived, making that frontier a linearizable lower bound.
+  const LogIndex read_index = term_committed ? commit_index_ : log_.last_index();
+  pending_reads_.push_back({id, read_index, broadcast_round_ + 1});
+  // Self-clocking batch trigger: confirm eagerly when no round is in flight
+  // (sub-RTT read latency); otherwise the batch rides the round broadcast
+  // when the in-flight one confirms, or the next scheduled heartbeat.
+  const bool open_round_now = confirmed_round_ == broadcast_round_;
+  if (!term_committed && log_.last_term() != current_term_) {
+    // Barrier no-op: commits the inherited suffix so the read's release
+    // condition can be met without waiting for client write traffic. When a
+    // round is about to open it carries the entry; only replicate
+    // explicitly when the batch is riding an in-flight round instead.
+    append_noop();
+    if (!open_round_now) {
+      for (ServerId peer : others_) send_append_entries(peer, /*include_config=*/false);
+    }
+  }
+  if (open_round_now) broadcast_heartbeat_round(now);
+  return id;
+}
+
+void RaftNode::note_round_ack(ServerId peer, std::uint64_t round, TimePoint now) {
+  if (round == 0) return;  // pre-read-path peer or non-round message
+  auto& acked = acked_round_[peer];
+  if (round <= acked) return;
+  acked = round;
+  // Quorum-max: the highest round at least quorum() members (self included,
+  // at broadcast_round_) have acknowledged.
+  std::vector<std::uint64_t> rounds;
+  rounds.reserve(others_.size() + 1);
+  rounds.push_back(broadcast_round_);
+  for (const ServerId other : others_) {
+    const auto it = acked_round_.find(other);
+    rounds.push_back(it == acked_round_.end() ? 0 : it->second);
+  }
+  std::nth_element(rounds.begin(), rounds.begin() + static_cast<std::ptrdiff_t>(quorum() - 1),
+                   rounds.end(), std::greater<>());
+  const std::uint64_t quorum_round = rounds[quorum() - 1];
+  if (quorum_round <= confirmed_round_) return;
+  confirmed_round_ = quorum_round;
+
+  // Lease extension: the confirmed round was *sent* at T_S; every acking
+  // follower rearmed its election timer at receipt >= T_S and refuses votes
+  // for min_election_timeout after that contact, so no rival can be elected
+  // before T_S + min_election_timeout. The lease stops strictly earlier.
+  const auto sent = round_sent_at_.find(quorum_round);
+  if (sent != round_sent_at_.end() && options_.lease_ratio > 0 && !transfer_pending_) {
+    const auto span = static_cast<Duration>(
+        options_.lease_ratio * static_cast<double>(policy_->min_election_timeout()));
+    const TimePoint until = sent->second + span;
+    if (until > lease_until_) {
+      lease_until_ = until;
+      lease_clock_ = policy_->current_config().conf_clock;
+    }
+  }
+  round_sent_at_.erase(round_sent_at_.begin(), round_sent_at_.upper_bound(quorum_round));
+
+  release_ready_reads(now);
+  // A batch formed while the round was in flight waits on a round that is
+  // not broadcast yet; open it now rather than waiting out the heartbeat
+  // interval (closed-loop reads self-clock at one round per RTT).
+  if (!pending_reads_.empty() && pending_reads_.back().required_round > broadcast_round_) {
+    broadcast_heartbeat_round(now);
+  }
+}
+
+void RaftNode::release_ready_reads(TimePoint now) {
+  std::size_t released = 0;
+  while (released < pending_reads_.size()) {
+    const PendingRead& r = pending_reads_[released];
+    if (r.required_round > confirmed_round_ || last_applied_ < r.read_index) break;
+    grant_read(r.id, r.read_index, /*via_lease=*/false, now);
+    ++counters_.read_index_reads;
+    ++released;
+  }
+  pending_reads_.erase(pending_reads_.begin(),
+                       pending_reads_.begin() + static_cast<std::ptrdiff_t>(released));
+}
+
+void RaftNode::grant_read(ReadId id, LogIndex read_index, bool via_lease, TimePoint now) {
+  assert(last_applied_ >= read_index);
+  read_grants_out_.push_back({id, read_index, /*ok=*/true, via_lease});
+  NodeEvent ev;
+  ev.kind = NodeEvent::Kind::kReadGranted;
+  ev.term = current_term_;
+  ev.index = read_index;
+  ev.at = now;
+  ev.read_id = id;
+  ev.via_lease = via_lease;
+  emit(ev);
+}
+
+void RaftNode::reject_pending_reads(TimePoint now) {
+  for (const PendingRead& r : pending_reads_) {
+    read_grants_out_.push_back({r.id, r.read_index, /*ok=*/false, false});
+    ++counters_.reads_rejected;
+    NodeEvent ev;
+    ev.kind = NodeEvent::Kind::kReadRejected;
+    ev.term = current_term_;
+    ev.index = r.read_index;
+    ev.at = now;
+    ev.read_id = r.id;
+    emit(ev);
+  }
+  pending_reads_.clear();
+}
+
+void RaftNode::revoke_lease() {
+  lease_until_ = 0;
+  lease_clock_ = 0;
+}
+
+void RaftNode::reset_read_state(TimePoint now) {
+  reject_pending_reads(now);
+  revoke_lease();
+  transfer_pending_ = false;
+  acked_round_.clear();
+  round_sent_at_.clear();
+  broadcast_round_ = 0;
+  confirmed_round_ = 0;
+}
+
 void RaftNode::handle_timeout_now(const rpc::TimeoutNow& m, TimePoint now) {
   // Only honor a transfer from the current term's leader; stale or rogue
   // requests are ignored (the campaign itself is still governed by the
   // normal election rules, so even a honored stale one is safe).
   if (m.term < current_term_ || role_ == Role::kLeader) return;
   if (m.term > current_term_) become_follower(m.term, m.leader_id, now, /*reset_timer=*/false);
-  start_campaign(now);
+  // The sanctioning leader revoked its lease before sending; flag the
+  // campaign so voters waive the recency guard (everyone heard from that
+  // leader moments ago — an unflagged transfer campaign could never win).
+  start_campaign(now, /*leadership_transfer=*/true);
 }
 
 std::optional<LogIndex> RaftNode::compact(LogIndex upto, std::vector<std::uint8_t> state,
@@ -189,6 +403,8 @@ std::vector<rpc::Envelope> RaftNode::take_outbox() { return std::exchange(outbox
 
 std::vector<rpc::LogEntry> RaftNode::take_committed() { return std::exchange(committed_out_, {}); }
 
+std::vector<ReadGrant> RaftNode::take_read_grants() { return std::exchange(read_grants_out_, {}); }
+
 std::optional<storage::Snapshot> RaftNode::take_installed_snapshot() {
   return std::exchange(installed_out_, std::nullopt);
 }
@@ -209,6 +425,10 @@ void RaftNode::become_follower(Term term, ServerId leader, TimePoint now, bool r
     voted_for_ = kNoServer;
     dirty = true;
   }
+  // Deposed leaders answer no more reads: pending ReadIndex batches can no
+  // longer be confirmed in this term, and a lease must never outlive the
+  // leadership it certifies.
+  reset_read_state(now);
   role_ = Role::kFollower;
   leader_id_ = leader;
   votes_.clear();
@@ -220,7 +440,12 @@ void RaftNode::become_follower(Term term, ServerId leader, TimePoint now, bool r
   if (reset_timer || election_deadline_ == kNever) arm_election_timer(now);
 }
 
-void RaftNode::start_campaign(TimePoint now) {
+void RaftNode::start_campaign(TimePoint now, bool leadership_transfer) {
+  if (role_ == Role::kLeader) {
+    // Re-campaign out of a leadership (possible only via scripted timers):
+    // drop the read state the old leadership accumulated.
+    reset_read_state(now);
+  }
   role_ = Role::kCandidate;
   leader_id_ = kNoServer;
   current_term_ = policy_->campaign_term(current_term_);
@@ -238,6 +463,7 @@ void RaftNode::start_campaign(TimePoint now) {
   rv.last_log_index = log_.last_index();
   rv.last_log_term = log_.last_term();
   rv.conf_clock = policy_->vote_request_clock();
+  rv.leadership_transfer = leadership_transfer;
   for (ServerId peer : others_) {
     send(peer, rv);
     ++counters_.request_votes_sent;
@@ -254,6 +480,7 @@ void RaftNode::become_leader(TimePoint now) {
   next_index_.clear();
   match_index_.clear();
   install_sent_round_.clear();
+  reset_read_state(now);  // a lease is earned per leadership, never inherited
   for (ServerId peer : others_) {
     next_index_[peer] = log_.last_index() + 1;
     match_index_[peer] = 0;
@@ -266,19 +493,41 @@ void RaftNode::become_leader(TimePoint now) {
   if (options_.commit_noop_on_elect) {
     // Barrier entry: commits everything from prior terms once it replicates
     // (Raft §5.4.2 — prior-term entries never commit by counting alone).
-    rpc::LogEntry noop;
-    noop.term = current_term_;
-    noop.index = log_.last_index() + 1;
-    wal_.append(noop);
-    log_.append(noop);
+    append_noop();
   }
   broadcast_heartbeat_round(now);
-  maybe_advance_commit();  // single-node clusters
+  maybe_advance_commit(now);  // single-node clusters
 }
 
 // --- message handlers --------------------------------------------------------
 
 void RaftNode::handle_request_vote(const rpc::RequestVote& m, TimePoint now) {
+  // Vote-recency guard (Raft dissertation §4.2.3): a server that heard from
+  // a live leader within the minimum election timeout neither grants the
+  // vote *nor adopts the candidate's term* — otherwise a partially
+  // partitioned server could depose a healthy leader through voters that
+  // still hear it, which is exactly the hole that would let an expired-lease
+  // argument fail (see NodeOptions::lease_ratio). Leaders trust their own
+  // authority the same way. A TimeoutNow-triggered campaign bypasses the
+  // guard: the sanctioning leader already revoked its lease.
+  if (!m.leadership_transfer && m.candidate_id != id_) {
+    const auto guard_window = static_cast<Duration>(
+        options_.vote_guard_ratio * static_cast<double>(policy_->min_election_timeout()));
+    const bool leader_is_live =
+        role_ == Role::kLeader ||
+        (leader_id_ != kNoServer && last_leader_contact_ != kNever &&
+         now - last_leader_contact_ < guard_window) ||
+        now < restart_guard_until_;
+    if (leader_is_live) {
+      ++counters_.votes_refused_recent_leader;
+      rpc::RequestVoteReply refusal;
+      refusal.term = current_term_;
+      refusal.vote_granted = false;
+      refusal.voter_id = id_;
+      send(m.candidate_id, refusal);
+      return;
+    }
+  }
   if (m.term > current_term_) {
     become_follower(m.term, kNoServer, now, /*reset_timer=*/false);
   }
@@ -337,6 +586,7 @@ void RaftNode::handle_append_entries(ServerId from, const rpc::AppendEntries& m,
     return;
   }
   leader_id_ = m.leader_id;
+  last_leader_contact_ = now;  // vote-recency guard input
 
   // Adopt any piggybacked configuration before re-arming the timer so the
   // new election-timeout period takes effect immediately (Section IV-B).
@@ -353,6 +603,10 @@ void RaftNode::handle_append_entries(ServerId from, const rpc::AppendEntries& m,
   rpc::AppendEntriesReply reply;
   reply.term = current_term_;
   reply.from = id_;
+  // Echo the broadcast round even on replication failure: either reply
+  // proves this follower still recognizes the sender's term, which is all a
+  // ReadIndex confirmation (or lease extension) needs.
+  reply.round = m.round;
 
   // A prev inside our compacted prefix is vacuously consistent: everything
   // at or below the snapshot boundary is committed, and committed prefixes
@@ -392,7 +646,7 @@ void RaftNode::handle_append_entries(ServerId from, const rpc::AppendEntries& m,
 
   if (m.leader_commit > commit_index_) {
     commit_index_ = std::min(m.leader_commit, log_.last_index());
-    apply_committed();
+    apply_committed(now);
     emit({.kind = NodeEvent::Kind::kCommitAdvanced,
           .term = current_term_,
           .index = commit_index_,
@@ -419,10 +673,14 @@ void RaftNode::handle_append_entries_reply(const rpc::AppendEntriesReply& m, Tim
   // PPF input: track log responsiveness regardless of replication outcome.
   policy_->on_follower_status(m.from, m.status);
 
+  // Read fast path: count the echoed round toward quorum confirmation
+  // (success or not — the reply proves the follower is still in our term).
+  note_round_ack(m.from, m.round, now);
+
   if (m.success) {
     match_index_[m.from] = std::max(match_index_[m.from], m.match_index);
     next_index_[m.from] = std::max(next_index_[m.from], m.match_index + 1);
-    maybe_advance_commit();
+    maybe_advance_commit(now);
     if (next_index_[m.from] <= log_.last_index()) {
       send_append_entries(m.from, /*include_config=*/false);  // continue catch-up
     }
@@ -463,9 +721,11 @@ void RaftNode::handle_install_snapshot(const rpc::InstallSnapshot& m, TimePoint 
     return;
   }
   leader_id_ = m.leader_id;
+  last_leader_contact_ = now;  // vote-recency guard input
   arm_election_timer(now);
   reply.term = current_term_;
   reply.success = true;
+  reply.round = m.round;  // a snapshot shipped for a round still confirms it
 
   if (m.last_included_index <= commit_index_) {
     // Stale or duplicate snapshot: we already hold (and may have applied)
@@ -542,9 +802,10 @@ void RaftNode::handle_install_snapshot_reply(const rpc::InstallSnapshotReply& m,
   install_sent_round_.erase(m.from);  // it arrived; resume normal flow
   if (!m.success) return;
   policy_->on_follower_status(m.from, m.status);
+  note_round_ack(m.from, m.round, now);
   match_index_[m.from] = std::max(match_index_[m.from], m.match_index);
   next_index_[m.from] = std::max(next_index_[m.from], m.match_index + 1);
-  maybe_advance_commit();
+  maybe_advance_commit(now);
   if (next_index_[m.from] <= log_.last_index()) {
     send_append_entries(m.from, /*include_config=*/false);  // ship the suffix
   }
@@ -555,6 +816,16 @@ void RaftNode::handle_install_snapshot_reply(const rpc::InstallSnapshotReply& m,
 void RaftNode::broadcast_heartbeat_round(TimePoint now) {
   ++counters_.heartbeat_rounds;
   policy_->begin_heartbeat_round();
+  ++broadcast_round_;
+  if (!others_.empty()) {
+    // Remember the send instant: it anchors the lease extension when a
+    // quorum echoes this round. Cap the unconfirmed backlog — a leader that
+    // cannot reach a quorum (minority partition) must not grow this map for
+    // as long as the partition lasts, and rounds that old can no longer
+    // extend a useful lease anyway.
+    round_sent_at_[broadcast_round_] = now;
+    while (round_sent_at_.size() > 64) round_sent_at_.erase(round_sent_at_.begin());
+  }
   for (ServerId peer : others_) send_append_entries(peer, /*include_config=*/true);
   heartbeat_deadline_ = now + options_.heartbeat_interval;
 }
@@ -582,6 +853,10 @@ void RaftNode::send_append_entries(ServerId peer, bool include_config) {
   ae.prev_log_term = log_.term_at(next - 1).value_or(0);
   ae.entries = log_.slice(next, options_.max_entries_per_rpc);
   ae.leader_commit = commit_index_;
+  // Every append is stamped with the latest broadcast round: a catch-up
+  // append sent after round R was opened is sent no earlier than R's
+  // heartbeats, so its ack confirms R just as well.
+  ae.round = broadcast_round_;
   if (include_config) ae.new_config = policy_->config_for(peer);
   send(peer, std::move(ae));
   ++counters_.append_entries_sent;
@@ -607,11 +882,12 @@ void RaftNode::send_install_snapshot(ServerId peer) {
   // rule out. Zeros (no assignment / non-ESCAPE policy) adopt as a no-op.
   is.config = policy_->assignment_for(peer).value_or(rpc::Configuration{});
   is.state = std::move(snap->state);
+  is.round = broadcast_round_;  // counts toward the round's quorum, as an AE would
   send(peer, std::move(is));
   ++counters_.install_snapshots_sent;
 }
 
-void RaftNode::maybe_advance_commit() {
+void RaftNode::maybe_advance_commit(TimePoint now) {
   // Raft §5.4.2: only entries of the current term commit by counting.
   for (LogIndex n = log_.last_index(); n > commit_index_; --n) {
     const auto t = log_.term_at(n);
@@ -622,8 +898,8 @@ void RaftNode::maybe_advance_commit() {
     }
     if (replicas >= quorum()) {
       commit_index_ = n;
-      apply_committed();
-      emit({.kind = NodeEvent::Kind::kCommitAdvanced, .term = current_term_, .index = n});
+      apply_committed(now);
+      emit({.kind = NodeEvent::Kind::kCommitAdvanced, .term = current_term_, .index = n, .at = now});
       break;
     }
   }
@@ -647,7 +923,7 @@ void RaftNode::persist_state() {
   state_store_.save(s);
 }
 
-void RaftNode::apply_committed() {
+void RaftNode::apply_committed(TimePoint now) {
   while (last_applied_ < commit_index_) {
     ++last_applied_;
     const auto* e = log_.entry_at(last_applied_);
@@ -655,6 +931,10 @@ void RaftNode::apply_committed() {
     committed_out_.push_back(*e);
     ++counters_.entries_committed;
   }
+  // A pending read whose round is already confirmed may have been waiting
+  // only for the apply cursor (fresh-leadership reads wait on the inherited
+  // log tail committing, which just happened here).
+  if (role_ == Role::kLeader && !pending_reads_.empty()) release_ready_reads(now);
 }
 
 void RaftNode::send(ServerId to, rpc::Message message) {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -61,6 +62,49 @@ struct NodeOptions {
   /// retry period (rounds x heartbeat_interval) below the minimum election
   /// timeout so a recovering follower is caught up before its timer fires.
   std::uint64_t snapshot_retry_rounds = 2;
+
+  /// Leader-lease length as a fraction of the policy's minimum election
+  /// timeout (ESCAPE: baseTime, the Eq. 1 period of the top priority P = n).
+  /// Each quorum-acknowledged heartbeat round extends the lease to
+  /// `send time + lease_ratio x min_election_timeout`; while it holds, reads
+  /// are served locally with zero messages. Soundness: every follower that
+  /// acked the round rearmed its election timer at receipt >= send time and
+  /// (per vote_guard_ratio below) refuses votes for longer than the lease
+  /// lasts after that contact; any electing quorum intersects the acking
+  /// quorum, so no rival can be elected before the lease expires — even when
+  /// ESCAPE's patrol hands out fresh π(P, k) assignments, whose periods
+  /// never drop below baseTime. Must be strictly below vote_guard_ratio;
+  /// 0 disables leases (reads always confirm through a ReadIndex round).
+  double lease_ratio = 0.75;
+
+  /// Vote-recency guard window as a fraction of the minimum election
+  /// timeout: a server refuses (and does not adopt the term of) a
+  /// non-transfer RequestVote received within this window of hearing from a
+  /// current leader (Raft dissertation §4.2.3). Any value > lease_ratio
+  /// keeps leases sound; the gap below 1 is deliberate slack for
+  /// receipt-time skew — a candidate whose last heartbeat arrived earlier
+  /// than the voter's (asymmetric geo latency) campaigns "early" by the
+  /// skew, and a full-window guard would refuse legitimate first campaigns
+  /// and resurrect the split votes ESCAPE exists to kill. The slack does
+  /// NOT cover a candidate that *lost* the final broadcast outright (its
+  /// timer runs a full heartbeat interval ahead of the voters'); such a
+  /// campaign is refused and failover pays one extra timeout — the price of
+  /// guard-class protocols under loss, bounded by the guard window itself.
+  double vote_guard_ratio = 0.85;
+};
+
+/// Ticket identifying one linearizable read accepted by a leader.
+using ReadId = std::uint64_t;
+
+/// Completion record for one accepted read, drained via take_read_grants().
+/// The runtime must apply take_committed() *before* serving granted reads:
+/// a grant promises the local state machine has applied at least
+/// `read_index`, which holds only once the drained entries are applied.
+struct ReadGrant {
+  ReadId id = 0;
+  LogIndex read_index = 0;  ///< state served must include this prefix
+  bool ok = false;          ///< false: leadership lost before confirmation
+  bool via_lease = false;   ///< served under the lease (no confirmation round)
 };
 
 /// Observable state transitions, consumed by measurement observers and the
@@ -75,6 +119,8 @@ struct NodeEvent {
     kVoteGranted,        ///< this node granted its vote (to `peer`) in `term`
     kSnapshotTaken,      ///< compacted own log (index = last included index)
     kSnapshotInstalled,  ///< installed a leader snapshot (index = last included)
+    kReadGranted,        ///< linearizable read released (index = read index)
+    kReadRejected,       ///< pending read dropped (leadership lost)
   };
   Kind kind{};
   ServerId node = kNoServer;
@@ -83,6 +129,8 @@ struct NodeEvent {
   LogIndex index = 0;
   rpc::Configuration config{};
   TimePoint at = 0;
+  ReadId read_id = 0;      ///< valid for the read events
+  bool via_lease = false;  ///< kReadGranted: served under the lease
 };
 
 /// Monotonic counters for observability and bench reporting.
@@ -99,6 +147,10 @@ struct NodeCounters {
   std::uint64_t snapshots_taken = 0;           ///< local compactions
   std::uint64_t snapshots_installed = 0;       ///< leader snapshots restored
   std::uint64_t install_snapshots_sent = 0;    ///< snapshot catch-ups shipped
+  std::uint64_t lease_reads = 0;               ///< reads served under the lease
+  std::uint64_t read_index_reads = 0;          ///< reads confirmed by a round
+  std::uint64_t reads_rejected = 0;            ///< pending reads dropped
+  std::uint64_t votes_refused_recent_leader = 0;  ///< vote-recency guard hits
 };
 
 /// One consensus participant. Single-threaded; not internally synchronized.
@@ -136,6 +188,17 @@ class RaftNode {
   /// leader_hint()).
   std::optional<LogIndex> submit(std::vector<std::uint8_t> command, TimePoint now);
 
+  /// Linearizable read fast path. Accepts the read (leader only; nullopt
+  /// otherwise — caller redirects using leader_hint()) and resolves it via
+  /// the cheapest sound route: under a live lease the grant is released
+  /// immediately with zero messages; otherwise the read joins the pending
+  /// ReadIndex batch, which records the current commit index and is released
+  /// once one subsequent heartbeat round is acknowledged by a quorum (the
+  /// proof no newer leader existed when the read was accepted) and
+  /// last_applied has caught up to it. Grants and rejections come back
+  /// through take_read_grants().
+  std::optional<ReadId> submit_read(TimePoint now);
+
   /// Proactive leadership handoff: sends TimeoutNow to `target`, which
   /// campaigns immediately (no election-timeout wait), turning a planned
   /// shutdown into a sub-RTT view change. Requires this node to lead and
@@ -160,6 +223,11 @@ class RaftNode {
 
   /// Drains entries newly committed since the last call, in log order.
   std::vector<rpc::LogEntry> take_committed();
+
+  /// Drains read completions produced since the last call. Serve each `ok`
+  /// grant against the local state machine only *after* applying everything
+  /// drained by take_committed() in the same pump.
+  std::vector<ReadGrant> take_read_grants();
 
   /// Drains the snapshot installed by the most recent InstallSnapshot, if
   /// any. The runtime must restore its state machine from it *before*
@@ -191,11 +259,15 @@ class RaftNode {
   const NodeCounters& counters() const { return counters_; }
   /// Configuration clock currently adopted (0 under vanilla Raft).
   ConfClock conf_clock() const { return policy_->current_config().conf_clock; }
+  /// True when this leader's lease authorizes zero-message reads at `now`.
+  bool lease_valid(TimePoint now) const;
+  /// Reads accepted but not yet granted or rejected.
+  std::size_t pending_reads() const { return pending_reads_.size(); }
 
  private:
   // Role transitions.
   void become_follower(Term term, ServerId leader, TimePoint now, bool reset_timer);
-  void start_campaign(TimePoint now);
+  void start_campaign(TimePoint now, bool leadership_transfer = false);
   void become_leader(TimePoint now);
 
   // Message handlers.
@@ -211,12 +283,26 @@ class RaftNode {
   void broadcast_heartbeat_round(TimePoint now);
   void send_append_entries(ServerId peer, bool include_config);
   void send_install_snapshot(ServerId peer);
-  void maybe_advance_commit();
+  void maybe_advance_commit(TimePoint now);
+
+  // Read fast path (leader side).
+  /// Appends a current-term no-op barrier entry to the WAL and log (§5.4.2:
+  /// committing it commits every inherited prior-term entry transitively).
+  void append_noop();
+  void note_round_ack(ServerId peer, std::uint64_t round, TimePoint now);
+  void release_ready_reads(TimePoint now);
+  void grant_read(ReadId id, LogIndex read_index, bool via_lease, TimePoint now);
+  void reject_pending_reads(TimePoint now);
+  void revoke_lease();
+  /// Rejects pending reads, kills the lease, and zeroes the round-tracking
+  /// state. Called on every role transition — the read fast path is strictly
+  /// per-leadership state.
+  void reset_read_state(TimePoint now);
 
   // Common machinery.
   void arm_election_timer(TimePoint now);
   void persist_state();
-  void apply_committed();
+  void apply_committed(TimePoint now);
   void send(ServerId to, rpc::Message message);
   void emit(NodeEvent event);
   rpc::ConfigStatus own_status() const;
@@ -257,6 +343,37 @@ class RaftNode {
   /// throttles resends to silent followers (see snapshot_retry_rounds).
   std::unordered_map<ServerId, std::uint64_t> install_sent_round_;
 
+  // Read fast path (leader volatile state; cleared on every role change).
+  struct PendingRead {
+    ReadId id = 0;
+    LogIndex read_index = 0;        ///< leader commit index when accepted
+    std::uint64_t required_round = 0;  ///< round whose quorum ack confirms it
+  };
+  /// Backpressure cap on pending_reads_ (see submit_read): far above any
+  /// healthy batch (a batch drains per confirmation RTT), only reachable
+  /// when confirmations stopped entirely.
+  static constexpr std::size_t kMaxPendingReads = 1024;
+  std::vector<PendingRead> pending_reads_;  ///< in acceptance (= release) order
+  std::uint64_t broadcast_round_ = 0;       ///< rounds broadcast this leadership
+  std::uint64_t confirmed_round_ = 0;       ///< highest quorum-acked round
+  std::unordered_map<ServerId, std::uint64_t> acked_round_;  ///< highest echo per peer
+  std::map<std::uint64_t, TimePoint> round_sent_at_;  ///< unconfirmed rounds only
+  TimePoint lease_until_ = 0;   ///< lease expiry (0 = no lease)
+  ConfClock lease_clock_ = 0;   ///< confClock when granted; advance revokes
+  /// Set once transfer_leadership sanctions a rival: the rival's campaign
+  /// bypasses the vote-recency guard, so no round confirmed from here on may
+  /// grant or extend a lease for the remainder of this leadership.
+  bool transfer_pending_ = false;
+  ReadId next_read_id_ = 0;
+  TimePoint last_leader_contact_ = kNever;  ///< vote-recency guard input
+  /// A node restarting with prior persisted state may have acked a lease
+  /// round just before crashing — and its fresh incarnation remembers no
+  /// leader contact, so without this floor it would grant a rival's vote
+  /// inside a lease it helped establish. Votes are refused until this
+  /// deadline (one guard window past start()); genuinely new servers (term
+  /// 0, empty log) never acked anything and vote immediately.
+  TimePoint restart_guard_until_ = 0;
+
   // Timers (deadlines in virtual time; kNever = disarmed).
   TimePoint election_deadline_ = kNever;
   TimePoint heartbeat_deadline_ = kNever;
@@ -264,6 +381,7 @@ class RaftNode {
   // Outputs.
   std::vector<rpc::Envelope> outbox_;
   std::vector<rpc::LogEntry> committed_out_;
+  std::vector<ReadGrant> read_grants_out_;
   std::optional<storage::Snapshot> installed_out_;
   std::function<void(const NodeEvent&)> event_hook_;
 

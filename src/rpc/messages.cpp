@@ -86,6 +86,7 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
           e.i64(msg.last_log_index);
           e.i64(msg.last_log_term);
           e.i64(msg.conf_clock);
+          e.boolean(msg.leadership_transfer);
         } else if constexpr (std::is_same_v<T, RequestVoteReply>) {
           e.u8(static_cast<std::uint8_t>(Tag::kRequestVoteReply));
           e.i64(msg.term);
@@ -102,6 +103,7 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
           e.i64(msg.leader_commit);
           e.boolean(msg.new_config.has_value());
           if (msg.new_config) encode(e, *msg.new_config);
+          e.u64(msg.round);
         } else if constexpr (std::is_same_v<T, AppendEntriesReply>) {
           e.u8(static_cast<std::uint8_t>(Tag::kAppendEntriesReply));
           e.i64(msg.term);
@@ -111,6 +113,7 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
           e.i64(msg.conflict_index);
           e.i64(msg.conflict_term);
           encode(e, msg.status);
+          e.u64(msg.round);
         } else if constexpr (std::is_same_v<T, ClientRequest>) {
           e.u8(static_cast<std::uint8_t>(Tag::kClientRequest));
           e.u64(msg.client_id);
@@ -135,6 +138,7 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
           e.i64(msg.last_included_term);
           encode(e, msg.config);
           e.bytes(msg.state);
+          e.u64(msg.round);
         } else if constexpr (std::is_same_v<T, InstallSnapshotReply>) {
           e.u8(static_cast<std::uint8_t>(Tag::kInstallSnapshotReply));
           e.i64(msg.term);
@@ -142,6 +146,7 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
           e.boolean(msg.success);
           e.i64(msg.match_index);
           encode(e, msg.status);
+          e.u64(msg.round);
         }
       },
       m);
@@ -160,6 +165,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       m.last_log_index = d.i64();
       m.last_log_term = d.i64();
       m.conf_clock = d.i64();
+      m.leadership_transfer = d.boolean();
       out = m;
       break;
     }
@@ -182,6 +188,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       for (std::uint32_t i = 0; i < n; ++i) m.entries.push_back(decode_entry(d));
       m.leader_commit = d.i64();
       if (d.boolean()) m.new_config = decode_config(d);
+      m.round = d.u64();
       out = m;
       break;
     }
@@ -194,6 +201,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       m.conflict_index = d.i64();
       m.conflict_term = d.i64();
       m.status = decode_status(d);
+      m.round = d.u64();
       out = m;
       break;
     }
@@ -220,6 +228,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       m.last_included_term = d.i64();
       m.config = decode_config(d);
       m.state = d.bytes();
+      m.round = d.u64();
       out = m;
       break;
     }
@@ -230,6 +239,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       m.success = d.boolean();
       m.match_index = d.i64();
       m.status = decode_status(d);
+      m.round = d.u64();
       out = m;
       break;
     }
@@ -269,7 +279,9 @@ std::string to_string(const Message& m) {
         if constexpr (std::is_same_v<T, RequestVote>) {
           os << "RequestVote{t=" << msg.term << " cand=" << server_name(msg.candidate_id)
              << " lastIdx=" << msg.last_log_index << " lastTerm=" << msg.last_log_term
-             << " confClock=" << msg.conf_clock << "}";
+             << " confClock=" << msg.conf_clock;
+          if (msg.leadership_transfer) os << " transfer";
+          os << "}";
         } else if constexpr (std::is_same_v<T, RequestVoteReply>) {
           os << "RequestVoteReply{t=" << msg.term << " granted=" << msg.vote_granted
              << " voter=" << server_name(msg.voter_id) << "}";

@@ -50,6 +50,12 @@ struct RequestVote {
   LogIndex last_log_index = 0;
   Term last_log_term = 0;
   ConfClock conf_clock = 0;  ///< ESCAPE staleness check; 0 under vanilla Raft
+  /// Set when this campaign was triggered by a TimeoutNow handoff from the
+  /// sitting leader. Bypasses the vote-recency guard (voters otherwise refuse
+  /// candidates while they heard from a leader within the minimum election
+  /// timeout — the rule that makes leader leases sound), because the leader
+  /// itself sanctioned the disruption and revoked its lease before asking.
+  bool leadership_transfer = false;
 
   bool operator==(const RequestVote&) const = default;
 };
@@ -83,6 +89,12 @@ struct AppendEntries {
   std::vector<LogEntry> entries;
   LogIndex leader_commit = 0;
   std::optional<Configuration> new_config;  ///< PPF assignment (Listing 1)
+  /// Leader broadcast-round sequence number, echoed in the reply. The read
+  /// fast path counts quorum acknowledgements per round: a quorum echoing
+  /// round R proves the sender still led when R was broadcast, which is what
+  /// confirms a ReadIndex batch and extends the leader lease — with zero
+  /// read-specific RPCs (Raft dissertation §6.4).
+  std::uint64_t round = 0;
 
   bool operator==(const AppendEntries&) const = default;
 };
@@ -101,6 +113,7 @@ struct AppendEntriesReply {
   LogIndex conflict_index = 0;
   Term conflict_term = 0;
   ConfigStatus status;  ///< Listing 1 `status`
+  std::uint64_t round = 0;  ///< echo of AppendEntries::round (read fast path)
 
   bool operator==(const AppendEntriesReply&) const = default;
 };
@@ -124,6 +137,10 @@ struct InstallSnapshot {
   Term last_included_term = 0;
   Configuration config;             ///< destination's PPF assignment (zeros: none)
   std::vector<std::uint8_t> state;  ///< serialized state machine
+  /// Broadcast-round sequence, as on AppendEntries: a snapshot shipped in
+  /// place of a round's heartbeat still counts toward that round's quorum, so
+  /// reads never stall behind a follower that is catching up by snapshot.
+  std::uint64_t round = 0;
 
   bool operator==(const InstallSnapshot&) const = default;
 };
@@ -139,6 +156,7 @@ struct InstallSnapshotReply {
   /// Highest index the follower is known to hold after processing.
   LogIndex match_index = 0;
   ConfigStatus status;  ///< PPF input, as on AppendEntriesReply
+  std::uint64_t round = 0;  ///< echo of InstallSnapshot::round (read fast path)
 
   bool operator==(const InstallSnapshotReply&) const = default;
 };

@@ -12,6 +12,9 @@ Duration action_end(const PlannedAction& planned) {
   if (const auto* burst = std::get_if<TrafficBurst>(&planned.action)) {
     return planned.at + burst->duration;
   }
+  if (const auto* reads = std::get_if<ClientRead>(&planned.action)) {
+    return planned.at + reads->duration;
+  }
   return planned.at;
 }
 
@@ -34,6 +37,7 @@ const char* action_name(const FaultAction& action) {
     const char* operator()(const SetLossRate&) const { return "set-loss"; }
     const char* operator()(const LeaderTransfer&) const { return "leader-transfer"; }
     const char* operator()(const TrafficBurst&) const { return "traffic"; }
+    const char* operator()(const ClientRead&) const { return "client-read"; }
     const char* operator()(const ScriptTimeout&) const { return "script-timeout"; }
     const char* operator()(const MarkEpisode&) const { return "mark-episode"; }
     const char* operator()(const TriggerSnapshot&) const { return "snapshot"; }
@@ -119,6 +123,7 @@ void PlanRuntime::disarm_deferred_crash() { live_->crashes_pending = 0; }
 void PlanRuntime::clear_markers() {
   markers_.clear();
   traffic_submitted_ = 0;
+  reads_issued_ = 0;
   last_crashed_ = kNoServer;
   live_->crashes_pending = 0;
 }
@@ -210,6 +215,22 @@ void PlanRuntime::traffic_tick(TimePoint end, Duration interval, std::size_t pay
   if (next < end) {
     cluster_.loop().schedule_at(next, [this, live = live_, end, interval, payload_bytes] {
       if (live->active) traffic_tick(end, interval, payload_bytes);
+    });
+  }
+}
+
+void PlanRuntime::read_tick(TimePoint end, Duration interval) {
+  if (cluster_.loop().now() >= end) return;
+  // Fire-and-audit: the probe ledger + InvariantChecker judge the grant;
+  // the runtime only keeps the issue count. Leaderless instants skip a beat
+  // (exactly like traffic), which is what read-heavy failover scenarios are
+  // probing in the first place.
+  const ServerId leader = cluster_.leader();
+  if (leader != kNoServer && cluster_.submit_read(leader)) ++reads_issued_;
+  const TimePoint next = cluster_.loop().now() + interval;
+  if (next < end) {
+    cluster_.loop().schedule_at(next, [this, live = live_, end, interval] {
+      if (live->active) read_tick(end, interval);
     });
   }
 }
@@ -376,6 +397,13 @@ void PlanRuntime::execute(const FaultAction& action) {
         return;
       }
       rt.traffic_tick(rt.cluster_.loop().now() + a.duration, a.interval, a.payload_bytes);
+    }
+    void operator()(const ClientRead& a) {
+      if (a.interval <= 0) {  // same livelock guard as TrafficBurst
+        marker.ok = false;
+        return;
+      }
+      rt.read_tick(rt.cluster_.loop().now() + a.duration, a.interval);
     }
     void operator()(const ScriptTimeout& a) {
       const ServerId id = rt.resolve(a.node);

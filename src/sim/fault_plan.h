@@ -146,6 +146,17 @@ struct TrafficBurst {
   std::size_t payload_bytes = 16;
 };
 
+/// Issues a linearizable fast-path read through whatever leader exists every
+/// `interval` for `duration` — the read-side twin of TrafficBurst. Reads go
+/// through SimCluster::submit_read, so each one lands in the probe ledger
+/// and the InvariantChecker audits its grant for staleness; hammering reads
+/// across crashes, partitions, transfers and snapshots is how the
+/// read-linearizability invariant earns its keep.
+struct ClientRead {
+  Duration duration;
+  Duration interval = from_ms(150);
+};
+
 /// Installs (or, with an empty function, clears) a scripted election-timeout
 /// override on the node's policy — the Figure-10 forced-competition lever.
 struct ScriptTimeout {
@@ -177,8 +188,8 @@ struct SnapshotAndCrash {
 using FaultAction =
     std::variant<CrashNode, RecoverNode, RecoverAll, IsolateNode, HealNode, CutLink,
                  HealLink, PartialIsolate, HealPartial, SwapLatency, DegradeNode,
-                 RestoreLatency, SetLossRate, LeaderTransfer, TrafficBurst, ScriptTimeout,
-                 MarkEpisode, TriggerSnapshot, SnapshotAndCrash>;
+                 RestoreLatency, SetLossRate, LeaderTransfer, TrafficBurst, ClientRead,
+                 ScriptTimeout, MarkEpisode, TriggerSnapshot, SnapshotAndCrash>;
 
 /// Human-readable tag for traces and markers ("crash", "traffic", ...).
 const char* action_name(const FaultAction& action);
@@ -268,6 +279,9 @@ class PlanRuntime {
   /// Commands submitted by TrafficBurst actions since the last clear.
   std::size_t traffic_submitted() const { return traffic_submitted_; }
 
+  /// Fast-path reads issued by ClientRead actions since the last clear.
+  std::size_t reads_issued() const { return reads_issued_; }
+
   /// Node most recently crashed by this runtime (kNoServer if none).
   ServerId last_crashed() const { return last_crashed_; }
 
@@ -297,6 +311,7 @@ class PlanRuntime {
   void crash_now(ServerId id, bool deferred);
   void apply_latency();
   void traffic_tick(TimePoint end, Duration interval, std::size_t payload_bytes);
+  void read_tick(TimePoint end, Duration interval);
 
   SimCluster& cluster_;
   NetworkOptions base_options_;  ///< snapshot for scoped restore
@@ -309,6 +324,7 @@ class PlanRuntime {
   std::set<std::pair<ServerId, ServerId>> one_way_cuts_;
   std::vector<PlanMarker> markers_;
   std::size_t traffic_submitted_ = 0;
+  std::size_t reads_issued_ = 0;
   ServerId last_crashed_ = kNoServer;
   std::shared_ptr<LiveFlag> live_;
   std::size_t listener_handle_ = 0;

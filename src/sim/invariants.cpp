@@ -10,6 +10,30 @@ namespace escape::sim {
 InvariantChecker::InvariantChecker(SimCluster& cluster, bool check_configs)
     : cluster_(cluster), check_configs_(check_configs) {
   cluster_.add_event_listener([this](const raft::NodeEvent& e) { on_event(e); });
+  cluster_.add_read_listener(
+      [this](ServerId id, const raft::ReadGrant& g) { on_read(id, g); });
+}
+
+void InvariantChecker::on_read(ServerId id, const raft::ReadGrant& grant) {
+  if (!grant.ok) return;  // rejections are a liveness outcome, not a safety one
+  // Only probe-ledger reads are auditable: the floor was recorded at issue
+  // time by SimCluster::submit_read (and is erased right after this runs).
+  const auto floor = cluster_.read_floor(id, grant.id);
+  if (!floor) return;
+  ++reads_checked_;
+  if (grant.read_index < *floor) {
+    std::ostringstream os;
+    os << "read linearizability: " << server_name(id) << " granted a "
+       << (grant.via_lease ? "lease" : "read-index") << " read at index " << grant.read_index
+       << " behind commit floor " << *floor << " observed at issue time";
+    add_violation(os.str());
+  }
+  if (cluster_.alive(id) && cluster_.node(id).last_applied() < grant.read_index) {
+    std::ostringstream os;
+    os << "read linearizability: " << server_name(id) << " granted a read at index "
+       << grant.read_index << " but applied only " << cluster_.node(id).last_applied();
+    add_violation(os.str());
+  }
 }
 
 void InvariantChecker::add_violation(std::string v) {

@@ -16,6 +16,12 @@
 //     behind the configuration its own snapshot carries (a restored node
 //     cannot regress the generation its state embodies), and a snapshot
 //     never claims an index past the server's applied point
+//   * Read linearizability — every granted fast-path read observes a state
+//     no older than the commit point at issue time: its read index must
+//     cover the probe ledger's commit floor (the highest commit index any
+//     alive server held when the read was issued — what a deposed leader
+//     serving from a stale lease would fall behind), and the serving
+//     replica must have applied through that index before the grant fired
 // Violations are recorded as human-readable strings; tests assert ok().
 #pragma once
 
@@ -44,8 +50,14 @@ class InvariantChecker {
   /// Leaders observed per term (useful to assert single-campaign claims).
   const std::map<Term, ServerId>& leaders_by_term() const { return leaders_by_term_; }
 
+  /// Fast-path reads audited against the probe ledger (grants whose probe
+  /// was issued through SimCluster::submit_read). Lets tests assert the
+  /// read-linearizability invariant actually engaged.
+  std::size_t reads_checked() const { return reads_checked_; }
+
  private:
   void on_event(const raft::NodeEvent& event);
+  void on_read(ServerId id, const raft::ReadGrant& grant);
   void check_config_uniqueness();
   void add_violation(std::string v);
 
@@ -53,6 +65,7 @@ class InvariantChecker {
   bool check_configs_;
   std::map<Term, ServerId> leaders_by_term_;
   std::vector<std::string> violations_;
+  std::size_t reads_checked_ = 0;
 };
 
 }  // namespace escape::sim

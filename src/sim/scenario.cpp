@@ -38,6 +38,13 @@ std::string trace_line(const raft::NodeEvent& event) {
     case Kind::kSnapshotInstalled:
       line += " install-snapshot index=" + std::to_string(event.index);
       break;
+    case Kind::kReadGranted:
+      line += " read-grant index=" + std::to_string(event.index) +
+              (event.via_lease ? " lease" : " read-index");
+      break;
+    case Kind::kReadRejected:
+      line += " read-reject index=" + std::to_string(event.index);
+      break;
   }
   return line;
 }

@@ -124,6 +124,37 @@ FaultPlan snapshot_churn_plan(SimCluster&, const ScenarioParams&) {
   return plan;
 }
 
+FaultPlan read_heavy_failover_plan(SimCluster&, const ScenarioParams&) {
+  // The paper's crash-the-leader protocol with a read-dominated workload
+  // riding through it: fast-path reads hammer the cluster before, during and
+  // after the failover, so every grant is audited across the leadership
+  // change — a deposed leader serving one stale read trips the
+  // read-linearizability invariant.
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(12'000), from_ms(120)});
+  plan.at(from_ms(500), ClientRead{from_ms(14'000), from_ms(60)});
+  plan.at(from_ms(3'000), CrashNode{NodeRef::leader()});
+  plan.at(from_ms(9'000), RecoverNode{NodeRef::last_crashed()});
+  return plan;
+}
+
+FaultPlan lease_expiry_storm_plan(SimCluster& cluster, const ScenarioParams&) {
+  // The staleness hole leases could open, made flesh: the bootstrap leader
+  // is fully partitioned away mid-read-storm. Its lease must lapse before
+  // the top-priority follower's baseTime + k(n-P) timeout elects a successor
+  // (Eq. 1) — reads it accepted but could no longer confirm are rejected on
+  // step-down, never answered stale, and lease serving stops for the whole
+  // isolation window.
+  const ServerId leader = cluster.leader();
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(14'000), from_ms(150)});
+  plan.at(0, ClientRead{from_ms(16'000), from_ms(80)});
+  plan.at(from_ms(2'000), MarkEpisode{"leader isolated; lease must lapse first"});
+  plan.at(from_ms(2'000), IsolateNode{NodeRef::id(leader)});
+  plan.at(from_ms(12'000), HealNode{NodeRef::id(leader)});
+  return plan;
+}
+
 FaultPlan loss_spike_plan(SimCluster&, const ScenarioParams& params) {
   // A transient Δ = 40% broadcast-omission storm hits, the leader dies in
   // the middle of it, and conditions recover only after the election.
@@ -173,6 +204,14 @@ std::map<std::string, ScenarioSpec>& registry() {
          "Three compact-then-crash leader cycles under traffic; state and "
          "confClock survive every snapshot hop",
          snapshot_churn_plan, from_ms(12'000), 3});
+    add({"read_heavy_failover",
+         "Fast-path reads hammer the cluster through a leader crash and "
+         "recovery; every grant is audited for staleness",
+         read_heavy_failover_plan, from_ms(10'000), 3});
+    add({"lease_expiry_storm",
+         "Leader fully partitioned mid-read-storm; its lease must lapse "
+         "before the successor election, pending reads are rejected",
+         lease_expiry_storm_plan, from_ms(12'000), 3});
     return built_in;
   }();
   return scenarios;
@@ -251,6 +290,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec, const ScenarioParams& para
   report.executed_actions = runner.runtime().markers().size();
   report.leaders_by_term = invariants.leaders_by_term();
   report.traffic_submitted = runner.runtime().traffic_submitted();
+  report.reads_issued = runner.runtime().reads_issued();
   report.net = cluster.network().stats();
   report.final_leader = cluster.leader();
   for (const ServerId id : cluster.members()) {

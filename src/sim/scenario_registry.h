@@ -60,6 +60,7 @@ struct ScenarioReport {
   ServerId bootstrap_leader = kNoServer;
   std::vector<FailoverResult> episodes;  ///< one per measurement episode
   std::size_t traffic_submitted = 0;
+  std::size_t reads_issued = 0;          ///< ClientRead fast-path reads issued
   NetworkStats net{};
   ServerId final_leader = kNoServer;
   std::size_t alive_servers = 0;

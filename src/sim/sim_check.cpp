@@ -29,6 +29,7 @@ enum class FuzzAction : int {
   kBurst,
   kSnapshot,
   kSnapshotCrash,
+  kClientRead,
   kCount,
 };
 
@@ -42,7 +43,7 @@ struct ActionSpec {
 constexpr ActionSpec kActionSpecs[] = {
     {"crash", 30},   {"cut-link", 12}, {"partial-isolate", 12}, {"isolate", 8},
     {"degrade", 10}, {"loss-storm", 10}, {"transfer", 8},       {"burst", 10},
-    {"snapshot", 12}, {"snapshot-crash", 8},
+    {"snapshot", 12}, {"snapshot-crash", 8}, {"client-read", 14},
 };
 static_assert(std::size(kActionSpecs) == kFuzzActionCount,
               "every FuzzAction needs a name + default weight row");
@@ -248,6 +249,14 @@ FuzzCase make_fuzz_case(std::uint64_t scenario_seed, const SimCheckOptions& opti
       }
       case FuzzAction::kBurst: {
         plan.at(t, TrafficBurst{ms_between(rng, 1'000, 5'000), ms_between(rng, 50, 250)});
+        break;
+      }
+      case FuzzAction::kClientRead: {
+        // A read storm overlapping whatever faults surround it: every grant
+        // is audited by the read-linearizability invariant, so a lease
+        // served stale across a crash/partition/transfer shows up as a
+        // violation with a one-line repro.
+        plan.at(t, ClientRead{ms_between(rng, 1'500, 6'000), ms_between(rng, 80, 350)});
         break;
       }
       case FuzzAction::kSnapshot: {

@@ -1,10 +1,11 @@
 // SimCheck: randomized scenario fuzzing for the simulator.
 //
-// The registry's seven hand-written scenarios only exercise the fault
-// schedules we thought to write. SimCheck composes *legal* random FaultPlans
-// from the full action vocabulary — crashes (direct and crash-the-leader),
-// symmetric and one-way link cuts, partial isolation, node degradation,
-// loss-rate storms, planned leadership transfers, traffic bursts — runs each
+// The registry's hand-written scenarios only exercise the fault schedules we
+// thought to write. SimCheck composes *legal* random FaultPlans from the
+// full action vocabulary — crashes (direct and crash-the-leader), symmetric
+// and one-way link cuts, partial isolation, node degradation, loss-rate
+// storms, planned leadership transfers, traffic bursts, snapshot actions,
+// linearizable read storms (client-read) — runs each
 // under the InvariantChecker (listeners during the run, deep_check() at
 // quiescence), and replays the trial to verify same-seed trace determinism.
 //

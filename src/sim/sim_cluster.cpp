@@ -1,6 +1,7 @@
 #include "sim/sim_cluster.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -84,6 +85,9 @@ void SimCluster::crash(ServerId id) {
   host.alive = false;
   host.node.reset();  // volatile state gone; store/wal survive
   host.scheduled_wakeup = kNever;
+  // Outstanding read probes die with the volatile read state they audited.
+  read_probes_.erase(read_probes_.lower_bound({id, 0}),
+                     read_probes_.upper_bound({id, std::numeric_limits<raft::ReadId>::max()}));
   LOG_DEBUG(server_name(id) << " crashed at " << to_ms(loop_.now()) << "ms");
 }
 
@@ -138,6 +142,32 @@ std::optional<LogIndex> SimCluster::submit_via_leader(std::vector<std::uint8_t> 
   return idx;
 }
 
+std::optional<raft::ReadId> SimCluster::submit_read(ServerId id) {
+  auto& host = hosts_.at(id);
+  if (!host.alive || !host.node) return std::nullopt;
+  // The floor is computed *before* the submission so a lease read granted
+  // synchronously inside submit_read() is audited against the state of the
+  // world at issue time. Any commit index an alive node reports is a lower
+  // bound on what has truly committed, so the max over the cluster is the
+  // strongest staleness detector available to the checker: a deposed leader
+  // serving behind a newer leadership's commits trips it immediately.
+  LogIndex floor = 0;
+  for (const ServerId member : members_) {
+    const auto& h = hosts_.at(member);
+    if (h.alive && h.node) floor = std::max(floor, h.node->commit_index());
+  }
+  const auto read = host.node->submit_read(loop_.now());
+  if (read) read_probes_[{id, *read}] = floor;
+  pump(id);
+  return read;
+}
+
+std::optional<LogIndex> SimCluster::read_floor(ServerId id, raft::ReadId read) const {
+  const auto it = read_probes_.find({id, read});
+  if (it == read_probes_.end()) return std::nullopt;
+  return it->second;
+}
+
 bool SimCluster::run_until_applied(LogIndex index, TimePoint deadline) {
   auto all_applied = [&] {
     for (ServerId id : members_) {
@@ -163,6 +193,15 @@ std::size_t SimCluster::add_event_listener(
 
 void SimCluster::remove_event_listener(std::size_t handle) { listeners_.erase(handle); }
 
+std::size_t SimCluster::add_read_listener(
+    std::function<void(ServerId, const raft::ReadGrant&)> listener) {
+  const std::size_t handle = next_read_listener_handle_++;
+  read_listeners_.emplace(handle, std::move(listener));
+  return handle;
+}
+
+void SimCluster::remove_read_listener(std::size_t handle) { read_listeners_.erase(handle); }
+
 void SimCluster::pump(ServerId id) {
   auto& host = hosts_.at(id);
   if (!host.alive || !host.node) return;
@@ -176,6 +215,17 @@ void SimCluster::pump(ServerId id) {
   for (auto& entry : host.node->take_committed()) {
     if (apply_hook_) apply_hook_(id, entry);
     host.applied.push_back(std::move(entry));
+  }
+  // Read completions are delivered only after the entries above were applied:
+  // an `ok` grant promises the replica state machine covers read_index.
+  for (const auto& grant : host.node->take_read_grants()) {
+    for (std::size_t next = 0;;) {  // erase-safe, as in on_node_event
+      const auto it = read_listeners_.lower_bound(next);
+      if (it == read_listeners_.end()) break;
+      next = it->first + 1;
+      it->second(id, grant);
+    }
+    read_probes_.erase({id, grant.id});
   }
   if (options_.snapshot_interval > 0 &&
       host.node->last_applied() - host.node->log().base() >= options_.snapshot_interval) {

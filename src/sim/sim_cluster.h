@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -123,6 +124,28 @@ class SimCluster {
   /// Runs until every alive node has applied index >= `index`.
   bool run_until_applied(LogIndex index, TimePoint deadline);
 
+  // --- linearizable reads -----------------------------------------------------
+  /// Submits a linearizable read through node `id` (it must currently lead;
+  /// nullopt otherwise or when it is down). Records the read in the probe
+  /// ledger with its *commit floor* — the highest commit index any alive
+  /// node has at issue time, which is exactly what a linearizable read must
+  /// observe — so the InvariantChecker can audit the grant when it fires.
+  std::optional<raft::ReadId> submit_read(ServerId id);
+
+  /// Commit floor recorded for an outstanding read probe (see submit_read);
+  /// nullopt once granted/rejected or for an unknown ticket.
+  std::optional<LogIndex> read_floor(ServerId id, raft::ReadId read) const;
+
+  /// Registers a listener invoked from pump for every read completion,
+  /// *after* the same pump applied all newly committed entries — so a
+  /// listener that serves `ok` grants from the replica state machine always
+  /// observes state at or beyond the grant's read index. KvCluster serves
+  /// clients through one; the InvariantChecker audits through another. The
+  /// probe ledger entry is erased right after the listeners run. Returns a
+  /// handle for remove_read_listener.
+  std::size_t add_read_listener(std::function<void(ServerId, const raft::ReadGrant&)> listener);
+  void remove_read_listener(std::size_t handle);
+
   // --- observation -------------------------------------------------------------
   /// Registers a persistent event listener (fires for every NodeEvent).
   /// Returns a handle for remove_event_listener; listeners fire in
@@ -179,8 +202,12 @@ class SimCluster {
   std::function<bool(const raft::NodeEvent&)> stop_predicate_;
   std::optional<raft::NodeEvent> stop_event_;
   std::function<void(ServerId, const rpc::LogEntry&)> apply_hook_;
+  std::map<std::size_t, std::function<void(ServerId, const raft::ReadGrant&)>> read_listeners_;
+  std::size_t next_read_listener_handle_ = 0;
   std::function<std::vector<std::uint8_t>(ServerId)> snapshot_state_hook_;
   std::function<void(ServerId, const storage::Snapshot&)> snapshot_restore_hook_;
+  /// Outstanding read probes: (server, read id) -> commit floor at issue.
+  std::map<std::pair<ServerId, raft::ReadId>, LogIndex> read_probes_;
   bool started_ = false;
 };
 

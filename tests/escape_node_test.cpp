@@ -123,6 +123,10 @@ TEST(EscapeNodeTest, VoterRejectsStaleClockCandidate) {
   f.node->on_message({1, 2, hb}, f.now);
   f.node->take_outbox();
 
+  // Step past the vote-recency guard window (min timeout = baseTime): this
+  // test is about the confClock staleness rule, not leader freshness.
+  f.now += from_ms(100);
+
   rpc::RequestVote rv;
   rv.term = 10;
   rv.candidate_id = 3;

@@ -87,6 +87,65 @@ TEST(KvClusterTest, RecoveredReplicaRebuildsIdenticalState) {
   EXPECT_EQ(kv.store(victim).peek("while-down"), "x");
 }
 
+TEST(KvClusterTest, LinearizableReadObservesAcknowledgedWrites) {
+  SimCluster cluster(paper_escape_cluster(3, 16));
+  KvCluster kv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  ASSERT_TRUE(kv.put("k", "v1").has_value());
+  const auto r = kv.read("k");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->ok);
+  EXPECT_EQ(r->value, "v1");
+  // Absent keys read as not-ok, like get().
+  const auto miss = kv.read("nope");
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_FALSE(miss->ok);
+}
+
+TEST(KvClusterTest, ReadsUseTheFastPathNotTheLog) {
+  SimCluster cluster(paper_escape_cluster(3, 17));
+  KvCluster kv(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  ASSERT_TRUE(kv.put("k", "v").has_value());
+  const ServerId leader = cluster.leader();
+  const LogIndex last = cluster.node(leader).log().last_index();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(kv.read("k").has_value());
+  }
+  // No log growth: the reads never rode the replicated log.
+  EXPECT_EQ(cluster.node(leader).log().last_index(), last);
+  const auto& counters = cluster.node(leader).counters();
+  EXPECT_EQ(counters.lease_reads + counters.read_index_reads, 8u);
+  // The steady-state cluster has a standing lease (heartbeats every 500 ms,
+  // lease 0.75 x 1500 ms baseTime), so most reads cost zero messages.
+  EXPECT_GT(counters.lease_reads, 0u);
+}
+
+TEST(KvClusterTest, ReadsNeverStaleAcrossFailover) {
+  SimCluster cluster(paper_escape_cluster(5, 18));
+  KvCluster kv(cluster);
+  sim::InvariantChecker invariants(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  // Repeatedly: acknowledge a write, kill the leader, and require the read
+  // served by whoever leads next to observe that write — the classic stale
+  // read a deposed leaseholder would serve.
+  for (int round = 0; round < 3; ++round) {
+    const std::string want = "v" + std::to_string(round);
+    ASSERT_TRUE(kv.put("x", want).has_value());
+    cluster.crash(cluster.leader());
+    const auto r = kv.read("x", from_ms(60'000));
+    ASSERT_TRUE(r.has_value()) << "round " << round;
+    EXPECT_EQ(r->value, want) << "round " << round;
+    // Recover the victim so the next round keeps a healthy majority.
+    for (ServerId id : cluster.members()) {
+      if (!cluster.alive(id)) cluster.recover(id);
+    }
+    ASSERT_NE(cluster.run_until_leader(cluster.loop().now() + from_ms(60'000)), kNoServer);
+  }
+  EXPECT_TRUE(invariants.ok()) << invariants.violations().front();
+  EXPECT_GT(invariants.reads_checked(), 0u);
+}
+
 TEST(KvClusterTest, SequencesAreMonotonicAcrossOps) {
   // Each op gets a fresh sequence; duplicate suppression is keyed on it.
   SimCluster cluster(paper_escape_cluster(3, 15));

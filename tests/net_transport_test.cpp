@@ -211,6 +211,67 @@ TEST(RealClusterTest, ElectsReplicatesAndFailsOver) {
   }
 }
 
+TEST(RealClusterTest, LinearizableReadBarrierOverTcp) {
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 70);
+  std::map<ServerId, std::uint16_t> endpoints;
+  for (ServerId id = 1; id <= 3; ++id) {
+    endpoints[id] = static_cast<std::uint16_t>(port + id);
+  }
+  RealNode::Options options;
+  options.node.heartbeat_interval = from_ms(60);
+
+  std::vector<std::unique_ptr<RealNode>> nodes;
+  for (ServerId id = 1; id <= 3; ++id) {
+    nodes.push_back(std::make_unique<RealNode>(id, endpoints, fast_escape(), options));
+  }
+  std::atomic<int> granted{0};
+  std::atomic<int> lease_granted{0};
+  std::atomic<LogIndex> read_index{-1};
+  for (auto& node : nodes) {
+    node->set_read_hook([&](const raft::ReadGrant& grant) {
+      if (!grant.ok) return;
+      read_index.store(grant.read_index);
+      if (grant.via_lease) lease_granted.fetch_add(1);
+      granted.fetch_add(1);
+    });
+    node->start();
+  }
+  const ServerId leader = wait_for_leader(nodes, 5000ms);
+  ASSERT_NE(leader, kNoServer);
+
+  // Followers refuse reads, as they refuse writes.
+  for (const auto& node : nodes) {
+    if (node->id() != leader) {
+      EXPECT_FALSE(node->submit_read().has_value());
+    }
+  }
+
+  const auto index = nodes[leader - 1]->submit({7});
+  ASSERT_TRUE(index.has_value());
+  const auto deadline = std::chrono::steady_clock::now() + 5000ms;
+  while (nodes[leader - 1]->commit_index() < *index &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  ASSERT_GE(nodes[leader - 1]->commit_index(), *index);
+
+  // A handful of read barriers: every grant must cover the committed write.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(nodes[leader - 1]->submit_read().has_value());
+    const auto read_deadline = std::chrono::steady_clock::now() + 5000ms;
+    while (granted.load() < i + 1 && std::chrono::steady_clock::now() < read_deadline) {
+      std::this_thread::sleep_for(5ms);
+    }
+    ASSERT_EQ(granted.load(), i + 1) << "read " << i << " never granted";
+    EXPECT_GE(read_index.load(), *index);
+    std::this_thread::sleep_for(20ms);  // let heartbeat rounds extend the lease
+  }
+  const auto counters = nodes[leader - 1]->counters();
+  EXPECT_EQ(counters.lease_reads + counters.read_index_reads, 5u);
+
+  for (auto& node : nodes) node->stop();
+}
+
 TEST(RealClusterTest, DurableStateSurvivesRestart) {
   const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 60);
   const std::map<ServerId, std::uint16_t> endpoints = {{1, port}};

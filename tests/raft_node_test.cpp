@@ -218,6 +218,10 @@ TEST(RaftNodeTest, RejectsCandidateWithStaleLog) {
   rpc::LogEntry e1{.term = 2, .index = 1, .command = {}};
   NodeFixture f(1, 3, {e1});
   f.node->start(0);
+  // A node restarting with prior state refuses votes for one guard window
+  // (it may have acked a lease round before dying); step past it — this
+  // test is about the log up-to-date rule.
+  f.now += kMax;
   rpc::RequestVote rv;
   rv.term = 3;
   rv.candidate_id = 2;

@@ -14,6 +14,7 @@ RequestVote sample_request_vote() {
   m.last_log_index = 17;
   m.last_log_term = 40;
   m.conf_clock = 9;
+  m.leadership_transfer = true;
   return m;
 }
 
@@ -24,6 +25,7 @@ AppendEntries sample_append_entries(bool with_config, std::size_t entries) {
   m.prev_log_index = 5;
   m.prev_log_term = 6;
   m.leader_commit = 4;
+  m.round = 31;
   for (std::size_t i = 0; i < entries; ++i) {
     LogEntry e;
     e.term = 7;
@@ -59,6 +61,7 @@ InstallSnapshot sample_install_snapshot(std::size_t state_bytes) {
   m.config.timer_period = from_ms(2000);
   m.config.priority = 4;
   m.config.conf_clock = (ConfClock{9} << 20) + 1;
+  m.round = 7;
   for (std::size_t i = 0; i < state_bytes; ++i) {
     m.state.push_back(static_cast<std::uint8_t>(i * 37));
   }
@@ -81,6 +84,7 @@ TEST(MessagesTest, InstallSnapshotReplyRoundtrip) {
   m.status.log_index = 64;
   m.status.timer_period = from_ms(2000);
   m.status.conf_clock = 77;
+  m.round = 7;
   expect_roundtrip(m);
 }
 
@@ -128,6 +132,7 @@ TEST(MessagesTest, AppendEntriesReplyRoundtrip) {
   m.status.log_index = 11;
   m.status.timer_period = from_ms(2000);
   m.status.conf_clock = 3;
+  m.round = 31;
   expect_roundtrip(m);
 }
 

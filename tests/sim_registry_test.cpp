@@ -26,9 +26,11 @@ ScenarioParams params(std::uint64_t seed, std::string policy = "escape",
 
 TEST(ScenarioRegistryTest, RegistryListsTheBuiltIns) {
   const auto specs = sim::all_scenarios();
-  ASSERT_GE(specs.size(), 7u);
+  ASSERT_GE(specs.size(), 11u);
   for (const char* name : {"failover", "handover", "asymmetric_partition", "gray_leader",
-                           "rolling_restart", "leader_churn", "loss_spike"}) {
+                           "rolling_restart", "leader_churn", "loss_spike",
+                           "snapshot_catchup", "snapshot_churn", "read_heavy_failover",
+                           "lease_expiry_storm"}) {
     EXPECT_NE(sim::find_scenario(name), nullptr) << name;
   }
   EXPECT_EQ(sim::find_scenario("no-such-scenario"), nullptr);
@@ -176,6 +178,86 @@ TEST(ScenarioRegistryTest, LossSpikeElectsThroughTheStorm) {
   EXPECT_GT(report.net.dropped_omission, 0u);
   // The storm subsides before the run ends: Δ is back at the params value.
   EXPECT_EQ(report.alive_servers, 5u);
+}
+
+// --- read-path assertions ---------------------------------------------------
+
+TEST(ScenarioRegistryTest, ReadHeavyFailoverAuditsEveryGrantAndStaysFresh) {
+  // Drive the scenario by hand so the checker is in view: reads hammer the
+  // cluster across the crash and every audited grant must be fresh (the
+  // audit compares each grant against the cluster-wide commit floor at
+  // issue time — a deposed leader serving one stale read fails here).
+  const auto p = params(333);
+  sim::SimCluster cluster(sim::scenario_cluster_options(p));
+  sim::InvariantChecker invariants(cluster);
+  sim::ScenarioRunner runner(cluster);
+  const auto* spec = sim::find_scenario("read_heavy_failover");
+  ASSERT_NE(spec, nullptr);
+  ASSERT_NE(runner.bootstrap(), kNoServer);
+  runner.run_plan(spec->plan(cluster, p), spec->drain);
+  invariants.deep_check();
+  EXPECT_TRUE(invariants.ok()) << invariants.violations().front();
+  EXPECT_GT(runner.runtime().reads_issued(), 0u);
+  EXPECT_GT(invariants.reads_checked(), 0u);
+}
+
+TEST(ScenarioRegistryTest, LeaderChurnWithReadsNeverServesStale) {
+  // The stock leader_churn schedule with a read storm layered on top: three
+  // successive leader crashes while fast-path reads keep flowing. Every
+  // grant across every leadership change is audited for staleness.
+  const auto p = params(77);
+  sim::SimCluster cluster(sim::scenario_cluster_options(p));
+  sim::InvariantChecker invariants(cluster);
+  sim::ScenarioRunner runner(cluster);
+  const auto* spec = sim::find_scenario("leader_churn");
+  ASSERT_NE(spec, nullptr);
+  sim::FaultPlan plan = spec->plan(cluster, p);
+  plan.at(from_ms(500), sim::ClientRead{from_ms(22'000), from_ms(70)});
+  ASSERT_NE(runner.bootstrap(), kNoServer);
+  runner.run_plan(plan, spec->drain);
+  invariants.deep_check();
+  EXPECT_TRUE(invariants.ok()) << invariants.violations().front();
+  EXPECT_GT(invariants.reads_checked(), 0u);
+}
+
+TEST(ScenarioRegistryTest, LeaseExpiryStormDropsLeaseReadsWhilePartitioned) {
+  // The satellite claim, measured directly: isolate the leader, let its
+  // lease lapse, and require that lease serving stops — reads it accepts
+  // afterwards can only pend (and are rejected at step-down), never answer.
+  const auto p = params(91);
+  sim::SimCluster cluster(sim::scenario_cluster_options(p));
+  sim::InvariantChecker invariants(cluster);
+  sim::ScenarioRunner runner(cluster);
+  const ServerId leader = runner.bootstrap();
+  ASSERT_NE(leader, kNoServer);
+
+  // Warm the lease with a few reads, then cut the leader off completely.
+  for (int i = 0; i < 3; ++i) {
+    cluster.submit_read(leader);
+    cluster.loop().run_until(cluster.loop().now() + from_ms(200));
+  }
+  cluster.network().isolate(leader);
+  // ESCAPE baseTime 1500 ms -> lease <= 0.75 x 1500 = 1125 ms past the last
+  // confirmed round; run well past it so the lease is certainly dead.
+  cluster.loop().run_until(cluster.loop().now() + from_ms(2'500));
+  const auto lease_reads_at_expiry = cluster.node(leader).counters().lease_reads;
+
+  for (int i = 0; i < 10; ++i) {
+    cluster.submit_read(leader);
+    cluster.loop().run_until(cluster.loop().now() + from_ms(300));
+  }
+  // Zero lease reads while partitioned: every one of the ten could only pend.
+  EXPECT_EQ(cluster.node(leader).counters().lease_reads, lease_reads_at_expiry);
+  EXPECT_GT(cluster.node(leader).pending_reads(), 0u);
+
+  // Heal: the deposed leader steps down and rejects what it was holding.
+  cluster.network().heal(leader);
+  ASSERT_NE(cluster.run_until_leader(cluster.loop().now() + from_ms(30'000)), kNoServer);
+  cluster.loop().run_until(cluster.loop().now() + from_ms(5'000));
+  EXPECT_GT(cluster.node(leader).counters().reads_rejected, 0u);
+  EXPECT_EQ(cluster.node(leader).pending_reads(), 0u);
+  invariants.deep_check();
+  EXPECT_TRUE(invariants.ok()) << invariants.violations().front();
 }
 
 TEST(ScenarioRegistryTest, DifferentSeedsExploreDifferentTimelines) {
