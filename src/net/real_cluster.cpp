@@ -12,21 +12,26 @@ RealNode::RealNode(ServerId id, std::map<ServerId, std::uint16_t> endpoints,
   std::vector<ServerId> members;
   for (const auto& [member, port] : endpoints) members.push_back(member);
 
-  std::vector<rpc::LogEntry> recovered;
   if (options_.data_dir.empty()) {
     store_ = std::make_unique<storage::MemoryStateStore>();
     wal_ = std::make_unique<storage::NullWal>();
+    snaps_ = std::make_unique<storage::MemorySnapshotStore>();
   } else {
     const std::string base = options_.data_dir + "/" + server_name(id_);
     store_ = std::make_unique<storage::FileStateStore>(base + ".state");
-    auto file_wal = std::make_unique<storage::FileWal>(base + ".wal");
-    recovered = file_wal->recovered_entries();
-    wal_ = std::move(file_wal);
+    wal_ = std::make_unique<storage::FileWal>(base + ".wal");
+    snaps_ = std::make_unique<storage::FileSnapshotStore>(base + ".snap");
   }
 
-  node_ = std::make_unique<raft::RaftNode>(id_, members, policy(id_, members.size()), *store_,
-                                           *wal_, Rng(options_.seed ^ (0xC0FFEEull + id_)),
-                                           options_.node, std::move(recovered));
+  driver_io_ = std::make_unique<RealDriver>(*store_, *wal_, snaps_.get());
+  auto boot = driver_io_->recover();
+  if (boot.snapshot && boot.snapshot->last_included_index > 0) {
+    boot_snapshot_ = std::make_shared<const raft::Snapshot>(*boot.snapshot);
+  }
+  node_ = std::make_unique<raft::RaftNode>(id_, members, policy(id_, members.size()),
+                                           Rng(options_.seed ^ (0xC0FFEEull + id_)),
+                                           options_.node, std::move(boot));
+  driver_io_->attach(*node_);
   transport_ = std::make_unique<TcpTransport>(id_, endpoints, [this](const rpc::Envelope& env) {
     {
       std::lock_guard lock(mu_);
@@ -47,6 +52,9 @@ void RealNode::start() {
   running_.store(true);
   {
     std::lock_guard lock(mu_);
+    // Rebuild the application state machine from the stored snapshot before
+    // any entry beyond it can reach the apply hook.
+    if (boot_snapshot_ && restore_hook_) restore_hook_(*boot_snapshot_);
     node_->start(clock_.now());
   }
   driver_ = std::thread([this] { run_loop(); });
@@ -60,28 +68,22 @@ void RealNode::stop() {
 }
 
 std::optional<LogIndex> RealNode::submit(std::vector<std::uint8_t> command) {
-  std::vector<rpc::Envelope> outbox;
   std::optional<LogIndex> index;
   {
     std::lock_guard lock(mu_);
     index = node_->submit(std::move(command), clock_.now());
-    outbox = node_->take_outbox();
   }
-  for (const auto& env : outbox) transport_->send(env);
-  cv_.notify_one();
+  cv_.notify_one();  // the driver thread persists + ships the Ready batch
   return index;
 }
 
 std::optional<raft::ReadId> RealNode::submit_read() {
-  std::vector<rpc::Envelope> outbox;
   std::optional<raft::ReadId> read;
   {
     std::lock_guard lock(mu_);
     read = node_->submit_read(clock_.now());
-    outbox = node_->take_outbox();  // ReadIndex may open a confirmation round
   }
-  for (const auto& env : outbox) transport_->send(env);
-  cv_.notify_one();  // the driver drains any lease grant released in place
+  cv_.notify_one();  // the driver drains the round / any lease grant
   return read;
 }
 
@@ -93,6 +95,11 @@ void RealNode::set_apply_hook(std::function<void(const rpc::LogEntry&)> hook) {
 void RealNode::set_read_hook(std::function<void(const raft::ReadGrant&)> hook) {
   std::lock_guard lock(mu_);
   read_hook_ = std::move(hook);
+}
+
+void RealNode::set_restore_hook(std::function<void(const raft::Snapshot&)> hook) {
+  std::lock_guard lock(mu_);
+  restore_hook_ = std::move(hook);
 }
 
 Role RealNode::role() const {
@@ -122,15 +129,11 @@ raft::NodeCounters RealNode::counters() const {
 
 void RealNode::run_loop() {
   using namespace std::chrono;
+  RealDriver::Effects effects;
   while (running_.load()) {
-    std::vector<rpc::Envelope> outbox;
-    std::vector<rpc::LogEntry> committed;
-    std::vector<raft::ReadGrant> reads;
-    std::function<void(const rpc::LogEntry&)> hook;
-    std::function<void(const raft::ReadGrant&)> read_hook;
     {
       std::unique_lock lock(mu_);
-      if (mailbox_.empty()) {
+      if (mailbox_.empty() && !node_->has_ready()) {
         // Sleep until the next timer deadline (bounded so shutdown and
         // clock drift are handled), or until a message arrives.
         const TimePoint deadline = node_->next_deadline();
@@ -142,23 +145,37 @@ void RealNode::run_loop() {
       while (!mailbox_.empty()) {
         const rpc::Envelope env = std::move(mailbox_.front());
         mailbox_.pop_front();
-        node_->on_message(env, clock_.now());
+        node_->step(env, clock_.now());
       }
-      node_->on_tick(clock_.now());
-      outbox = node_->take_outbox();
-      committed = node_->take_committed();
-      reads = node_->take_read_grants();
-      hook = apply_hook_;
-      read_hook = read_hook_;
+      node_->tick(clock_.now());
     }
-    for (const auto& env : outbox) transport_->send(env);
-    if (hook) {
-      for (const auto& entry : committed) hook(entry);
-    }
-    // Strictly after the entries: an `ok` grant promises the state machine
-    // the read hook serves from already covers its read index.
-    if (read_hook) {
-      for (const auto& grant : reads) read_hook(grant);
+    // Drain the pending Ready batches one at a time: persistence runs under
+    // the lock (pump_one), the environment-facing effects flush outside it
+    // in the mandatory order — send, restore, apply, grant — per batch.
+    for (;;) {
+      effects.clear();
+      bool drained = false;
+      std::function<void(const rpc::LogEntry&)> hook;
+      std::function<void(const raft::ReadGrant&)> read_hook;
+      std::function<void(const raft::Snapshot&)> restore_hook;
+      {
+        std::lock_guard lock(mu_);
+        drained = driver_io_->pump_one(effects);
+        hook = apply_hook_;
+        read_hook = read_hook_;
+        restore_hook = restore_hook_;
+      }
+      if (!drained) break;
+      for (const auto& env : effects.messages) transport_->send(env);
+      if (effects.restore && restore_hook) restore_hook(*effects.restore);
+      if (hook) {
+        for (const auto& entry : effects.committed) hook(entry);
+      }
+      // Strictly after the entries: an `ok` grant promises the state machine
+      // the read hook serves from already covers its read index.
+      if (read_hook) {
+        for (const auto& grant : effects.read_grants) read_hook(grant);
+      }
     }
   }
 }

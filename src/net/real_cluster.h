@@ -1,10 +1,12 @@
 // Real-time runtime: one consensus server over TCP and steady_clock.
 //
-// RealNode wires a RaftNode to a TcpTransport and a driver thread. Inbound
-// messages land in a mailbox from the transport's poll thread; the driver
-// thread drains the mailbox, fires due timers, ships the outbox and applies
-// committed entries — so the consensus core itself stays single-threaded,
-// exactly as in the simulator.
+// RealNode wires a RaftNode core to a TcpTransport and a driver thread.
+// Inbound messages land in a mailbox from the transport's poll thread; the
+// driver thread drains the mailbox and fires due timers under the node lock,
+// then consumes the resulting Ready batches through a RealDriver —
+// persistence under the lock, transport sends / applies / read grants
+// flushed outside it — so the consensus core itself stays single-threaded
+// and performs no I/O, exactly as in the simulator.
 //
 // This is the deployment path a downstream user runs on a real cluster; the
 // repo's benches use the simulator instead (determinism and virtual time).
@@ -22,8 +24,10 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "net/real_driver.h"
 #include "net/tcp_transport.h"
 #include "raft/raft_node.h"
+#include "storage/snapshot_store.h"
 #include "storage/state_store.h"
 #include "storage/wal.h"
 
@@ -39,8 +43,9 @@ class RealNode {
     Options() { node.commit_noop_on_elect = true; }  // production semantics
 
     raft::NodeOptions node;
-    /// When non-empty, durable state lives in `<data_dir>/S<id>.state` and
-    /// `<data_dir>/S<id>.wal`; otherwise volatile in-memory stores are used.
+    /// When non-empty, durable state lives in `<data_dir>/S<id>.state`,
+    /// `<data_dir>/S<id>.wal` and `<data_dir>/S<id>.snap`; otherwise
+    /// volatile in-memory stores are used.
     std::string data_dir;
     std::uint64_t seed = 1;
   };
@@ -76,6 +81,12 @@ class RealNode {
   /// Hook invoked (on the driver thread) for every read grant/rejection.
   void set_read_hook(std::function<void(const raft::ReadGrant&)> hook);
 
+  /// Hook invoked (on the driver thread) when a leader snapshot supersedes
+  /// this node's log — rebuild the application state machine from it before
+  /// the next apply. Also fired from start() when the node boots from a
+  /// stored snapshot (set the hook before start()).
+  void set_restore_hook(std::function<void(const raft::Snapshot&)> hook);
+
   // Thread-safe snapshots of node state.
   Role role() const;
   Term term() const;
@@ -93,7 +104,10 @@ class RealNode {
 
   std::unique_ptr<storage::StateStore> store_;
   std::unique_ptr<storage::Wal> wal_;
-  std::unique_ptr<raft::RaftNode> node_;  // guarded by mu_
+  std::unique_ptr<storage::SnapshotStore> snaps_;
+  std::unique_ptr<RealDriver> driver_io_;    // guarded by mu_
+  std::unique_ptr<raft::RaftNode> node_;     // guarded by mu_
+  std::shared_ptr<const raft::Snapshot> boot_snapshot_;  ///< replayed in start()
   std::unique_ptr<TcpTransport> transport_;
 
   mutable std::mutex mu_;
@@ -101,6 +115,7 @@ class RealNode {
   std::deque<rpc::Envelope> mailbox_;
   std::function<void(const rpc::LogEntry&)> apply_hook_;
   std::function<void(const raft::ReadGrant&)> read_hook_;
+  std::function<void(const raft::Snapshot&)> restore_hook_;
 
   std::thread driver_;
   std::atomic<bool> running_{false};

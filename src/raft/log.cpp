@@ -1,9 +1,9 @@
-#include "storage/log.h"
+#include "raft/log.h"
 
 #include <cassert>
 #include <stdexcept>
 
-namespace escape::storage {
+namespace escape::raft {
 
 Term Log::last_term() const {
   if (entries_.empty()) return base_term_;
@@ -95,4 +95,4 @@ std::size_t Log::approx_bytes() const {
   return bytes;
 }
 
-}  // namespace escape::storage
+}  // namespace escape::raft

@@ -10,17 +10,15 @@
 namespace escape::raft {
 
 RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
-                   std::unique_ptr<ElectionPolicy> policy, storage::StateStore& state_store,
-                   storage::Wal& wal, Rng rng, NodeOptions options,
-                   std::vector<rpc::LogEntry> recovered_log, storage::SnapshotStore* snapshots)
+                   std::unique_ptr<ElectionPolicy> policy, Rng rng, NodeOptions options,
+                   Bootstrap boot)
     : id_(id),
       members_(std::move(members)),
       policy_(std::move(policy)),
-      state_store_(state_store),
-      wal_(wal),
-      snapshot_store_(snapshots),
       rng_(rng),
-      options_(options) {
+      options_(options),
+      boot_hard_state_(std::move(boot.hard_state)),
+      can_compact_(boot.can_compact) {
   if (id_ == kNoServer) throw std::invalid_argument("server id 0 is reserved");
   if (!policy_) throw std::invalid_argument("null election policy");
   if (options_.lease_ratio > 0 && options_.lease_ratio >= options_.vote_guard_ratio) {
@@ -38,17 +36,17 @@ RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
     }
   }
   if (!self_listed) throw std::invalid_argument("member list must include self");
-  if (snapshot_store_) {
-    if (auto snap = snapshot_store_->load()) {
-      // The snapshot is the log's new origin: commit/applied resume at its
-      // boundary (the runtime restores the state machine from the store).
-      log_.reset_to(snap->last_included_index, snap->last_included_term);
-      commit_index_ = snap->last_included_index;
-      last_applied_ = snap->last_included_index;
-      snapshot_boot_config_ = snap->config;
-    }
+  if (boot.snapshot) {
+    // The snapshot is the log's new origin: commit/applied resume at its
+    // boundary (the driver restores the state machine from the same
+    // snapshot).
+    snapshot_boot_config_ = boot.snapshot->config;
+    snapshot_ = std::make_shared<const Snapshot>(std::move(*boot.snapshot));
+    log_.reset_to(snapshot_->last_included_index, snapshot_->last_included_term);
+    commit_index_ = snapshot_->last_included_index;
+    last_applied_ = snapshot_->last_included_index;
   }
-  for (const auto& e : recovered_log) {
+  for (auto& e : boot.log) {
     if (e.index <= log_.base()) continue;  // absorbed by the snapshot
     if (e.index != log_.last_index() + 1) {
       // The WAL was compacted past our snapshot view (the snapshot file is
@@ -61,20 +59,21 @@ RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
           " but the log ends at " + std::to_string(log_.last_index()) +
           ": no snapshot covers the compacted prefix (snapshot store missing or corrupt)");
     }
-    log_.append(e);
+    log_.append(std::move(e));
   }
 }
 
 void RaftNode::start(TimePoint now) {
   if (started_) throw std::logic_error("start() called twice");
-  if (auto persisted = state_store_.load()) {
-    current_term_ = persisted->current_term;
-    voted_for_ = persisted->voted_for;
-    policy_->restore(persisted->config);
+  if (boot_hard_state_) {
+    current_term_ = boot_hard_state_->current_term;
+    voted_for_ = boot_hard_state_->voted_for;
+    policy_->restore(boot_hard_state_->config);
+    boot_hard_state_.reset();
   }
   // The snapshotted state embodies configuration generation k; restoring the
   // state but an older configuration would regress the confClock (and with
-  // it the staleness vote rule). Normally the state store is at least as
+  // it the staleness vote rule). Normally the hard state is at least as
   // fresh — every adoption persists — but a lost or corrupt state file must
   // not un-adopt what the snapshot proves this server held.
   if (snapshot_boot_config_ &&
@@ -94,11 +93,13 @@ void RaftNode::start(TimePoint now) {
                                     static_cast<double>(policy_->min_election_timeout()));
   }
   arm_election_timer(now);
+  sync_soft_state();  // first batch reports the initial soft state
   LOG_DEBUG(server_name(id_) << " started t=" << current_term_ << " log=" << log_.last_index());
 }
 
-void RaftNode::on_message(const rpc::Envelope& envelope, TimePoint now) {
+void RaftNode::step(const rpc::Envelope& envelope, TimePoint now) {
   assert(started_);
+  assert_inputs_allowed();
   ++counters_.messages_received;
   std::visit(
       [&](const auto& m) {
@@ -124,35 +125,41 @@ void RaftNode::on_message(const rpc::Envelope& envelope, TimePoint now) {
         }
       },
       envelope.message);
+  sync_soft_state();
 }
 
-void RaftNode::on_tick(TimePoint now) {
+void RaftNode::tick(TimePoint now) {
   assert(started_);
+  assert_inputs_allowed();
   if (role_ != Role::kLeader && election_deadline_ != kNever && now >= election_deadline_) {
     start_campaign(now);
   }
   if (role_ == Role::kLeader && heartbeat_deadline_ != kNever && now >= heartbeat_deadline_) {
     broadcast_heartbeat_round(now);
   }
+  sync_soft_state();
 }
 
 std::optional<LogIndex> RaftNode::submit(std::vector<std::uint8_t> command, TimePoint now) {
   assert(started_);
+  assert_inputs_allowed();
   if (role_ != Role::kLeader) return std::nullopt;
   rpc::LogEntry entry;
   entry.term = current_term_;
   entry.index = log_.last_index() + 1;
   entry.command = std::move(command);
-  wal_.append(entry);
-  log_.append(entry);
+  const LogIndex index = entry.index;
+  append_entry(std::move(entry));
   // Replicate eagerly; heartbeats would pick it up anyway, but latency
   // matters to clients.
   for (ServerId peer : others_) send_append_entries(peer, /*include_config=*/false);
   maybe_advance_commit(now);  // single-node clusters commit immediately
-  return entry.index;
+  sync_soft_state();
+  return index;
 }
 
 bool RaftNode::transfer_leadership(ServerId target, TimePoint now) {
+  assert_inputs_allowed();
   if (role_ != Role::kLeader || target == id_) return false;
   const auto match = match_index_.find(target);
   if (match == match_index_.end()) return false;
@@ -181,8 +188,7 @@ void RaftNode::append_noop() {
   rpc::LogEntry noop;
   noop.term = current_term_;
   noop.index = log_.last_index() + 1;
-  wal_.append(noop);
-  log_.append(noop);
+  append_entry(std::move(noop));
 }
 
 bool RaftNode::lease_valid(TimePoint now) const {
@@ -193,6 +199,7 @@ bool RaftNode::lease_valid(TimePoint now) const {
 
 std::optional<ReadId> RaftNode::submit_read(TimePoint now) {
   assert(started_);
+  assert_inputs_allowed();
   if (role_ != Role::kLeader) return std::nullopt;
   const ReadId id = ++next_read_id_;
   // A fresh leader's commit index can trail what its predecessor committed
@@ -216,6 +223,7 @@ std::optional<ReadId> RaftNode::submit_read(TimePoint now) {
     }
     grant_read(id, commit_index_, /*via_lease=*/false, now);
     ++counters_.read_index_reads;
+    sync_soft_state();
     return id;
   }
   if (term_committed && lease_valid(now) && last_applied_ >= commit_index_) {
@@ -227,7 +235,7 @@ std::optional<ReadId> RaftNode::submit_read(TimePoint now) {
   // would otherwise queue reads without bound until it finally steps down.
   // Past the cap, reject immediately — the client retries or re-routes.
   if (pending_reads_.size() >= kMaxPendingReads) {
-    read_grants_out_.push_back({id, 0, /*ok=*/false, false});
+    ready_.read_grants.push_back({id, 0, /*ok=*/false, false});
     ++counters_.reads_rejected;
     NodeEvent ev;
     ev.kind = NodeEvent::Kind::kReadRejected;
@@ -257,6 +265,7 @@ std::optional<ReadId> RaftNode::submit_read(TimePoint now) {
     }
   }
   if (open_round_now) broadcast_heartbeat_round(now);
+  sync_soft_state();
   return id;
 }
 
@@ -320,7 +329,7 @@ void RaftNode::release_ready_reads(TimePoint now) {
 
 void RaftNode::grant_read(ReadId id, LogIndex read_index, bool via_lease, TimePoint now) {
   assert(last_applied_ >= read_index);
-  read_grants_out_.push_back({id, read_index, /*ok=*/true, via_lease});
+  ready_.read_grants.push_back({id, read_index, /*ok=*/true, via_lease});
   NodeEvent ev;
   ev.kind = NodeEvent::Kind::kReadGranted;
   ev.term = current_term_;
@@ -333,7 +342,7 @@ void RaftNode::grant_read(ReadId id, LogIndex read_index, bool via_lease, TimePo
 
 void RaftNode::reject_pending_reads(TimePoint now) {
   for (const PendingRead& r : pending_reads_) {
-    read_grants_out_.push_back({r.id, r.read_index, /*ok=*/false, false});
+    ready_.read_grants.push_back({r.id, r.read_index, /*ok=*/false, false});
     ++counters_.reads_rejected;
     NodeEvent ev;
     ev.kind = NodeEvent::Kind::kReadRejected;
@@ -376,19 +385,22 @@ void RaftNode::handle_timeout_now(const rpc::TimeoutNow& m, TimePoint now) {
 std::optional<LogIndex> RaftNode::compact(LogIndex upto, std::vector<std::uint8_t> state,
                                           TimePoint now) {
   assert(started_);
-  if (!snapshot_store_) return std::nullopt;  // compaction disabled
-  upto = std::min(upto, last_applied_);       // never snapshot unapplied entries
+  assert_inputs_allowed();
+  if (!can_compact_) return std::nullopt;  // driver cannot persist snapshots
+  upto = std::min(upto, last_applied_);    // never snapshot unapplied entries
   if (upto <= log_.base()) return std::nullopt;
-  storage::Snapshot snap;
+  Snapshot snap;
   snap.last_included_index = upto;
   snap.last_included_term = *log_.term_at(upto);
   snap.config = policy_->current_config();
   snap.state = std::move(state);
+  snapshot_ = std::make_shared<const Snapshot>(std::move(snap));
   // Snapshot first, compact second: a crash between the two replays a log
   // whose prefix the snapshot already covers (harmless), never a log whose
-  // prefix is gone with no snapshot to stand in for it.
-  snapshot_store_->save(snap);
-  wal_.compact_to(upto);
+  // prefix is gone with no snapshot to stand in for it. LogOps execute in
+  // order, so the batch encodes exactly that discipline.
+  ready_.log_ops.push_back(LogOp::save_snapshot(snapshot_));
+  ready_.log_ops.push_back(LogOp::compact_to(upto));
   log_.compact_to(upto);
   ++counters_.snapshots_taken;
   emit({.kind = NodeEvent::Kind::kSnapshotTaken,
@@ -399,14 +411,34 @@ std::optional<LogIndex> RaftNode::compact(LogIndex upto, std::vector<std::uint8_
   return upto;
 }
 
-std::vector<rpc::Envelope> RaftNode::take_outbox() { return std::exchange(outbox_, {}); }
+// --- the Ready interface -----------------------------------------------------
 
-std::vector<rpc::LogEntry> RaftNode::take_committed() { return std::exchange(committed_out_, {}); }
+bool RaftNode::has_ready() const { return started_ && !ready_in_flight_ && !ready_.empty(); }
 
-std::vector<ReadGrant> RaftNode::take_read_grants() { return std::exchange(read_grants_out_, {}); }
+Ready RaftNode::ready() {
+  if (ready_in_flight_) throw std::logic_error("ready() called again before advance()");
+  if (!started_) throw std::logic_error("ready() before start()");
+  Ready out = std::move(ready_);
+  ready_ = Ready{};
+  out.sequence = ++next_sequence_;
+  if (out.soft_state) {
+    reported_soft_ = *out.soft_state;
+    soft_reported_once_ = true;
+  }
+  ready_in_flight_ = true;
+  return out;
+}
 
-std::optional<storage::Snapshot> RaftNode::take_installed_snapshot() {
-  return std::exchange(installed_out_, std::nullopt);
+void RaftNode::advance(LogIndex applied) {
+  if (!ready_in_flight_) throw std::logic_error("advance() without a batch in flight");
+  if (applied != last_applied_) {
+    // The batch handed the driver everything through last_applied_ (restore
+    // boundary included); anything else means the driver dropped or invented
+    // applies, which silently breaks every read-linearizability promise.
+    throw std::logic_error("advance(" + std::to_string(applied) + ") but the core applied " +
+                           std::to_string(last_applied_));
+  }
+  ready_in_flight_ = false;
 }
 
 TimePoint RaftNode::next_deadline() const {
@@ -635,12 +667,11 @@ void RaftNode::handle_append_entries(ServerId from, const rpc::AppendEntries& m,
     if (e.index <= log_.base()) continue;  // already absorbed by our snapshot
     const auto existing = log_.term_at(e.index);
     if (existing && *existing != e.term) {
-      wal_.truncate_from(e.index);
+      ready_.log_ops.push_back(LogOp::truncate_from(e.index));
       log_.truncate_from(e.index);
     }
     if (e.index > log_.last_index()) {
-      wal_.append(e);
-      log_.append(e);
+      append_entry(e);
     }
   }
 
@@ -750,36 +781,42 @@ void RaftNode::handle_install_snapshot(const rpc::InstallSnapshot& m, TimePoint 
   }
   persist_state();
 
-  storage::Snapshot snap;
+  Snapshot snap;
   snap.last_included_index = m.last_included_index;
   snap.last_included_term = m.last_included_term;
   // Our own snapshot stores *our* adopted configuration (it restores our
   // identity at restart), which the adoption above just refreshed.
   snap.config = policy_->current_config();
   snap.state = m.state;
+  snapshot_ = std::make_shared<const Snapshot>(std::move(snap));
   // Same crash-ordering rule as compact(): the snapshot must be durable
   // before the WAL drops the prefix it stands in for — a crash in between
   // otherwise reopens a WAL rebased past a snapshot that does not exist.
-  if (snapshot_store_) snapshot_store_->save(snap);
+  // Drivers without a snapshot store (can_compact_ false) skip the save but
+  // still compact their WAL, exactly as before the core/driver split.
+  if (can_compact_) {
+    ready_.log_ops.push_back(LogOp::save_snapshot(snapshot_));
+  }
 
   // When our log already contains the boundary entry with the right term,
   // the suffix beyond it is consistent and survives; otherwise the whole
   // log is superseded and rebases onto the snapshot.
   const auto existing = log_.term_at(m.last_included_index);
   if (existing && *existing == m.last_included_term) {
-    wal_.compact_to(m.last_included_index);
+    ready_.log_ops.push_back(LogOp::compact_to(m.last_included_index));
     log_.compact_to(m.last_included_index);
   } else {
     if (m.last_included_index < log_.last_index()) {
-      wal_.truncate_from(std::max(m.last_included_index + 1, log_.first_index()));
+      ready_.log_ops.push_back(
+          LogOp::truncate_from(std::max(m.last_included_index + 1, log_.first_index())));
     }
-    wal_.compact_to(m.last_included_index);
+    ready_.log_ops.push_back(LogOp::compact_to(m.last_included_index));
     log_.reset_to(m.last_included_index, m.last_included_term);
   }
   commit_index_ = m.last_included_index;
   last_applied_ = m.last_included_index;
-  committed_out_.clear();  // superseded by the snapshot's state
-  installed_out_ = std::move(snap);
+  ready_.committed.clear();  // superseded by the snapshot's state
+  ready_.restore = snapshot_;
   ++counters_.snapshots_installed;
   emit({.kind = NodeEvent::Kind::kSnapshotInstalled,
         .term = current_term_,
@@ -863,10 +900,10 @@ void RaftNode::send_append_entries(ServerId peer, bool include_config) {
 }
 
 void RaftNode::send_install_snapshot(ServerId peer) {
-  auto snap = snapshot_store_ ? snapshot_store_->load() : std::nullopt;
-  if (!snap) {
-    // A compacted log without a loadable snapshot should be impossible
-    // (compact() saves before compacting); surface it instead of spinning.
+  if (!snapshot_) {
+    // A compacted log without a snapshot in memory should be impossible
+    // (compact() builds one before compacting); surface it instead of
+    // spinning.
     LOG_ERROR(server_name(id_) << " log compacted to " << log_.base()
                                << " but no snapshot available for " << server_name(peer));
     return;
@@ -874,14 +911,14 @@ void RaftNode::send_install_snapshot(ServerId peer) {
   rpc::InstallSnapshot is;
   is.term = current_term_;
   is.leader_id = id_;
-  is.last_included_index = snap->last_included_index;
-  is.last_included_term = snap->last_included_term;
+  is.last_included_index = snapshot_->last_included_index;
+  is.last_included_term = snapshot_->last_included_term;
   // Ship the *destination's* standing PPF assignment (as a heartbeat would),
   // never this leader's own stored configuration: two servers holding the
   // same (P, k) pair is exactly the Lemma 3 violation the clock exists to
   // rule out. Zeros (no assignment / non-ESCAPE policy) adopt as a no-op.
   is.config = policy_->assignment_for(peer).value_or(rpc::Configuration{});
-  is.state = std::move(snap->state);
+  is.state = snapshot_->state;
   is.round = broadcast_round_;  // counts toward the round's quorum, as an AE would
   send(peer, std::move(is));
   ++counters_.install_snapshots_sent;
@@ -916,11 +953,19 @@ void RaftNode::arm_election_timer(TimePoint now) {
 }
 
 void RaftNode::persist_state() {
-  storage::PersistentState s;
+  HardState s;
   s.current_term = current_term_;
   s.voted_for = voted_for_;
   s.config = policy_->current_config();
-  state_store_.save(s);
+  // Later persists within one batch overwrite earlier ones: hard state is
+  // monotone within a batch, and the newest value subsumes what any message
+  // already queued in this batch relies on.
+  ready_.hard_state = std::move(s);
+}
+
+void RaftNode::append_entry(rpc::LogEntry entry) {
+  ready_.log_ops.push_back(LogOp::append(entry));
+  log_.append(std::move(entry));
 }
 
 void RaftNode::apply_committed(TimePoint now) {
@@ -928,7 +973,7 @@ void RaftNode::apply_committed(TimePoint now) {
     ++last_applied_;
     const auto* e = log_.entry_at(last_applied_);
     assert(e != nullptr);
-    committed_out_.push_back(*e);
+    ready_.committed.push_back(*e);
     ++counters_.entries_committed;
   }
   // A pending read whose round is already confirmed may have been waiting
@@ -938,7 +983,7 @@ void RaftNode::apply_committed(TimePoint now) {
 }
 
 void RaftNode::send(ServerId to, rpc::Message message) {
-  outbox_.push_back({id_, to, std::move(message)});
+  ready_.messages.push_back({id_, to, std::move(message)});
 }
 
 void RaftNode::emit(NodeEvent event) {
@@ -953,6 +998,33 @@ rpc::ConfigStatus RaftNode::own_status() const {
   s.timer_period = cfg.timer_period;
   s.conf_clock = cfg.conf_clock;
   return s;
+}
+
+SoftState RaftNode::soft_state() const {
+  SoftState s;
+  s.role = role_;
+  s.leader = leader_id_;
+  s.term = current_term_;
+  s.conf_clock = policy_->current_config().conf_clock;
+  return s;
+}
+
+void RaftNode::sync_soft_state() {
+  const SoftState s = soft_state();
+  if (!soft_reported_once_ || !(s == reported_soft_)) {
+    ready_.soft_state = s;
+  } else {
+    // The state drifted and came back before the batch was drained; nothing
+    // to report after all.
+    ready_.soft_state.reset();
+  }
+}
+
+void RaftNode::assert_inputs_allowed() const {
+  if (ready_in_flight_) {
+    throw std::logic_error(
+        "input stepped between ready() and advance(): the driver is mid-drain");
+  }
 }
 
 }  // namespace escape::raft

@@ -1,22 +1,33 @@
-// The consensus core: a deterministic, I/O-free replicated state machine
-// participant implementing Raft's leader election and log replication
-// (Ongaro & Ousterhout, USENIX ATC'14) with the election behaviour delegated
-// to an ElectionPolicy (vanilla Raft, Z-Raft, or ESCAPE).
+// The consensus core: a deterministic, side-effect-free replicated state
+// machine participant implementing Raft's leader election and log
+// replication (Ongaro & Ousterhout, USENIX ATC'14) with the election
+// behaviour delegated to an ElectionPolicy (vanilla Raft, Z-Raft, or ESCAPE).
 //
-// RaftNode performs no I/O and owns no threads or clocks. A runtime (the
-// discrete-event simulator, the TCP runtime, or a unit test) drives it:
+// RaftNode performs NO I/O: no WAL, no state store, no transport, no clock,
+// no threads. Inputs are step(envelope)/tick()/submit()/submit_read(), all
+// stamped with a caller-supplied time; every side effect the protocol
+// requires is *described* in a Ready batch (raft/ready.h) that a driver
+// drains and executes:
 //
-//   node.start(now);
-//   node.on_message(envelope, now);     // deliver a message
-//   node.on_tick(now);                  // fire due timers
-//   node.submit(command, now);          // leader-side client command
-//   for (auto& env : node.take_outbox()) transport.send(env);
-//   for (auto& e : node.take_committed()) state_machine.apply(e);
+//   node.step(envelope, now);        // or tick / submit / submit_read
+//   while (node.has_ready()) {
+//     raft::Ready rd = node.ready();
+//     /* persist -> send -> restore -> apply -> grant (see ready.h) */
+//     node.advance(applied);
+//   }
 //   schedule_wakeup_at(node.next_deadline());
 //
+// Two drivers exist: the simulator's (sim::SimDriver, under SimCluster) and
+// the TCP runtime's (net::RealDriver, under RealNode). Both consume Ready
+// through raft::NodeDriver, so SimCheck fuzzes exactly the code production
+// runs — including all the ESCAPE machinery (patrol rearrangement π(P, k),
+// PPF pool, confClock strides, lease arming/revocation, vote-recency guard),
+// which lives entirely inside this class.
+//
 // Determinism: identical input sequences (messages, times, RNG seed) yield
-// identical behaviour, which is what makes 1000-run election sweeps and
-// seed-parameterized property tests reproducible.
+// byte-identical Ready streams and final state, which is what makes 1000-run
+// election sweeps, seed-parameterized property tests, and SimCheck's
+// trace-determinism replay reproducible (see raft_core_determinism_test).
 #pragma once
 
 #include <cstdint>
@@ -31,11 +42,10 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "raft/election_policy.h"
+#include "raft/log.h"
+#include "raft/ready.h"
+#include "raft/snapshot.h"
 #include "rpc/messages.h"
-#include "storage/log.h"
-#include "storage/snapshot_store.h"
-#include "storage/state_store.h"
-#include "storage/wal.h"
 
 namespace escape::raft {
 
@@ -93,20 +103,6 @@ struct NodeOptions {
   double vote_guard_ratio = 0.85;
 };
 
-/// Ticket identifying one linearizable read accepted by a leader.
-using ReadId = std::uint64_t;
-
-/// Completion record for one accepted read, drained via take_read_grants().
-/// The runtime must apply take_committed() *before* serving granted reads:
-/// a grant promises the local state machine has applied at least
-/// `read_index`, which holds only once the drained entries are applied.
-struct ReadGrant {
-  ReadId id = 0;
-  LogIndex read_index = 0;  ///< state served must include this prefix
-  bool ok = false;          ///< false: leadership lost before confirmation
-  bool via_lease = false;   ///< served under the lease (no confirmation round)
-};
-
 /// Observable state transitions, consumed by measurement observers and the
 /// invariant checkers. Delivered synchronously from within the node.
 struct NodeEvent {
@@ -156,32 +152,31 @@ struct NodeCounters {
 /// One consensus participant. Single-threaded; not internally synchronized.
 class RaftNode {
  public:
-  /// `members` lists every cluster member including `id`. `state_store` and
-  /// `wal` must outlive the node; `recovered_log` seeds the in-memory log
-  /// (e.g. FileWal::recovered_entries() after a restart). `snapshots`, when
-  /// provided (it must then outlive the node), enables log compaction and
-  /// snapshot-based recovery: a stored snapshot rebases the log, recovered
-  /// entries at or below its boundary are skipped, and commit/applied resume
-  /// from the snapshot point (the runtime restores the state machine from
-  /// the same store). Without it the node retains its whole log forever.
+  /// `members` lists every cluster member including `id`. `boot` carries the
+  /// durable state a driver recovered (NodeDriver::recover()): persisted
+  /// hard state, the stored snapshot (the log rebases onto it; recovered
+  /// entries at or below its boundary are skipped; commit/applied resume
+  /// from its point — the driver restores the state machine from the same
+  /// snapshot), and the WAL entry suffix.
   RaftNode(ServerId id, std::vector<ServerId> members,
-           std::unique_ptr<ElectionPolicy> policy, storage::StateStore& state_store,
-           storage::Wal& wal, Rng rng, NodeOptions options = {},
-           std::vector<rpc::LogEntry> recovered_log = {},
-           storage::SnapshotStore* snapshots = nullptr);
+           std::unique_ptr<ElectionPolicy> policy, Rng rng, NodeOptions options = {},
+           Bootstrap boot = {});
 
   RaftNode(const RaftNode&) = delete;
   RaftNode& operator=(const RaftNode&) = delete;
 
-  /// Loads persisted state and arms the election timer. Must be called once
-  /// before any other input.
+  /// Adopts the bootstrapped persistent state and arms the election timer.
+  /// Must be called once before any other input.
   void start(TimePoint now);
 
-  /// Delivers one protocol message addressed to this node.
-  void on_message(const rpc::Envelope& envelope, TimePoint now);
+  // --- inputs --------------------------------------------------------------
+
+  /// Steps the state machine with one protocol message addressed to this
+  /// node. Effects accumulate into the pending Ready batch.
+  void step(const rpc::Envelope& envelope, TimePoint now);
 
   /// Fires any timer whose deadline is <= now.
-  void on_tick(TimePoint now);
+  void tick(TimePoint now);
 
   /// Leader-side command submission. Returns the assigned log index, or
   /// nullopt when this node is not the leader (caller redirects using
@@ -196,7 +191,7 @@ class RaftNode {
   /// once one subsequent heartbeat round is acknowledged by a quorum (the
   /// proof no newer leader existed when the read was accepted) and
   /// last_applied has caught up to it. Grants and rejections come back
-  /// through take_read_grants().
+  /// through Ready::read_grants.
   std::optional<ReadId> submit_read(TimePoint now);
 
   /// Proactive leadership handoff: sends TimeoutNow to `target`, which
@@ -207,35 +202,39 @@ class RaftNode {
   bool transfer_leadership(ServerId target, TimePoint now);
 
   /// Takes a snapshot at `upto` (clamped to last_applied()) and compacts the
-  /// log + WAL up to it. `state` must be the application state machine's
+  /// in-memory log up to it, emitting kSaveSnapshot + kCompactTo ops into
+  /// the Ready batch. `state` must be the application state machine's
   /// serialized state after applying exactly the entries through that index
-  /// (the runtime drains take_committed() and applies synchronously, so its
-  /// state machine is always at last_applied()). Returns the snapshot's last
-  /// included index, or nullopt when there is nothing new to compact or no
-  /// snapshot store was provided. The ESCAPE configuration currently adopted
-  /// is captured inside the snapshot, so the confClock travels with the
-  /// state through every later restore or InstallSnapshot.
+  /// (drivers apply Ready::committed synchronously, so their state machine
+  /// is always at last_applied()). Returns the snapshot's last included
+  /// index, or nullopt when there is nothing new to compact or the driver
+  /// cannot persist snapshots (Bootstrap::can_compact). The ESCAPE
+  /// configuration currently adopted is captured inside the snapshot, so the
+  /// confClock travels with the state through every later restore or
+  /// InstallSnapshot.
   std::optional<LogIndex> compact(LogIndex upto, std::vector<std::uint8_t> state,
                                   TimePoint now);
 
-  /// Drains messages produced since the last call.
-  std::vector<rpc::Envelope> take_outbox();
+  // --- the Ready interface -------------------------------------------------
 
-  /// Drains entries newly committed since the last call, in log order.
-  std::vector<rpc::LogEntry> take_committed();
+  /// True when side effects are pending. Inputs may be stepped while a batch
+  /// is pending (effects accumulate into one larger batch), but NOT between
+  /// ready() and advance().
+  bool has_ready() const;
 
-  /// Drains read completions produced since the last call. Serve each `ok`
-  /// grant against the local state machine only *after* applying everything
-  /// drained by take_committed() in the same pump.
-  std::vector<ReadGrant> take_read_grants();
+  /// Drains the pending batch. Must not be called again (nor may any input
+  /// be stepped) until advance() acknowledges this batch — the driver is in
+  /// the middle of making it durable.
+  Ready ready();
 
-  /// Drains the snapshot installed by the most recent InstallSnapshot, if
-  /// any. The runtime must restore its state machine from it *before*
-  /// applying entries drained by take_committed() afterwards.
-  std::optional<storage::Snapshot> take_installed_snapshot();
+  /// Acknowledges the batch returned by the last ready(). `applied` is the
+  /// highest index the driver's state machine has now applied (restore
+  /// boundary and committed entries included); the core checks it against
+  /// its own apply cursor to catch drivers that drop entries.
+  void advance(LogIndex applied);
 
   /// Earliest pending timer deadline (election or heartbeat); kNever when
-  /// no timer is armed. The runtime must call on_tick no later than this.
+  /// no timer is armed. The driver must call tick no later than this.
   TimePoint next_deadline() const;
 
   /// Installs a hook receiving NodeEvents; pass nullptr to remove.
@@ -251,7 +250,7 @@ class RaftNode {
   ServerId leader_hint() const { return leader_id_; }
   LogIndex commit_index() const { return commit_index_; }
   LogIndex last_applied() const { return last_applied_; }
-  const storage::Log& log() const { return log_; }
+  const Log& log() const { return log_; }
   std::size_t cluster_size() const { return members_.size(); }
   std::size_t quorum() const { return members_.size() / 2 + 1; }
   const ElectionPolicy& policy() const { return *policy_; }
@@ -263,6 +262,10 @@ class RaftNode {
   bool lease_valid(TimePoint now) const;
   /// Reads accepted but not yet granted or rejected.
   std::size_t pending_reads() const { return pending_reads_.size(); }
+  /// The snapshot this node currently holds in memory (its own latest
+  /// compaction, an installed one, or the bootstrapped one); nullptr when
+  /// the log was never compacted. This is what InstallSnapshot ships.
+  std::shared_ptr<const Snapshot> snapshot() const { return snapshot_; }
 
  private:
   // Role transitions.
@@ -286,8 +289,9 @@ class RaftNode {
   void maybe_advance_commit(TimePoint now);
 
   // Read fast path (leader side).
-  /// Appends a current-term no-op barrier entry to the WAL and log (§5.4.2:
-  /// committing it commits every inherited prior-term entry transitively).
+  /// Appends a current-term no-op barrier entry to the log and Ready batch
+  /// (§5.4.2: committing it commits every inherited prior-term entry
+  /// transitively).
   void append_noop();
   void note_round_ack(ServerId peer, std::uint64_t round, TimePoint now);
   void release_ready_reads(TimePoint now);
@@ -301,37 +305,51 @@ class RaftNode {
 
   // Common machinery.
   void arm_election_timer(TimePoint now);
+  /// Marks the hard state dirty: the pending Ready batch carries the current
+  /// (term, vote, config) for the driver to persist before it sends.
   void persist_state();
+  /// Appends `entry` to the in-memory log and records a kAppend op.
+  void append_entry(rpc::LogEntry entry);
   void apply_committed(TimePoint now);
   void send(ServerId to, rpc::Message message);
   void emit(NodeEvent event);
   rpc::ConfigStatus own_status() const;
+  SoftState soft_state() const;
+  /// Folds any role/leader/term/confClock change since the last drained batch
+  /// into ready_.soft_state. Called at the end of every public input.
+  void sync_soft_state();
+  void assert_inputs_allowed() const;
 
   // Identity & collaborators.
   const ServerId id_;
   const std::vector<ServerId> members_;
   std::vector<ServerId> others_;
   std::unique_ptr<ElectionPolicy> policy_;
-  storage::StateStore& state_store_;
-  storage::Wal& wal_;
-  storage::SnapshotStore* snapshot_store_ = nullptr;  ///< null: compaction off
   Rng rng_;
   const NodeOptions options_;
+  /// Hard state recovered by the driver; consumed in start().
+  std::optional<HardState> boot_hard_state_;
   /// Configuration carried by the boot-time snapshot; merged with the
   /// persisted configuration in start() so a restored node's confClock never
   /// regresses below the generation its snapshotted state embodies.
   std::optional<rpc::Configuration> snapshot_boot_config_;
+  /// Whether the driver can persist snapshots (Bootstrap::can_compact).
+  const bool can_compact_;
 
-  // Persistent state (mirrored to state_store_ on change).
+  // Persistent state (emitted via Ready::hard_state on change).
   Term current_term_ = 0;
   ServerId voted_for_ = kNoServer;
 
   // Volatile state.
   Role role_ = Role::kFollower;
   ServerId leader_id_ = kNoServer;
-  storage::Log log_;
+  Log log_;
   LogIndex commit_index_ = 0;
   LogIndex last_applied_ = 0;
+  /// In-memory copy of the latest snapshot (bootstrapped, self-taken, or
+  /// installed). The core never loads it from anywhere: it either arrived in
+  /// Bootstrap or was built right here.
+  std::shared_ptr<const Snapshot> snapshot_;
 
   // Candidate state.
   std::set<ServerId> votes_;
@@ -378,11 +396,14 @@ class RaftNode {
   TimePoint election_deadline_ = kNever;
   TimePoint heartbeat_deadline_ = kNever;
 
-  // Outputs.
-  std::vector<rpc::Envelope> outbox_;
-  std::vector<rpc::LogEntry> committed_out_;
-  std::vector<ReadGrant> read_grants_out_;
-  std::optional<storage::Snapshot> installed_out_;
+  // The pending Ready batch and its lifecycle.
+  Ready ready_;
+  std::uint64_t next_sequence_ = 0;
+  bool ready_in_flight_ = false;  ///< between ready() and advance()
+  /// Last soft state handed to a driver; ready() diffs against it.
+  SoftState reported_soft_;
+  bool soft_reported_once_ = false;
+
   std::function<void(const NodeEvent&)> event_hook_;
 
   NodeCounters counters_;

@@ -1,0 +1,34 @@
+// The snapshot value type.
+//
+// A Snapshot captures everything a server needs to discard its log prefix:
+// the application state machine's serialized state, the (last included
+// index, last included term) boundary the Raft consistency check anchors on,
+// and — crucial for ESCAPE — the configuration π(P, k) adopted when the
+// snapshot was taken. Carrying the configuration through snapshots is what
+// keeps the confClock monotone across a restore: a server that restarts from
+// a snapshot (or installs one from the leader) resumes at a configuration
+// generation at least as fresh as the state it holds, so Lemma 3/4 reasoning
+// survives compaction.
+//
+// This is a pure value type: the deterministic core produces and consumes
+// Snapshots in memory; durability (CRC framing, atomic-rename files) lives in
+// storage/snapshot_store.h, consumed only by the drivers.
+#pragma once
+
+#include <vector>
+
+#include "rpc/messages.h"
+
+namespace escape::raft {
+
+/// One complete snapshot of a server's applied state.
+struct Snapshot {
+  LogIndex last_included_index = 0;  ///< last log index the state covers
+  Term last_included_term = 0;       ///< its term (consistency-check anchor)
+  rpc::Configuration config;         ///< ESCAPE config adopted at snapshot time
+  std::vector<std::uint8_t> state;   ///< serialized application state machine
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+}  // namespace escape::raft

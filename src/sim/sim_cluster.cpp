@@ -33,10 +33,36 @@ SimCluster::SimCluster(ClusterOptions options)
 
 void SimCluster::build_node(ServerId id) {
   auto& host = hosts_.at(id);
-  host.node = std::make_unique<raft::RaftNode>(
-      id, members_, options_.policy(id, members_.size()), *host.store, *host.wal,
-      rng_.fork(0x1000 + id), options_.node, host.wal->entries(), host.snaps.get());
+  host.driver = std::make_unique<SimDriver>(*host.store, *host.wal, host.snaps.get());
+  host.node = std::make_unique<raft::RaftNode>(id, members_,
+                                               options_.policy(id, members_.size()),
+                                               rng_.fork(0x1000 + id), options_.node,
+                                               host.driver->recover());
+  host.driver->attach(*host.node);
   host.node->set_event_hook([this](const raft::NodeEvent& ev) { on_node_event(ev); });
+
+  // Environment hooks: immediate dispatch into the simulated world.
+  auto& hooks = host.driver->hooks();
+  hooks.send = [this](const std::vector<rpc::Envelope>& batch) { network_->send_batch(batch); };
+  hooks.restore = [this, id](const std::shared_ptr<const raft::Snapshot>& snap) {
+    if (snapshot_restore_hook_) snapshot_restore_hook_(id, *snap);
+  };
+  hooks.apply = [this, id](const rpc::LogEntry& entry) {
+    if (apply_hook_) apply_hook_(id, entry);
+    hosts_.at(id).applied.push_back(entry);
+  };
+  // Read completions fire only after the same batch's entries applied: an
+  // `ok` grant promises the replica state machine covers read_index.
+  hooks.read = [this, id](const raft::ReadGrant& grant) {
+    for (std::size_t next = 0;;) {  // erase-safe, as in on_node_event
+      const auto it = read_listeners_.lower_bound(next);
+      if (it == read_listeners_.end()) break;
+      next = it->first + 1;
+      it->second(id, grant);
+    }
+    read_probes_.erase({id, grant.id});
+  };
+
   host.alive = true;
   host.scheduled_wakeup = kNever;
 }
@@ -84,6 +110,7 @@ void SimCluster::crash(ServerId id) {
   if (!host.alive) throw std::logic_error("crash() on a node that is already down");
   host.alive = false;
   host.node.reset();  // volatile state gone; store/wal survive
+  host.driver.reset();
   host.scheduled_wakeup = kNever;
   // Outstanding read probes die with the volatile read state they audited.
   read_probes_.erase(read_probes_.lower_bound({id, 0}),
@@ -113,7 +140,9 @@ std::optional<LogIndex> SimCluster::trigger_snapshot(ServerId id) {
   auto& host = hosts_.at(id);
   if (!host.alive || !host.node) return std::nullopt;
   auto state = snapshot_state_hook_ ? snapshot_state_hook_(id) : std::vector<std::uint8_t>{};
-  return host.node->compact(host.node->last_applied(), std::move(state), loop_.now());
+  const auto upto = host.node->compact(host.node->last_applied(), std::move(state), loop_.now());
+  host.driver->pump();  // drain the kSaveSnapshot/kCompactTo ops immediately
+  return upto;
 }
 
 std::optional<raft::NodeEvent> SimCluster::run_until_event(
@@ -205,33 +234,18 @@ void SimCluster::remove_read_listener(std::size_t handle) { read_listeners_.eras
 void SimCluster::pump(ServerId id) {
   auto& host = hosts_.at(id);
   if (!host.alive || !host.node) return;
-  auto outbox = host.node->take_outbox();
-  if (!outbox.empty()) network_->send_batch(outbox);
-  // An installed snapshot must restore the state machine before any entry
-  // committed after it applies.
-  if (const auto snap = host.node->take_installed_snapshot()) {
-    if (snapshot_restore_hook_) snapshot_restore_hook_(id, *snap);
-  }
-  for (auto& entry : host.node->take_committed()) {
-    if (apply_hook_) apply_hook_(id, entry);
-    host.applied.push_back(std::move(entry));
-  }
-  // Read completions are delivered only after the entries above were applied:
-  // an `ok` grant promises the replica state machine covers read_index.
-  for (const auto& grant : host.node->take_read_grants()) {
-    for (std::size_t next = 0;;) {  // erase-safe, as in on_node_event
-      const auto it = read_listeners_.lower_bound(next);
-      if (it == read_listeners_.end()) break;
-      next = it->first + 1;
-      it->second(id, grant);
-    }
-    read_probes_.erase({id, grant.id});
-  }
+  host.driver->pump();
   if (options_.snapshot_interval > 0 &&
       host.node->last_applied() - host.node->log().base() >= options_.snapshot_interval) {
     trigger_snapshot(id);
   }
   ensure_timer(id);
+}
+
+SimDriver& SimCluster::driver(ServerId id) {
+  auto& host = hosts_.at(id);
+  if (!host.driver) throw std::logic_error("node " + server_name(id) + " is crashed");
+  return *host.driver;
 }
 
 void SimCluster::ensure_timer(ServerId id) {
@@ -244,7 +258,7 @@ void SimCluster::ensure_timer(ServerId id) {
     auto& h = hosts_.at(id);
     if (h.scheduled_wakeup == deadline) h.scheduled_wakeup = kNever;
     if (!h.alive || !h.node) return;
-    h.node->on_tick(loop_.now());
+    h.node->tick(loop_.now());
     pump(id);
   });
 }
@@ -252,7 +266,7 @@ void SimCluster::ensure_timer(ServerId id) {
 void SimCluster::deliver(const rpc::Envelope& envelope) {
   auto& host = hosts_.at(envelope.to);
   if (!host.alive || !host.node) return;  // message to a dead machine
-  host.node->on_message(envelope, loop_.now());
+  host.node->step(envelope, loop_.now());
   pump(envelope.to);
 }
 

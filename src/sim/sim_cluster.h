@@ -1,8 +1,11 @@
 // Simulated cluster harness.
 //
-// Hosts N RaftNodes over a SimNetwork on one EventLoop, owning each node's
-// "disk" (MemoryStateStore + MemoryWal) so that crash/recover cycles model a
-// machine whose durable state survives process death. Provides the fault
+// Hosts N RaftNode cores over a SimNetwork on one EventLoop. Each host pairs
+// its core with a SimDriver over an owned "disk" (MemoryStateStore +
+// MemoryWal + MemorySnapshotStore), so crash/recover cycles model a machine
+// whose durable state survives process death — and every simulated run
+// exercises the same Ready drain discipline the TCP runtime uses. Provides
+// the fault
 // injection and measurement hooks the paper's evaluation protocol needs:
 // crash/recover, link isolation, event listeners, and stop predicates for
 // running the simulation until an election-related condition holds.
@@ -19,6 +22,7 @@
 #include "raft/raft_node.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
+#include "sim/sim_driver.h"
 #include "storage/snapshot_store.h"
 #include "storage/state_store.h"
 #include "storage/wal.h"
@@ -169,16 +173,22 @@ class SimCluster {
     apply_hook_ = std::move(hook);
   }
 
-  /// Drains outbox/committed of a node and reschedules its timers. Called
-  /// automatically after every delivery/tick; public for tests that poke
-  /// nodes directly.
+  /// Drains the node's pending Ready batches through its driver and
+  /// reschedules its timers. Called automatically after every delivery/tick;
+  /// public for tests that poke nodes directly.
   void pump(ServerId id);
+
+  /// The driver consuming a node's Ready batches (tests attach phase hooks
+  /// and Ready observers through it). Throws when the node is crashed.
+  SimDriver& driver(ServerId id);
 
  private:
   struct Host {
     std::unique_ptr<storage::MemoryStateStore> store;
     std::unique_ptr<storage::MemoryWal> wal;
     std::unique_ptr<storage::MemorySnapshotStore> snaps;
+    /// Per-incarnation Ready consumer; rebuilt (like the node) on recover.
+    std::unique_ptr<SimDriver> driver;
     std::unique_ptr<raft::RaftNode> node;
     bool alive = false;
     TimePoint scheduled_wakeup = kNever;

@@ -1,0 +1,46 @@
+// The simulator's Ready consumer.
+//
+// SimDriver is the synchronous, immediate-dispatch face of raft::NodeDriver:
+// SimCluster installs hooks that push outbound batches straight into the
+// SimNetwork and apply committed entries into the host's replica state the
+// moment pump() drains them — everything happens inline on the event-loop
+// "thread", in virtual time.
+//
+// The contrast with net::RealDriver (which buffers a batch's effects under
+// the node lock and flushes them outside it) is deliberate and is itself
+// under test: driver_conformance_test replays identical scenarios through
+// both consumption styles and asserts byte-identical Ready streams.
+#pragma once
+
+#include "raft/driver.h"
+
+namespace escape::sim {
+
+/// One host's driver in the simulated cluster: owns the drain loop over the
+/// host's in-memory stores; SimCluster provides the environment hooks.
+class SimDriver {
+ public:
+  SimDriver(storage::StateStore& store, storage::Wal& wal, storage::SnapshotStore* snapshots)
+      : base_(store, wal, snapshots) {}
+
+  /// See raft::NodeDriver::recover().
+  raft::Bootstrap recover() { return base_.recover(); }
+
+  /// See raft::NodeDriver::attach().
+  void attach(raft::RaftNode& node) { base_.attach(node); }
+
+  /// Drains every pending batch with immediate hook dispatch.
+  std::size_t pump() { return base_.pump(); }
+
+  /// Environment hooks (send into SimNetwork, apply into the host, ...).
+  raft::NodeDriver::Hooks& hooks() { return base_.hooks(); }
+
+  /// The generic drain underneath — tests attach phase hooks and Ready
+  /// observers here.
+  raft::NodeDriver& base() { return base_; }
+
+ private:
+  raft::NodeDriver base_;
+};
+
+}  // namespace escape::sim

@@ -1,14 +1,9 @@
 // Durable snapshot storage.
 //
-// A Snapshot captures everything a server needs to discard its log prefix:
-// the application state machine's serialized state, the (last included
-// index, last included term) boundary the Raft consistency check anchors on,
-// and — crucial for ESCAPE — the configuration π(P, k) adopted when the
-// snapshot was taken. Carrying the configuration through snapshots is what
-// keeps the confClock monotone across a restore: a server that restarts from
-// a snapshot (or installs one from the leader) resumes at a configuration
-// generation at least as fresh as the state it holds, so Lemma 3/4 reasoning
-// survives compaction.
+// The Snapshot value type itself lives with the deterministic core in
+// raft/snapshot.h (the core produces and consumes snapshots purely in
+// memory); this header holds everything durable about it — the CRC-framed
+// serialization and the stores the drivers persist through.
 //
 // FileSnapshotStore writes WAL-style: the whole snapshot goes to
 // `<path>.tmp`, is fsynced, then atomically renamed over `<path>` — a crash
@@ -20,19 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "raft/snapshot.h"
 #include "rpc/messages.h"
 
 namespace escape::storage {
 
-/// One complete snapshot of a server's applied state.
-struct Snapshot {
-  LogIndex last_included_index = 0;  ///< last log index the state covers
-  Term last_included_term = 0;       ///< its term (consistency-check anchor)
-  rpc::Configuration config;         ///< ESCAPE config adopted at snapshot time
-  std::vector<std::uint8_t> state;   ///< serialized application state machine
-
-  bool operator==(const Snapshot&) const = default;
-};
+using Snapshot = ::escape::raft::Snapshot;
 
 /// Serializes a snapshot into a CRC-framed buffer.
 std::vector<std::uint8_t> encode_snapshot(const Snapshot& snapshot);

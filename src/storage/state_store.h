@@ -12,18 +12,15 @@
 #include <optional>
 #include <string>
 
+#include "raft/ready.h"
 #include "rpc/messages.h"
 
 namespace escape::storage {
 
-/// State that must be durable before a server answers an RPC.
-struct PersistentState {
-  Term current_term = 0;
-  ServerId voted_for = kNoServer;
-  rpc::Configuration config;  ///< adopted ESCAPE configuration (zeros for Raft)
-
-  bool operator==(const PersistentState&) const = default;
-};
+/// State that must be durable before a server answers an RPC. The value type
+/// is raft::HardState — the deterministic core emits it in Ready batches and
+/// never touches the store itself; drivers persist it here.
+using PersistentState = ::escape::raft::HardState;
 
 /// Abstract durable store for PersistentState.
 class StateStore {

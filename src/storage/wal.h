@@ -45,6 +45,11 @@ class Wal {
 
   /// Blocks until all prior records are durable (no-op for volatile impls).
   virtual void sync() = 0;
+
+  /// Entry sequence a restart would replay (those past the last compaction
+  /// record). Drivers feed this into raft::Bootstrap::log; volatile
+  /// implementations that keep nothing return empty.
+  virtual std::vector<rpc::LogEntry> recovered() const { return {}; }
 };
 
 /// Discards all records.
@@ -62,6 +67,7 @@ class MemoryWal final : public Wal {
   void truncate_from(LogIndex from) override;
   void compact_to(LogIndex upto) override;
   void sync() override {}
+  std::vector<rpc::LogEntry> recovered() const override { return entries_; }
 
   /// Entry sequence as it would be recovered after a crash; starts at
   /// base()+1 once compacted.
@@ -92,6 +98,7 @@ class FileWal final : public Wal {
   void truncate_from(LogIndex from) override;
   void compact_to(LogIndex upto) override;
   void sync() override;
+  std::vector<rpc::LogEntry> recovered() const override { return recovered_; }
 
   /// Entries reconstructed from the file at open time (those past the last
   /// compaction record; see recovered_base()).

@@ -6,6 +6,8 @@
 
 #include "core/escape_policy.h"
 #include "raft/raft_node.h"
+
+#include "test_node_harness.h"
 #include "storage/state_store.h"
 #include "storage/wal.h"
 
@@ -23,7 +25,7 @@ struct EscapeNodeFixture {
   explicit EscapeNodeFixture(ServerId id = 2, std::size_t n = 5) {
     std::vector<ServerId> members;
     for (ServerId s = 1; s <= n; ++s) members.push_back(s);
-    node = std::make_unique<raft::RaftNode>(
+    node = std::make_unique<raft::DrivenNode>(
         id, members, std::make_unique<core::EscapePolicy>(id, n, small_options()), store, wal,
         Rng(3));
     node->start(0);
@@ -36,7 +38,7 @@ struct EscapeNodeFixture {
 
   storage::MemoryStateStore store;
   storage::MemoryWal wal;
-  std::unique_ptr<raft::RaftNode> node;
+  std::unique_ptr<raft::DrivenNode> node;
   TimePoint now = 0;
 };
 
@@ -186,7 +188,7 @@ TEST(EscapeNodeTest, RestartRestoresAdoptedConfiguration) {
   f.node->on_message({1, 2, hb}, f.now);
 
   std::vector<ServerId> members{1, 2, 3, 4, 5};
-  raft::RaftNode restarted(2, members,
+  raft::DrivenNode restarted(2, members,
                            std::make_unique<core::EscapePolicy>(2, 5, small_options()),
                            f.store, f.wal, Rng(4));
   restarted.start(0);

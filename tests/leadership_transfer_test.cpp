@@ -105,7 +105,8 @@ TEST(LeadershipTransferTest, StaleTimeoutNowIgnored) {
   stale.term = 0;
   stale.leader_id = leader;
   const auto term_before = cluster.node(follower).term();
-  cluster.node(follower).on_message({leader, follower, stale}, cluster.loop().now());
+  cluster.node(follower).step({leader, follower, stale}, cluster.loop().now());
+  cluster.pump(follower);
   EXPECT_EQ(cluster.node(follower).role(), Role::kFollower);
   EXPECT_EQ(cluster.node(follower).term(), term_before);
 }

@@ -6,6 +6,8 @@
 
 #include "common/rng.h"
 #include "raft/raft_node.h"
+
+#include "test_node_harness.h"
 #include "storage/state_store.h"
 #include "storage/wal.h"
 
@@ -76,7 +78,7 @@ TEST_P(RaftFuzzTest, MessageStormPreservesLocalInvariants) {
   Rng rng(GetParam());
   storage::MemoryStateStore store;
   storage::MemoryWal wal;
-  RaftNode node(1, {1, 2, 3, 4, 5},
+  DrivenNode node(1, {1, 2, 3, 4, 5},
                 std::make_unique<RaftRandomizedPolicy>(from_ms(100), from_ms(200)), store, wal,
                 Rng(GetParam() ^ 0xF00D));
   node.start(0);
@@ -135,7 +137,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RaftFuzzTest,
 TEST(RaftFuzzTest, SurvivesPathologicalAppendEntries) {
   storage::MemoryStateStore store;
   storage::MemoryWal wal;
-  RaftNode node(1, {1, 2, 3},
+  DrivenNode node(1, {1, 2, 3},
                 std::make_unique<RaftRandomizedPolicy>(from_ms(100), from_ms(200)), store, wal,
                 Rng(1));
   node.start(0);

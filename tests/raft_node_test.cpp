@@ -2,6 +2,8 @@
 // hand-crafted messages and ticks, no simulator.
 #include "raft/raft_node.h"
 
+#include "test_node_harness.h"
+
 #include <gtest/gtest.h>
 
 #include "storage/state_store.h"
@@ -20,7 +22,7 @@ struct NodeFixture {
     for (ServerId s = 1; s <= n; ++s) members.push_back(s);
     // A recovered log always originates from the WAL; keep them consistent.
     for (const auto& e : recovered) wal.append(e);
-    node = std::make_unique<RaftNode>(
+    node = std::make_unique<DrivenNode>(
         id, members, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store, wal, Rng(7),
         opts, std::move(recovered));
   }
@@ -47,7 +49,7 @@ struct NodeFixture {
 
   storage::MemoryStateStore store;
   storage::MemoryWal wal;
-  std::unique_ptr<RaftNode> node;
+  std::unique_ptr<DrivenNode> node;
   TimePoint now = 0;
 };
 
@@ -70,15 +72,15 @@ TEST(RaftNodeTest, RejectsInvalidConstruction) {
   storage::MemoryStateStore store;
   storage::MemoryWal wal;
   // Member list missing self.
-  EXPECT_THROW(RaftNode(1, {2, 3}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store,
+  EXPECT_THROW(DrivenNode(1, {2, 3}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store,
                         wal, Rng(1)),
                std::invalid_argument);
   // Reserved id 0.
-  EXPECT_THROW(RaftNode(0, {0, 1}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store,
+  EXPECT_THROW(DrivenNode(0, {0, 1}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store,
                         wal, Rng(1)),
                std::invalid_argument);
   // Null policy.
-  EXPECT_THROW(RaftNode(1, {1, 2}, nullptr, store, wal, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(DrivenNode(1, {1, 2}, nullptr, store, wal, Rng(1)), std::invalid_argument);
 }
 
 TEST(RaftNodeTest, TimeoutStartsCampaign) {
@@ -465,7 +467,7 @@ TEST(RaftNodeTest, RestartRestoresPersistentState) {
 
   // "Restart": new node instance over the same store/WAL.
   std::vector<ServerId> members{1, 2, 3};
-  RaftNode restarted(1, members, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), f.store,
+  DrivenNode restarted(1, members, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), f.store,
                      f.wal, Rng(8), {}, f.wal.entries());
   restarted.start(0);
   EXPECT_EQ(restarted.term(), 1);

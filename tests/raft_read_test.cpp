@@ -4,6 +4,8 @@
 // hand-crafted messages and ticks, no simulator.
 #include "raft/raft_node.h"
 
+#include "test_node_harness.h"
+
 #include <gtest/gtest.h>
 
 #include "storage/state_store.h"
@@ -19,7 +21,7 @@ struct ReadFixture {
   explicit ReadFixture(std::size_t n = 3, NodeOptions opts = {}) {
     std::vector<ServerId> members;
     for (ServerId s = 1; s <= n; ++s) members.push_back(s);
-    node = std::make_unique<RaftNode>(1, members,
+    node = std::make_unique<DrivenNode>(1, members,
                                       std::make_unique<RaftRandomizedPolicy>(kMin, kMax),
                                       store, wal, Rng(7), opts);
     node->start(0);
@@ -67,7 +69,7 @@ struct ReadFixture {
 
   storage::MemoryStateStore store;
   storage::MemoryWal wal;
-  std::unique_ptr<RaftNode> node;
+  std::unique_ptr<DrivenNode> node;
   TimePoint now = 0;
 };
 
@@ -290,7 +292,7 @@ TEST(RaftReadTest, RestartedNodesRefuseVotesForOneGuardWindow) {
   storage::MemoryWal wal;
   rpc::LogEntry e1{.term = 1, .index = 1, .command = {}};
   wal.append(e1);
-  RaftNode restarted(1, {1, 2, 3}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store,
+  DrivenNode restarted(1, {1, 2, 3}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store,
                      wal, Rng(7), {}, {e1});
   restarted.start(0);
 

@@ -8,6 +8,8 @@
 #include "core/configuration.h"
 #include "core/escape_policy.h"
 #include "raft/raft_node.h"
+
+#include "test_node_harness.h"
 #include "storage/snapshot_store.h"
 #include "storage/state_store.h"
 #include "storage/wal.h"
@@ -26,7 +28,7 @@ struct SnapFixture {
     std::vector<ServerId> members;
     for (ServerId s = 1; s <= n; ++s) members.push_back(s);
     if (!policy) policy = std::make_unique<RaftRandomizedPolicy>(kMin, kMax);
-    node = std::make_unique<RaftNode>(id, members, std::move(policy), store, wal, Rng(7),
+    node = std::make_unique<DrivenNode>(id, members, std::move(policy), store, wal, Rng(7),
                                       NodeOptions{}, wal.entries(), &snaps);
   }
 
@@ -82,14 +84,14 @@ struct SnapFixture {
   storage::MemoryStateStore store;
   storage::MemoryWal wal;
   storage::MemorySnapshotStore snaps;
-  std::unique_ptr<RaftNode> node;
+  std::unique_ptr<DrivenNode> node;
   TimePoint now = 0;
 };
 
 TEST(RaftSnapshotTest, CompactRequiresStoreAndAppliedEntries) {
   storage::MemoryStateStore store;
   storage::MemoryWal wal;
-  RaftNode bare(1, {1, 2, 3}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store, wal,
+  DrivenNode bare(1, {1, 2, 3}, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), store, wal,
                 Rng(7));
   bare.start(0);
   // No snapshot store: compaction is disabled.
@@ -269,7 +271,7 @@ TEST(RaftSnapshotTest, CompactToLastAppliedThenRestart) {
   // Crash: volatile state dies, store/wal/snaps survive.
   f.node.reset();
   std::vector<ServerId> members = {1, 2, 3};
-  RaftNode restarted(1, members, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), f.store,
+  DrivenNode restarted(1, members, std::make_unique<RaftRandomizedPolicy>(kMin, kMax), f.store,
                      f.wal, Rng(8), NodeOptions{}, f.wal.entries(), &f.snaps);
   restarted.start(0);
   EXPECT_EQ(restarted.log().base(), 5);
@@ -314,7 +316,7 @@ TEST(RaftSnapshotTest, RestorePreservesConfClockThroughSnapshotAlone) {
 
   // Restart with a FRESH state store: only the snapshot knows the clock.
   storage::MemoryStateStore lost_state;
-  RaftNode restarted(2, {1, 2, 3}, std::make_unique<core::EscapePolicy>(2, 3), lost_state,
+  DrivenNode restarted(2, {1, 2, 3}, std::make_unique<core::EscapePolicy>(2, 3), lost_state,
                      f.wal, Rng(9), NodeOptions{}, f.wal.entries(), &f.snaps);
   restarted.start(0);
   EXPECT_EQ(restarted.conf_clock(), inherited);

@@ -1,0 +1,76 @@
+// Byte-level fingerprinting of Ready batches for the determinism and
+// driver-conformance suites: two runs are "the same" exactly when their
+// concatenated fingerprints compare equal. Messages and snapshots go through
+// the real wire/storage encoders, so any divergence a peer or a disk could
+// observe shows up here.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "raft/ready.h"
+#include "rpc/messages.h"
+#include "storage/snapshot_store.h"
+
+namespace escape::raft {
+
+inline std::string hex_bytes(const std::vector<std::uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+inline std::string fingerprint(const Ready& rd) {
+  std::ostringstream os;
+  os << "seq=" << rd.sequence << '\n';
+  if (rd.hard_state) {
+    os << "hs term=" << rd.hard_state->current_term << " vote=" << rd.hard_state->voted_for
+       << " cfg=" << rpc::to_string(rd.hard_state->config) << '\n';
+  }
+  for (const LogOp& op : rd.log_ops) {
+    switch (op.kind) {
+      case LogOp::Kind::kAppend:
+        os << "op append " << op.entry.index << ':' << op.entry.term << ':'
+           << hex_bytes(op.entry.command) << '\n';
+        break;
+      case LogOp::Kind::kTruncateFrom:
+        os << "op truncate_from " << op.index << '\n';
+        break;
+      case LogOp::Kind::kCompactTo:
+        os << "op compact_to " << op.index << '\n';
+        break;
+      case LogOp::Kind::kSaveSnapshot:
+        os << "op save_snapshot " << hex_bytes(storage::encode_snapshot(*op.snapshot)) << '\n';
+        break;
+    }
+  }
+  for (const rpc::Envelope& env : rd.messages) {
+    os << "msg " << env.from << ">" << env.to << ' ' << hex_bytes(rpc::encode_message(env.message))
+       << '\n';
+  }
+  if (rd.restore) {
+    os << "restore " << hex_bytes(storage::encode_snapshot(**rd.restore)) << '\n';
+  }
+  for (const rpc::LogEntry& e : rd.committed) {
+    os << "commit " << e.index << ':' << e.term << ':' << hex_bytes(e.command) << '\n';
+  }
+  for (const ReadGrant& g : rd.read_grants) {
+    os << "read id=" << g.id << " idx=" << g.read_index << " ok=" << g.ok
+       << " lease=" << g.via_lease << '\n';
+  }
+  if (rd.soft_state) {
+    os << "soft role=" << static_cast<int>(rd.soft_state->role)
+       << " leader=" << rd.soft_state->leader << " term=" << rd.soft_state->term
+       << " cc=" << rd.soft_state->conf_clock << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace escape::raft
