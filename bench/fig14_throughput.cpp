@@ -1,0 +1,196 @@
+// Figure 14 (beyond the paper): replicated write throughput — batched +
+// pipelined AppendEntries vs one-entry-per-round replication.
+//
+// The paper evaluates ESCAPE's election quality; this harness measures the
+// write path those elections protect. An open-loop client storms the leader
+// with small commands at a fixed offered rate while the sweep varies the two
+// replication knobs: `max_entries_per_rpc` (entries coalesced per
+// AppendEntries, within the byte budget) and `max_inflight_msgs` (batches
+// the leader keeps in flight per follower before waiting for acks). The
+// (batch=1, inflight=1) corner is classic one-batch-per-RTT Raft and is the
+// baseline the acceptance gate compares against.
+//
+// Expected shape: throughput rises along both axes until the offered load is
+// met — with 100–200 ms one-way latency a single-entry, single-slot pipeline
+// commits ~1 entry per RTT (a few per second), while batching amortizes the
+// round trip over hundreds of entries and pipelining overlaps the RTTs.
+// Commit latency collapses correspondingly: a saturated baseline queues
+// minutes of backlog, the full pipeline drains the same storm in-flight.
+//
+// Trials fan out over the TrialPool and fold in trial-index order, so
+// BENCH_fig14_throughput.json is byte-identical across ESCAPE_BENCH_THREADS.
+#include "bench_util.h"
+
+#include <map>
+
+namespace {
+
+using namespace escape;
+
+/// Open-loop submission period: the client issues regardless of completions,
+/// so a slow configuration builds backlog instead of throttling the load.
+constexpr Duration kSubmitInterval = from_ms(4);
+
+/// Open-loop measurement window per trial.
+constexpr Duration kWindow = from_ms(10'000);
+
+/// Command payload bytes (small commands: the interesting budget here is
+/// entries-per-message, not bytes-per-message).
+constexpr std::size_t kPayloadBytes = 16;
+
+struct TrialResult {
+  bool measured = false;   ///< bootstrap produced a leader
+  double submitted = 0;    ///< commands issued in the window
+  double committed = 0;    ///< commands quorum-committed within the window
+  double window_s = 0;     ///< measured window in virtual seconds
+  Sample commit_ms;        ///< submit -> quorum-commit virtual latency
+  double batch_mean = 0;   ///< leader's mean entries per AppendEntries
+  double inflight_mean = 0;///< leader's mean pipeline depth at send
+  double group_syncs = 0;  ///< leader WAL syncs (group commit amortization)
+  double records_per_sync = 0;
+};
+
+TrialResult run_trial(std::uint64_t seed, std::size_t batch, std::size_t inflight) {
+  sim::ClusterOptions opts =
+      sim::presets::paper_cluster(3, sim::presets::escape_policy(), seed);
+  opts.node.max_entries_per_rpc = batch;
+  opts.node.max_inflight_msgs = inflight;
+  sim::SimCluster cluster(opts);
+  sim::ScenarioRunner runner(cluster);
+  if (runner.bootstrap() == kNoServer) return {};
+
+  TrialResult r;
+  r.measured = true;
+
+  // Outstanding commands by log index; resolved by the first kCommitAdvanced
+  // covering them. Commit advances at the leader first (it counts the acks),
+  // so this records leader-side commit latency.
+  std::map<LogIndex, TimePoint> pending;
+  const std::size_t listener = cluster.add_event_listener(
+      [&](const raft::NodeEvent& ev) {
+        if (ev.kind != raft::NodeEvent::Kind::kCommitAdvanced) return;
+        while (!pending.empty() && pending.begin()->first <= ev.index) {
+          r.committed += 1;
+          r.commit_ms.add(to_ms_f(ev.at - pending.begin()->second));
+          pending.erase(pending.begin());
+        }
+      });
+
+  const TimePoint start = cluster.loop().now();
+  const TimePoint end = start + kWindow;
+  while (cluster.loop().now() < end) {
+    const auto idx =
+        cluster.submit_via_leader(std::vector<std::uint8_t>(kPayloadBytes, 0xA5));
+    if (idx) {
+      r.submitted += 1;
+      // submit_via_leader pumps, which may commit (and resolve) idx already;
+      // only track it while still outstanding.
+      if (pending.count(*idx) == 0 && r.committed < r.submitted) {
+        pending.emplace(*idx, cluster.loop().now());
+      }
+    }
+    cluster.loop().run_until(cluster.loop().now() + kSubmitInterval);
+  }
+  r.window_s = to_ms_f(cluster.loop().now() - start) / 1000.0;
+  cluster.remove_event_listener(listener);
+
+  const ServerId leader = cluster.leader();
+  if (leader != kNoServer) {
+    const raft::NodeCounters& c = cluster.node(leader).counters();
+    r.batch_mean = c.append_batch_entries.mean();
+    r.inflight_mean = c.inflight_depth.mean();
+    r.group_syncs = static_cast<double>(c.wal_group_syncs);
+    r.records_per_sync = c.wal_records_per_sync.mean();
+  }
+  return r;
+}
+
+struct PointStats {
+  Sample commits_per_sec;
+  Sample commit_ms;
+  Sample batch_mean;
+  Sample inflight_mean;
+  Sample records_per_sync;
+  std::size_t runs = 0;
+  std::size_t unconverged = 0;
+};
+
+PointStats measure_point(std::uint64_t root_seed, std::size_t trials, std::size_t batch,
+                         std::size_t inflight) {
+  sim::TrialPool& pool = sim::TrialPool::shared();
+  const std::vector<TrialResult> results = pool.map_seeded<TrialResult>(
+      trials, root_seed,
+      [&](std::size_t, std::uint64_t seed) { return run_trial(seed, batch, inflight); });
+  PointStats stats;
+  for (const auto& r : results) {  // trial-index order: thread-count invariant
+    ++stats.runs;
+    if (!r.measured || r.window_s <= 0) {
+      ++stats.unconverged;
+      continue;
+    }
+    stats.commits_per_sec.add(r.committed / r.window_s);
+    stats.commit_ms.merge(r.commit_ms);
+    stats.batch_mean.add(r.batch_mean);
+    stats.inflight_mean.add(r.inflight_mean);
+    stats.records_per_sync.add(r.records_per_sync);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace escape::bench;
+
+  const std::size_t kRuns = runs(5);
+  const std::uint64_t kSeed = seed_base(0xF1614B47);
+  JsonReport report("fig14_throughput", kRuns, kSeed);
+
+  const std::vector<std::size_t> batches = {1, 8, 64, 256};
+  const std::vector<std::size_t> inflights = {1, 4, 16};
+
+  std::printf("Figure 14: replicated write throughput — batch size x pipeline depth\n");
+  std::printf("open loop, 1 cmd per %lld ms, %zu B payloads, %lld ms window, n=3, "
+              "escape policy, runs per point=%zu\n",
+              static_cast<long long>(to_ms(kSubmitInterval)), kPayloadBytes,
+              static_cast<long long>(to_ms(kWindow)), kRuns);
+  print_parallelism();
+
+  print_header("commits/sec and commit latency by (batch, inflight)");
+  std::printf("%-6s %-9s %12s %10s %10s %10s %10s %10s %12s\n", "batch", "inflight",
+              "commits/s", "p50 ms", "p99 ms", "p99.9 ms", "avg batch", "rec/sync",
+              "unconverged");
+  std::size_t point = 0;
+  double baseline_tput = 0;  // (batch=1, inflight=1): one-batch-per-RTT Raft
+  double best_tput = 0;
+  for (const std::size_t batch : batches) {
+    for (const std::size_t inflight : inflights) {
+      const PointStats stats =
+          measure_point(stream_seed(kSeed, point++), kRuns, batch, inflight);
+      std::printf("%-6zu %-9zu %12.1f %10.1f %10.1f %10.1f %10.1f %10.1f %9zu/%zu\n",
+                  batch, inflight, stats.commits_per_sec.mean(),
+                  stats.commit_ms.percentile(50), stats.commit_ms.percentile(99),
+                  stats.commit_ms.percentile(99.9), stats.batch_mean.mean(),
+                  stats.records_per_sync.mean(), stats.unconverged, stats.runs);
+      const std::string label =
+          "b" + std::to_string(batch) + "_if" + std::to_string(inflight);
+      report.add_metric("throughput", label, "commits_per_sec", stats.commits_per_sec);
+      report.add_metric("throughput", label, "commit_ms", stats.commit_ms);
+      report.add_metric("throughput", label, "batch_entries", stats.batch_mean);
+      report.add_metric("throughput", label, "records_per_sync", stats.records_per_sync);
+      const double tput = stats.commits_per_sec.mean();
+      if (batch == 1 && inflight == 1) baseline_tput = tput;
+      if (tput > best_tput) best_tput = tput;
+    }
+  }
+
+  const double speedup = baseline_tput > 0 ? best_tput / baseline_tput : 0;
+  std::printf("\nexpected shape: throughput rises along both axes until the offered load "
+              "(%0.f cmds/s) is met; the (1,1) corner is one-batch-per-RTT Raft.\n"
+              "best %.1f commits/s vs baseline %.1f commits/s: %.1fx (gate: >= 10x)\n",
+              1000.0 / to_ms_f(kSubmitInterval), best_tput, baseline_tput, speedup);
+  // The acceptance gate: batching + pipelining must beat single-entry,
+  // single-slot replication by an order of magnitude at this latency, or the
+  // write path regressed into lockstep — fail loudly, not quietly.
+  return speedup >= 10.0 ? 0 : 1;
+}

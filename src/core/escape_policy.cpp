@@ -79,6 +79,15 @@ void EscapePolicy::on_follower_status(ServerId from, const rpc::ConfigStatus& st
   if (status.conf_clock > max_clock_seen_) max_clock_seen_ = status.conf_clock;
 }
 
+void EscapePolicy::on_follower_backlog(ServerId follower, LogIndex backlog,
+                                       std::size_t inflight) {
+  if (!leading_) return;
+  auto it = probes_.find(follower);
+  if (it == probes_.end()) return;
+  it->second.backlog = backlog;
+  it->second.inflight = inflight;
+}
+
 void EscapePolicy::begin_heartbeat_round() {
   if (!leading_ || !options_.enable_ppf || followers_.empty()) {
     patrol_round_pending_ = false;
@@ -107,8 +116,21 @@ void EscapePolicy::run_patrol() {
   // stable under replication jitter and message loss.
   LogIndex best = 0;
   for (ServerId f : followers_) best = std::max(best, probes_.at(f).log_index);
+  // Pipeline feedback (see EscapeOptions::backlog_lag_threshold): demotion
+  // keys off the backlog *relative to the least-owed follower*, so a
+  // symmetric write storm — every window equally full — demotes nobody.
+  LogIndex min_backlog = 0;
+  bool any_backlog = false;
+  for (ServerId f : followers_) {
+    const LogIndex b = probes_.at(f).backlog;
+    if (!any_backlog || b < min_backlog) min_backlog = b;
+    any_backlog = true;
+  }
   const auto lagging = [&](ServerId f) {
-    return best - probes_.at(f).log_index > options_.lag_threshold;
+    const FollowerProbe& probe = probes_.at(f);
+    if (best - probe.log_index > options_.lag_threshold) return true;
+    return options_.backlog_lag_threshold > 0 &&
+           probe.backlog - min_backlog > options_.backlog_lag_threshold;
   };
   const auto previous_priority = [&](ServerId f) -> Priority {
     const auto it = assignments_.find(f);
@@ -123,6 +145,9 @@ void EscapePolicy::run_patrol() {
       const auto ia = probes_.at(a).log_index;
       const auto ib = probes_.at(b).log_index;
       if (ia != ib) return ia > ib;
+      const auto ba = probes_.at(a).backlog;  // then least-owed first
+      const auto bb = probes_.at(b).backlog;
+      if (ba != bb) return ba < bb;
     }
     const auto pa = previous_priority(a);
     const auto pb = previous_priority(b);

@@ -46,6 +46,7 @@ class EscapePolicy final : public raft::ElectionPolicy {
   // --- leader side (PPF) ---------------------------------------------------
   void on_become_leader(const std::vector<ServerId>& others, Term term) override;
   void on_follower_status(ServerId from, const rpc::ConfigStatus& status) override;
+  void on_follower_backlog(ServerId follower, LogIndex backlog, std::size_t inflight) override;
   void begin_heartbeat_round() override;
   std::optional<rpc::Configuration> config_for(ServerId dest) override;
   std::optional<rpc::Configuration> assignment_for(ServerId dest) override;
@@ -75,6 +76,8 @@ class EscapePolicy final : public raft::ElectionPolicy {
   struct FollowerProbe {
     LogIndex log_index = 0;        ///< last reported log responsiveness
     ConfClock adopted_clock = -1;  ///< clock the follower reports adopted
+    LogIndex backlog = 0;          ///< entries the leader still owes (pipeline)
+    std::size_t inflight = 0;      ///< optimistic batches in flight to it
   };
   std::vector<ServerId> followers_;
   std::map<ServerId, FollowerProbe> probes_;

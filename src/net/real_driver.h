@@ -45,7 +45,7 @@ class RealDriver {
   };
 
   RealDriver(storage::StateStore& store, storage::Wal& wal,
-             storage::SnapshotStore* snapshots);
+             storage::SnapshotStore* snapshots, raft::NodeDriver::Options options = {});
 
   /// See raft::NodeDriver::recover().
   raft::Bootstrap recover() { return base_.recover(); }
@@ -57,6 +57,12 @@ class RealDriver {
   /// executes immediately, environment effects land in `out` for the caller
   /// to flush after unlocking. Returns false when nothing was pending.
   bool pump_one(Effects& out);
+
+  /// Async-persist completion (call holding the node lock, like pump_one):
+  /// the WAL sync happens here and each released batch's held messages land
+  /// in `out` for flushing outside the lock. See
+  /// raft::NodeDriver::flush_persists().
+  std::size_t flush_persists(Effects& out, TimePoint now);
 
   /// The generic drain underneath — tests attach phase hooks and Ready
   /// observers here.

@@ -83,6 +83,18 @@ class ElectionPolicy {
   /// Records a follower's reply status (log responsiveness, adopted clock).
   virtual void on_follower_status(ServerId from, const rpc::ConfigStatus& status) = 0;
 
+  /// Pipeline flow-control feedback, reported once per heartbeat round just
+  /// before begin_heartbeat_round(): how many log entries the leader still
+  /// owes `follower` (its replication backlog) and how many optimistic
+  /// batches are in flight to it. ESCAPE folds this into the patrol's
+  /// responsiveness ranking — a follower drowning under load should not keep
+  /// the shortest timeout. Default: ignored.
+  virtual void on_follower_backlog(ServerId follower, LogIndex backlog, std::size_t inflight) {
+    (void)follower;
+    (void)backlog;
+    (void)inflight;
+  }
+
   /// Invoked once per heartbeat round before building AppendEntries. ESCAPE
   /// performs the patrol rearrangement here and advances the confClock.
   virtual void begin_heartbeat_round() = 0;

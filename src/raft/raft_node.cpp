@@ -8,6 +8,13 @@
 #include "common/logging.h"
 
 namespace escape::raft {
+namespace {
+
+/// Per-entry framing estimate charged against max_bytes_per_msg on top of
+/// the command payload (term + index + length prefix on the wire).
+constexpr std::size_t kEntryFramingBytes = 24;
+
+}  // namespace
 
 RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
                    std::unique_ptr<ElectionPolicy> policy, Rng rng, NodeOptions options,
@@ -150,20 +157,35 @@ std::optional<LogIndex> RaftNode::submit(std::vector<std::uint8_t> command, Time
   entry.command = std::move(command);
   const LogIndex index = entry.index;
   append_entry(std::move(entry));
-  // Replicate eagerly; heartbeats would pick it up anyway, but latency
-  // matters to clients.
-  for (ServerId peer : others_) send_append_entries(peer, /*include_config=*/false);
+  // Replicate eagerly while each peer's pipelining window has room;
+  // heartbeats would pick it up anyway, but latency matters to clients.
+  // Once a window fills, further submissions accumulate and leave as
+  // multi-entry batches when acks (or the next round) reopen it — that
+  // backpressure is where batching coalescing actually comes from.
+  for (ServerId peer : others_) maybe_send_appends(peer);
   maybe_advance_commit(now);  // single-node clusters commit immediately
   sync_soft_state();
   return index;
 }
 
+void RaftNode::ack_persisted(LogIndex durable, TimePoint now) {
+  assert(started_);
+  assert_inputs_allowed();
+  if (durable > durable_index_) {
+    durable_index_ = durable;
+    // The leader's own copy just became countable (see NodeOptions::
+    // async_persist); entries waiting only on it can commit now.
+    if (role_ == Role::kLeader) maybe_advance_commit(now);
+  }
+  sync_soft_state();
+}
+
 bool RaftNode::transfer_leadership(ServerId target, TimePoint now) {
   assert_inputs_allowed();
   if (role_ != Role::kLeader || target == id_) return false;
-  const auto match = match_index_.find(target);
-  if (match == match_index_.end()) return false;
-  if (match->second < log_.last_index()) return false;  // target not caught up
+  const auto it = progress_.find(target);
+  if (it == progress_.end()) return false;
+  if (it->second.match < log_.last_index()) return false;  // target not caught up
   // The target's transfer campaign bypasses the vote-recency guard, so the
   // usual "no rival before the lease expires" argument no longer covers this
   // leadership — from this instant until step-down, and not just until the
@@ -261,7 +283,7 @@ std::optional<ReadId> RaftNode::submit_read(TimePoint now) {
     // explicitly when the batch is riding an in-flight round instead.
     append_noop();
     if (!open_round_now) {
-      for (ServerId peer : others_) send_append_entries(peer, /*include_config=*/false);
+      for (ServerId peer : others_) maybe_send_appends(peer);
     }
   }
   if (open_round_now) broadcast_heartbeat_round(now);
@@ -509,13 +531,11 @@ void RaftNode::become_leader(TimePoint now) {
   role_ = Role::kLeader;
   leader_id_ = id_;
   election_deadline_ = kNever;
-  next_index_.clear();
-  match_index_.clear();
+  progress_.clear();
   install_sent_round_.clear();
   reset_read_state(now);  // a lease is earned per leadership, never inherited
   for (ServerId peer : others_) {
-    next_index_[peer] = log_.last_index() + 1;
-    match_index_[peer] = 0;
+    progress_[peer] = Progress{log_.last_index() + 1, 0, 0, false};
   }
   policy_->on_become_leader(others_, current_term_);
   ++counters_.elections_won;
@@ -708,13 +728,17 @@ void RaftNode::handle_append_entries_reply(const rpc::AppendEntriesReply& m, Tim
   // (success or not — the reply proves the follower is still in our term).
   note_round_ack(m.from, m.round, now);
 
+  const auto it = progress_.find(m.from);
+  if (it == progress_.end()) return;  // reply from a non-member
+  Progress& pr = it->second;
+
   if (m.success) {
-    match_index_[m.from] = std::max(match_index_[m.from], m.match_index);
-    next_index_[m.from] = std::max(next_index_[m.from], m.match_index + 1);
+    pr.match = std::max(pr.match, m.match_index);
+    pr.next = std::max(pr.next, m.match_index + 1);
+    if (pr.inflight > 0) --pr.inflight;  // one batch confirmed, window reopens
+    pr.probing = false;
     maybe_advance_commit(now);
-    if (next_index_[m.from] <= log_.last_index()) {
-      send_append_entries(m.from, /*include_config=*/false);  // continue catch-up
-    }
+    maybe_send_appends(m.from);  // refill the pipeline
   } else {
     LogIndex next;
     if (m.conflict_term != 0) {
@@ -726,8 +750,21 @@ void RaftNode::handle_append_entries_reply(const rpc::AppendEntriesReply& m, Tim
       next = m.conflict_index;
     }
     next = std::clamp<LogIndex>(next, 1, log_.last_index() + 1);
-    // Guarantee progress even with a degenerate hint.
-    next_index_[m.from] = std::min(next, std::max<LogIndex>(1, next_index_[m.from] - 1));
+    if (next <= pr.match) {
+      // Stale rejection: a pipelined batch this peer NACKed before a later
+      // success established agreement through pr.match. Walking `next` back
+      // below match would resend entries the peer provably holds.
+      return;
+    }
+    // Guarantee progress even with a degenerate hint, but never below the
+    // agreed prefix.
+    pr.next = std::max(pr.match + 1,
+                       std::min(next, std::max<LogIndex>(1, pr.next > 1 ? pr.next - 1 : 1)));
+    // Probe state: close the window to this single message until the peer
+    // confirms where the logs agree — blasting max_inflight_msgs speculative
+    // batches at a diverged follower would all be rejected anyway.
+    pr.probing = true;
+    pr.inflight = 0;
     send_append_entries(m.from, /*include_config=*/false);
   }
 }
@@ -840,18 +877,32 @@ void RaftNode::handle_install_snapshot_reply(const rpc::InstallSnapshotReply& m,
   if (!m.success) return;
   policy_->on_follower_status(m.from, m.status);
   note_round_ack(m.from, m.round, now);
-  match_index_[m.from] = std::max(match_index_[m.from], m.match_index);
-  next_index_[m.from] = std::max(next_index_[m.from], m.match_index + 1);
+  const auto it = progress_.find(m.from);
+  if (it == progress_.end()) return;
+  Progress& pr = it->second;
+  pr.match = std::max(pr.match, m.match_index);
+  pr.next = std::max(pr.next, m.match_index + 1);
+  pr.probing = false;
+  pr.inflight = 0;  // the snapshot round-trip drained anything speculative
   maybe_advance_commit(now);
-  if (next_index_[m.from] <= log_.last_index()) {
-    send_append_entries(m.from, /*include_config=*/false);  // ship the suffix
-  }
+  maybe_send_appends(m.from);  // ship the suffix
 }
 
 // --- leader machinery ----------------------------------------------------------
 
 void RaftNode::broadcast_heartbeat_round(TimePoint now) {
   ++counters_.heartbeat_rounds;
+  // ESCAPE twist: feed each follower's replication backlog and pipeline
+  // depth into the policy before the patrol ranks followers, so π(P, k)
+  // reflects not just the last log index a follower reported but how much
+  // the leader still owes it under the current load.
+  for (ServerId peer : others_) {
+    const auto it = progress_.find(peer);
+    if (it == progress_.end()) continue;
+    const LogIndex backlog =
+        log_.last_index() > it->second.match ? log_.last_index() - it->second.match : 0;
+    policy_->on_follower_backlog(peer, backlog, it->second.inflight);
+  }
   policy_->begin_heartbeat_round();
   ++broadcast_round_;
   if (!others_.empty()) {
@@ -863,12 +914,51 @@ void RaftNode::broadcast_heartbeat_round(TimePoint now) {
     round_sent_at_[broadcast_round_] = now;
     while (round_sent_at_.size() > 64) round_sent_at_.erase(round_sent_at_.begin());
   }
-  for (ServerId peer : others_) send_append_entries(peer, /*include_config=*/true);
+  for (ServerId peer : others_) {
+    // Round-trip valve for the pipelining window: anything still unacked
+    // after a full heartbeat interval is treated as lost — the reset reopens
+    // the window, and the heartbeat itself re-probes from the optimistic
+    // cursor (a follower that missed entries NACKs with conflict hints,
+    // which walk the cursor back). Without this, max_inflight_msgs dropped
+    // batches would wedge the window shut forever.
+    auto& pr = progress_[peer];
+    pr.inflight = 0;
+    pr.probing = false;
+    send_append_entries(peer, /*include_config=*/true);
+    maybe_send_appends(peer);  // pipeline catch-up traffic behind the round
+  }
   heartbeat_deadline_ = now + options_.heartbeat_interval;
 }
 
+void RaftNode::maybe_send_appends(ServerId peer) {
+  const auto it = progress_.find(peer);
+  if (it == progress_.end()) return;
+  Progress& pr = it->second;
+  while (!pr.probing && pr.inflight < options_.max_inflight_msgs &&
+         (pr.next <= log_.last_index() || pr.next <= log_.base())) {
+    const LogIndex before = pr.next;
+    send_append_entries(peer, /*include_config=*/false);
+    // The snapshot path (and its resend throttle) does not advance the
+    // cursor; bail instead of spinning.
+    if (pr.next == before) break;
+  }
+}
+
+std::vector<rpc::LogEntry> RaftNode::gather_entries(LogIndex from) const {
+  std::vector<rpc::LogEntry> out = log_.slice(from, options_.max_entries_per_rpc);
+  std::size_t bytes = 0;
+  std::size_t n = 0;
+  for (; n < out.size(); ++n) {
+    bytes += out[n].command.size() + kEntryFramingBytes;
+    if (n > 0 && bytes > options_.max_bytes_per_msg) break;  // always keep >= 1
+  }
+  out.resize(n);
+  return out;
+}
+
 void RaftNode::send_append_entries(ServerId peer, bool include_config) {
-  const LogIndex next = next_index_.at(peer);
+  Progress& pr = progress_.at(peer);
+  const LogIndex next = pr.next;
   if (next <= log_.base()) {
     // The entries this follower needs are compacted away; only the snapshot
     // can catch it up (Raft §7). Re-ship to a *silent* peer (likely down —
@@ -888,13 +978,23 @@ void RaftNode::send_append_entries(ServerId peer, bool include_config) {
   ae.leader_id = id_;
   ae.prev_log_index = next - 1;
   ae.prev_log_term = log_.term_at(next - 1).value_or(0);
-  ae.entries = log_.slice(next, options_.max_entries_per_rpc);
+  ae.entries = gather_entries(next);
   ae.leader_commit = commit_index_;
   // Every append is stamped with the latest broadcast round: a catch-up
   // append sent after round R was opened is sent no earlier than R's
   // heartbeats, so its ack confirms R just as well.
   ae.round = broadcast_round_;
   if (include_config) ae.new_config = policy_->config_for(peer);
+  if (!ae.entries.empty()) {
+    // Optimistic pipelining: assume delivery and march the cursor past the
+    // batch so the next send ships the *following* entries instead of
+    // resending these. A rejection (or the next heartbeat's NACK after a
+    // loss) walks it back via conflict hints.
+    pr.next = ae.entries.back().index + 1;
+    ++pr.inflight;
+    counters_.append_batch_entries.record(ae.entries.size());
+    counters_.inflight_depth.record(pr.inflight);
+  }
   send(peer, std::move(ae));
   ++counters_.append_entries_sent;
 }
@@ -929,9 +1029,14 @@ void RaftNode::maybe_advance_commit(TimePoint now) {
   for (LogIndex n = log_.last_index(); n > commit_index_; --n) {
     const auto t = log_.term_at(n);
     if (!t || *t != current_term_) break;  // older-term entries commit transitively
-    std::size_t replicas = 1;              // self
-    for (const auto& [peer, match] : match_index_) {
-      if (match >= n) ++replicas;
+    // Self counts only when its own copy is durable: always true with an
+    // inline-persisting driver (the Ready contract persists before the acks
+    // that drive this arrive), but in async-persist mode the local WAL tail
+    // may still sit in the completion queue — until ack_persisted() covers
+    // n, commitment must come from a quorum of followers alone.
+    std::size_t replicas = (!options_.async_persist || durable_index_ >= n) ? 1 : 0;
+    for (const auto& [peer, pr] : progress_) {
+      if (pr.match >= n) ++replicas;
     }
     if (replicas >= quorum()) {
       commit_index_ = n;

@@ -30,6 +30,7 @@
 // trace-determinism replay reproducible (see raft_core_determinism_test).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -57,6 +58,28 @@ struct NodeOptions {
 
   /// Cap on entries shipped per AppendEntries (flow control).
   std::size_t max_entries_per_rpc = 128;
+
+  /// Byte budget per AppendEntries (sum of command payloads plus a fixed
+  /// per-entry framing estimate). A batch always carries at least one entry,
+  /// even when that entry alone exceeds the budget — otherwise an oversized
+  /// command could never replicate.
+  std::size_t max_bytes_per_msg = 1 << 20;
+
+  /// Pipelining window: maximum entry-carrying AppendEntries batches kept in
+  /// flight per follower. The leader advances its per-peer `next` cursor
+  /// optimistically on send; a rejection flips the peer into probe state
+  /// (single message outstanding) and conflict hints walk the cursor back.
+  /// 1 degenerates to one-batch-per-RTT replication.
+  std::size_t max_inflight_msgs = 16;
+
+  /// Async-persist mode: the driver stages WAL writes and acks durability
+  /// later via ack_persisted(). Until its own tail is acked durable, the
+  /// leader does not count itself toward the commit quorum — a quorum of
+  /// followers alone may still commit. Without this gate an async leader
+  /// could commit with (self + quorum-1) copies, crash losing its unsynced
+  /// tail, and the entry would survive on too few servers. Must match the
+  /// driver's async option.
+  bool async_persist = false;
 
   /// Append and replicate a no-op entry on winning an election (commits
   /// prior-term entries per Raft §5.4.2). Off by default so election-latency
@@ -129,6 +152,31 @@ struct NodeEvent {
   bool via_lease = false;  ///< kReadGranted: served under the lease
 };
 
+/// Power-of-two bucketed histogram for small-integer distributions (batch
+/// sizes, inflight depths, records-per-sync). Bucket i counts values whose
+/// bit width is i: bucket 0 holds 0, bucket 1 holds 1, bucket 2 holds 2–3,
+/// bucket 3 holds 4–7, …; the last bucket absorbs everything larger.
+struct PowHistogram {
+  static constexpr std::size_t kBuckets = 20;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t v) {
+    std::size_t b = 0;
+    for (std::uint64_t x = v; x != 0; x >>= 1) ++b;
+    if (b >= kBuckets) b = kBuckets - 1;
+    ++buckets[b];
+    ++count;
+    sum += v;
+    if (v > max) max = v;
+  }
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
 /// Monotonic counters for observability and bench reporting.
 struct NodeCounters {
   std::uint64_t campaigns_started = 0;
@@ -147,11 +195,26 @@ struct NodeCounters {
   std::uint64_t read_index_reads = 0;          ///< reads confirmed by a round
   std::uint64_t reads_rejected = 0;            ///< pending reads dropped
   std::uint64_t votes_refused_recent_leader = 0;  ///< vote-recency guard hits
+  PowHistogram append_batch_entries;  ///< entries per entry-carrying AppendEntries
+  PowHistogram inflight_depth;        ///< per-peer window depth after each such send
+  std::uint64_t wal_group_syncs = 0;  ///< driver group-commit syncs (see NodeDriver)
+  PowHistogram wal_records_per_sync;  ///< WAL records amortized per group sync
 };
 
 /// One consensus participant. Single-threaded; not internally synchronized.
 class RaftNode {
  public:
+  /// Leader-side replication progress toward one follower — the pipelining
+  /// window (the `maxSizePerMsg`/`maxInflightMsgs` shape).
+  struct Progress {
+    LogIndex next = 1;         ///< next index to ship; advanced optimistically on send
+    LogIndex match = 0;        ///< highest index known replicated on the peer
+    std::size_t inflight = 0;  ///< unacked entry-carrying batches in flight
+    /// Set when the peer rejected an append: the window closes to a single
+    /// probe until a success re-establishes where the logs agree.
+    bool probing = false;
+  };
+
   /// `members` lists every cluster member including `id`. `boot` carries the
   /// durable state a driver recovered (NodeDriver::recover()): persisted
   /// hard state, the stored snapshot (the log rebases onto it; recovered
@@ -177,6 +240,13 @@ class RaftNode {
 
   /// Fires any timer whose deadline is <= now.
   void tick(TimePoint now);
+
+  /// Async-persist completion (drivers running NodeDriver::Options::
+  /// async_persist): everything through `durable` is now on stable storage.
+  /// Unblocks the leader's self-count in the commit rule (see
+  /// NodeOptions::async_persist). Monotonic; stale acks are ignored. A no-op
+  /// (but harmless) input when async_persist is off.
+  void ack_persisted(LogIndex durable, TimePoint now);
 
   /// Leader-side command submission. Returns the assigned log index, or
   /// nullopt when this node is not the leader (caller redirects using
@@ -256,6 +326,17 @@ class RaftNode {
   const ElectionPolicy& policy() const { return *policy_; }
   ElectionPolicy& mutable_policy() { return *policy_; }
   const NodeCounters& counters() const { return counters_; }
+  /// Driver-side write access: NodeDriver records WAL group-commit stats
+  /// here so one NodeCounters struct tells the whole batching story.
+  NodeCounters& mutable_counters() { return counters_; }
+  /// Replication progress toward `peer` (nullptr when not leader or unknown
+  /// peer). Test/bench introspection into the pipelining window.
+  const Progress* progress(ServerId peer) const {
+    const auto it = progress_.find(peer);
+    return it == progress_.end() ? nullptr : &it->second;
+  }
+  /// Highest index acked durable via ack_persisted() (async-persist mode).
+  LogIndex durable_index() const { return durable_index_; }
   /// Configuration clock currently adopted (0 under vanilla Raft).
   ConfClock conf_clock() const { return policy_->current_config().conf_clock; }
   /// True when this leader's lease authorizes zero-message reads at `now`.
@@ -285,6 +366,12 @@ class RaftNode {
   // Leader machinery.
   void broadcast_heartbeat_round(TimePoint now);
   void send_append_entries(ServerId peer, bool include_config);
+  /// Fills `peer`'s pipelining window: sends batches while the window has
+  /// room, the peer is not probing, and backlog remains.
+  void maybe_send_appends(ServerId peer);
+  /// Log slice starting at `from`, trimmed to max_entries_per_rpc and
+  /// max_bytes_per_msg (always at least one entry when any exists).
+  std::vector<rpc::LogEntry> gather_entries(LogIndex from) const;
   void send_install_snapshot(ServerId peer);
   void maybe_advance_commit(TimePoint now);
 
@@ -355,11 +442,13 @@ class RaftNode {
   std::set<ServerId> votes_;
 
   // Leader state.
-  std::unordered_map<ServerId, LogIndex> next_index_;
-  std::unordered_map<ServerId, LogIndex> match_index_;
+  std::unordered_map<ServerId, Progress> progress_;
   /// Heartbeat round at which an InstallSnapshot was last shipped per peer;
   /// throttles resends to silent followers (see snapshot_retry_rounds).
   std::unordered_map<ServerId, std::uint64_t> install_sent_round_;
+  /// Highest log index the driver has acked durable (async-persist mode;
+  /// tracks the WAL tail trivially when the driver persists inline).
+  LogIndex durable_index_ = 0;
 
   // Read fast path (leader volatile state; cleared on every role change).
   struct PendingRead {

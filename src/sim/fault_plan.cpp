@@ -12,6 +12,9 @@ Duration action_end(const PlannedAction& planned) {
   if (const auto* burst = std::get_if<TrafficBurst>(&planned.action)) {
     return planned.at + burst->duration;
   }
+  if (const auto* storm = std::get_if<ProposalBurst>(&planned.action)) {
+    return planned.at + storm->duration;
+  }
   if (const auto* reads = std::get_if<ClientRead>(&planned.action)) {
     return planned.at + reads->duration;
   }
@@ -37,6 +40,7 @@ const char* action_name(const FaultAction& action) {
     const char* operator()(const SetLossRate&) const { return "set-loss"; }
     const char* operator()(const LeaderTransfer&) const { return "leader-transfer"; }
     const char* operator()(const TrafficBurst&) const { return "traffic"; }
+    const char* operator()(const ProposalBurst&) const { return "proposal-burst"; }
     const char* operator()(const ClientRead&) const { return "client-read"; }
     const char* operator()(const ScriptTimeout&) const { return "script-timeout"; }
     const char* operator()(const MarkEpisode&) const { return "mark-episode"; }
@@ -219,6 +223,26 @@ void PlanRuntime::traffic_tick(TimePoint end, Duration interval, std::size_t pay
   }
 }
 
+void PlanRuntime::proposal_tick(TimePoint end, Duration interval, std::size_t per_tick,
+                                std::size_t payload_bytes) {
+  if (cluster_.loop().now() >= end) return;
+  // Open loop: every tick offers the full `per_tick` regardless of how far
+  // behind replication is; leaderless instants skip a beat, like traffic.
+  for (std::size_t i = 0; i < per_tick; ++i) {
+    std::vector<std::uint8_t> payload(payload_bytes,
+                                      static_cast<std::uint8_t>(traffic_submitted_ & 0xFF));
+    if (!cluster_.submit_via_leader(std::move(payload))) break;
+    ++traffic_submitted_;
+  }
+  const TimePoint next = cluster_.loop().now() + interval;
+  if (next < end) {
+    cluster_.loop().schedule_at(next, [this, live = live_, end, interval, per_tick,
+                                       payload_bytes] {
+      if (live->active) proposal_tick(end, interval, per_tick, payload_bytes);
+    });
+  }
+}
+
 void PlanRuntime::read_tick(TimePoint end, Duration interval) {
   if (cluster_.loop().now() >= end) return;
   // Fire-and-audit: the probe ledger + InvariantChecker judge the grant;
@@ -397,6 +421,14 @@ void PlanRuntime::execute(const FaultAction& action) {
         return;
       }
       rt.traffic_tick(rt.cluster_.loop().now() + a.duration, a.interval, a.payload_bytes);
+    }
+    void operator()(const ProposalBurst& a) {
+      if (a.interval <= 0 || a.per_tick == 0) {  // same livelock guard as TrafficBurst
+        marker.ok = false;
+        return;
+      }
+      rt.proposal_tick(rt.cluster_.loop().now() + a.duration, a.interval, a.per_tick,
+                       a.payload_bytes);
     }
     void operator()(const ClientRead& a) {
       if (a.interval <= 0) {  // same livelock guard as TrafficBurst

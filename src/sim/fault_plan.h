@@ -146,6 +146,20 @@ struct TrafficBurst {
   std::size_t payload_bytes = 16;
 };
 
+/// Open-loop write storm: submits `per_tick` commands through whatever
+/// leader exists every `interval` for `duration`, regardless of completions
+/// — unlike TrafficBurst's one-at-a-time trickle, this builds real
+/// replication backlog. The pressure lever for the batched/pipelined write
+/// path: storms racing failover, snapshot catch-up and partitions are where
+/// a stale conflict hint or a lost in-flight batch would strand the commit
+/// index or diverge a replica.
+struct ProposalBurst {
+  Duration duration;
+  Duration interval = from_ms(20);
+  std::size_t per_tick = 8;
+  std::size_t payload_bytes = 16;
+};
+
 /// Issues a linearizable fast-path read through whatever leader exists every
 /// `interval` for `duration` — the read-side twin of TrafficBurst. Reads go
 /// through SimCluster::submit_read, so each one lands in the probe ledger
@@ -188,8 +202,8 @@ struct SnapshotAndCrash {
 using FaultAction =
     std::variant<CrashNode, RecoverNode, RecoverAll, IsolateNode, HealNode, CutLink,
                  HealLink, PartialIsolate, HealPartial, SwapLatency, DegradeNode,
-                 RestoreLatency, SetLossRate, LeaderTransfer, TrafficBurst, ClientRead,
-                 ScriptTimeout, MarkEpisode, TriggerSnapshot, SnapshotAndCrash>;
+                 RestoreLatency, SetLossRate, LeaderTransfer, TrafficBurst, ProposalBurst,
+                 ClientRead, ScriptTimeout, MarkEpisode, TriggerSnapshot, SnapshotAndCrash>;
 
 /// Human-readable tag for traces and markers ("crash", "traffic", ...).
 const char* action_name(const FaultAction& action);
@@ -311,6 +325,8 @@ class PlanRuntime {
   void crash_now(ServerId id, bool deferred);
   void apply_latency();
   void traffic_tick(TimePoint end, Duration interval, std::size_t payload_bytes);
+  void proposal_tick(TimePoint end, Duration interval, std::size_t per_tick,
+                     std::size_t payload_bytes);
   void read_tick(TimePoint end, Duration interval);
 
   SimCluster& cluster_;

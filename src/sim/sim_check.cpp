@@ -27,6 +27,7 @@ enum class FuzzAction : int {
   kLossStorm,
   kTransfer,
   kBurst,
+  kProposalBurst,
   kSnapshot,
   kSnapshotCrash,
   kClientRead,
@@ -43,7 +44,7 @@ struct ActionSpec {
 constexpr ActionSpec kActionSpecs[] = {
     {"crash", 30},   {"cut-link", 12}, {"partial-isolate", 12}, {"isolate", 8},
     {"degrade", 10}, {"loss-storm", 10}, {"transfer", 8},       {"burst", 10},
-    {"snapshot", 12}, {"snapshot-crash", 8}, {"client-read", 14},
+    {"proposal-burst", 12}, {"snapshot", 12}, {"snapshot-crash", 8}, {"client-read", 14},
 };
 static_assert(std::size(kActionSpecs) == kFuzzActionCount,
               "every FuzzAction needs a name + default weight row");
@@ -249,6 +250,16 @@ FuzzCase make_fuzz_case(std::uint64_t scenario_seed, const SimCheckOptions& opti
       }
       case FuzzAction::kBurst: {
         plan.at(t, TrafficBurst{ms_between(rng, 1'000, 5'000), ms_between(rng, 50, 250)});
+        break;
+      }
+      case FuzzAction::kProposalBurst: {
+        // Open-loop write storm racing whatever faults surround it: the
+        // leader builds real replication backlog, so failover, snapshot
+        // catch-up and partitions land mid-pipeline — where a stale conflict
+        // hint or a lost in-flight batch would strand the commit index or
+        // diverge a replica (both audited at quiescence by deep_check).
+        plan.at(t, ProposalBurst{ms_between(rng, 1'000, 4'000), ms_between(rng, 10, 60),
+                                 static_cast<std::size_t>(rng.uniform_int(2, 16))});
         break;
       }
       case FuzzAction::kClientRead: {

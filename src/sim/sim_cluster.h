@@ -41,6 +41,10 @@ struct ClusterOptions {
   std::size_t size = 5;
   PolicyFactory policy;  ///< defaults to Raft with 1500–3000 ms timeouts
   raft::NodeOptions node;
+  /// Durability strategy for every host's driver (group commit, async
+  /// persist). When driver.async_persist is set, node.async_persist is forced
+  /// on so the core's commit rule matches the driver's staging.
+  raft::NodeDriver::Options driver;
   NetworkOptions network;
   std::uint64_t seed = 42;
   /// Automatic log compaction: when > 0, a host snapshots its state machine

@@ -20,8 +20,9 @@ namespace escape::sim {
 /// host's in-memory stores; SimCluster provides the environment hooks.
 class SimDriver {
  public:
-  SimDriver(storage::StateStore& store, storage::Wal& wal, storage::SnapshotStore* snapshots)
-      : base_(store, wal, snapshots) {}
+  SimDriver(storage::StateStore& store, storage::Wal& wal, storage::SnapshotStore* snapshots,
+            raft::NodeDriver::Options options = {})
+      : base_(store, wal, snapshots, options) {}
 
   /// See raft::NodeDriver::recover().
   raft::Bootstrap recover() { return base_.recover(); }
@@ -29,8 +30,20 @@ class SimDriver {
   /// See raft::NodeDriver::attach().
   void attach(raft::RaftNode& node) { base_.attach(node); }
 
-  /// Drains every pending batch with immediate hook dispatch.
-  std::size_t pump() { return base_.pump(); }
+  /// Drains every pending batch with immediate hook dispatch. In async-
+  /// persist mode the staged batches are then flushed at `now` — the sim
+  /// models a disk whose completion queue drains within the same virtual
+  /// instant, but strictly *after* the core produced everything it could,
+  /// which is exactly the reordering the sequence checker must tolerate —
+  /// and the flush's durability ack may produce one more wave of batches.
+  std::size_t pump(TimePoint now = 0) {
+    std::size_t drained = base_.pump();
+    while (base_.staged() > 0) {
+      base_.flush_persists(now);
+      drained += base_.pump();
+    }
+    return drained;
+  }
 
   /// Environment hooks (send into SimNetwork, apply into the host, ...).
   raft::NodeDriver::Hooks& hooks() { return base_.hooks(); }

@@ -157,14 +157,23 @@ FileWal::~FileWal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void FileWal::write_record(std::uint8_t kind, const std::vector<std::uint8_t>& payload) {
+namespace {
+
+/// Appends one framed record ([kind][len][crc][payload]) onto `buf`.
+void frame_record(std::vector<std::uint8_t>& buf, std::uint8_t kind,
+                  const std::vector<std::uint8_t>& payload) {
   Encoder e;
   e.u8(kind);
   e.u32(static_cast<std::uint32_t>(payload.size()));
   e.u32(crc32(payload));
-  auto buf = e.take();
+  auto header = e.take();
+  buf.insert(buf.end(), header.begin(), header.end());
   buf.insert(buf.end(), payload.begin(), payload.end());
+}
 
+}  // namespace
+
+void FileWal::write_buffer(const std::vector<std::uint8_t>& buf) {
   std::size_t off = 0;
   while (off < buf.size()) {
     const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
@@ -174,8 +183,23 @@ void FileWal::write_record(std::uint8_t kind, const std::vector<std::uint8_t>& p
   if (sync_every_record_) sync();
 }
 
+void FileWal::write_record(std::uint8_t kind, const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> buf;
+  frame_record(buf, kind, payload);
+  write_buffer(buf);
+}
+
 void FileWal::append(const rpc::LogEntry& entry) {
   write_record(kRecordAppend, encode_entry_payload(entry));
+}
+
+void FileWal::append_batch(const std::vector<rpc::LogEntry>& entries) {
+  // Group commit: frame the whole run into one buffer and issue a single
+  // write. Recovery handles a torn tail inside the group the same as a torn
+  // single record — the longest valid record prefix survives.
+  std::vector<std::uint8_t> buf;
+  for (const auto& e : entries) frame_record(buf, kRecordAppend, encode_entry_payload(e));
+  write_buffer(buf);
 }
 
 void FileWal::truncate_from(LogIndex from) {

@@ -35,6 +35,15 @@ class Wal {
   /// Records that `entry` was appended at its index.
   virtual void append(const rpc::LogEntry& entry) = 0;
 
+  /// Records a contiguous run of appends as one group. Implementations may
+  /// amortize the whole run into a single I/O (group commit); the default
+  /// forwards to append() per entry. Durability is still only guaranteed
+  /// after sync() — a crash mid-group may leave a torn tail, which recovery
+  /// resolves to the longest valid prefix of the group.
+  virtual void append_batch(const std::vector<rpc::LogEntry>& entries) {
+    for (const auto& e : entries) append(e);
+  }
+
   /// Records that all entries with index >= `from` were discarded.
   virtual void truncate_from(LogIndex from) = 0;
 
@@ -95,6 +104,7 @@ class FileWal final : public Wal {
   FileWal& operator=(const FileWal&) = delete;
 
   void append(const rpc::LogEntry& entry) override;
+  void append_batch(const std::vector<rpc::LogEntry>& entries) override;
   void truncate_from(LogIndex from) override;
   void compact_to(LogIndex upto) override;
   void sync() override;
@@ -110,6 +120,7 @@ class FileWal final : public Wal {
 
  private:
   void write_record(std::uint8_t kind, const std::vector<std::uint8_t>& payload);
+  void write_buffer(const std::vector<std::uint8_t>& buf);
 
   std::string path_;
   bool sync_every_record_;

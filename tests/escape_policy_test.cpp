@@ -202,6 +202,38 @@ TEST(PpfTest, JitterWithinHysteresisKeepsAssignment) {
   EXPECT_EQ(p.policy.assignments(), before);
 }
 
+TEST(PpfTest, PipelineBacklogDemotesCongestedFollower) {
+  // Same log indices (within hysteresis) — the log-index rule alone sees no
+  // laggard — but S4's replication backlog towers over everyone else's:
+  // pi(P, k) must not leave a congested server holding a top priority, or
+  // the next failover elects the one node that cannot absorb the load.
+  Patrol p;
+  p.round({{2, status(100, 0)}, {3, status(100, 0)}, {4, status(100, 0)}, {5, status(100, 0)}});
+  const auto clock1 = p.policy.config_for(2)->conf_clock;
+  for (ServerId f : {2u, 3u, 5u}) p.policy.on_follower_backlog(f, 2, 1);
+  p.policy.on_follower_backlog(4, 300, 16);
+  p.round({{2, status(200, clock1)},
+           {3, status(200, clock1)},
+           {4, status(195, clock1)},
+           {5, status(200, clock1)}});
+  EXPECT_EQ(p.assigned_priority(4), 2);  // bottom of the pool
+  std::set<Priority> responsive{p.assigned_priority(2), p.assigned_priority(3),
+                                p.assigned_priority(5)};
+  EXPECT_EQ(responsive, (std::set<Priority>{3, 4, 5}));
+}
+
+TEST(PpfTest, UniformBacklogKeepsAssignment) {
+  // The backlog rule is *relative*: an open-loop write storm loads every
+  // follower equally, and symmetric pressure must not reshuffle priorities
+  // (each reshuffle stales every follower's config until re-adoption).
+  Patrol p;
+  p.round({{2, status(100, 0)}, {3, status(100, 0)}, {4, status(100, 0)}, {5, status(100, 0)}});
+  const auto before = p.policy.assignments();
+  for (ServerId f : {2u, 3u, 4u, 5u}) p.policy.on_follower_backlog(f, 500, 16);
+  p.round({{2, status(105, 1)}, {3, status(102, 1)}, {4, status(98, 1)}, {5, status(101, 1)}});
+  EXPECT_EQ(p.policy.assignments(), before);
+}
+
 TEST(PpfTest, CrashedFollowerPriorityReassigned) {
   // Figure 5b: a crashed follower stops replying; once the cluster's log
   // advances past the hysteresis threshold, its high priority is re-issued

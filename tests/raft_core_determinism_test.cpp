@@ -22,9 +22,16 @@ constexpr Duration kMax = from_ms(200);
 
 /// One scripted input to a core.
 struct Input {
-  enum class Kind { kMessage, kTick, kSubmit, kSubmitRead } kind = Kind::kTick;
+  enum class Kind {
+    kMessage,
+    kTick,
+    kSubmit,
+    kSubmitRead,
+    kAckPersisted,  ///< async-persist durability completion
+  } kind = Kind::kTick;
   rpc::Envelope envelope;             ///< kMessage
   std::vector<std::uint8_t> command;  ///< kSubmit
+  LogIndex durable = 0;               ///< kAckPersisted
   TimePoint now = 0;
 };
 
@@ -113,8 +120,75 @@ std::vector<Input> make_script(std::uint64_t seed, int steps) {
   return script;
 }
 
-std::unique_ptr<RaftNode> make_core(std::uint64_t rng_seed) {
-  NodeOptions opts;
+/// Pipelined-input storm: elects the core leader, then pounds it with
+/// proposal bursts, follower acks and NACKs (conflict hints included),
+/// heartbeat ticks and async-persist durability acks — the exact input mix
+/// the batched + pipelined replication path runs on, with bursts landing at
+/// a single instant so batch coalescing and window backpressure both fire.
+std::vector<Input> make_pipelined_script(std::uint64_t seed, int steps) {
+  Rng rng(seed);
+  std::vector<Input> script;
+  TimePoint now = kMax + 1;
+
+  // Campaign plus two grants: the storm needs a leader to pipeline from.
+  Input tick;
+  tick.kind = Input::Kind::kTick;
+  tick.now = now;
+  script.push_back(tick);
+  for (ServerId v : {2u, 3u}) {
+    rpc::RequestVoteReply yes;
+    yes.term = 1;
+    yes.vote_granted = true;
+    yes.voter_id = v;
+    Input in;
+    in.kind = Input::Kind::kMessage;
+    in.envelope = {v, 1, yes};
+    in.now = now;
+    script.push_back(in);
+  }
+
+  LogIndex horizon = 1;  // upper bound on indices acks may reference
+  for (int i = 0; i < steps; ++i) {
+    now += rng.uniform_int(0, from_ms(5));
+    const double roll = rng.uniform_real(0.0, 1.0);
+    if (roll < 0.35) {
+      const auto burst = rng.uniform_int(1, 16);
+      for (std::int64_t b = 0; b < burst; ++b) {
+        Input in;
+        in.kind = Input::Kind::kSubmit;
+        in.command = {static_cast<std::uint8_t>(rng.uniform_int(0, 255))};
+        in.now = now;
+        script.push_back(std::move(in));
+        ++horizon;
+      }
+      continue;
+    }
+    Input in;
+    in.now = now;
+    if (roll < 0.75) {
+      rpc::AppendEntriesReply m;
+      m.term = 1;
+      m.from = static_cast<ServerId>(rng.uniform_int(2, 5));
+      m.success = rng.chance(0.8);
+      m.match_index = rng.uniform_int(0, horizon);
+      m.conflict_index = rng.uniform_int(0, horizon);
+      m.conflict_term = rng.uniform_int(0, 1);
+      m.status.log_index = rng.uniform_int(0, horizon);
+      in.kind = Input::Kind::kMessage;
+      in.envelope = {m.from, 1, m};
+    } else if (roll < 0.88) {
+      in.kind = Input::Kind::kAckPersisted;
+      in.durable = rng.uniform_int(0, horizon);
+    } else {
+      in.kind = Input::Kind::kTick;
+    }
+    script.push_back(std::move(in));
+  }
+  return script;
+}
+
+std::unique_ptr<RaftNode> make_core(std::uint64_t rng_seed,
+                                    NodeOptions opts = NodeOptions()) {
   return std::make_unique<RaftNode>(
       1, std::vector<ServerId>{1, 2, 3, 4, 5},
       std::make_unique<RaftRandomizedPolicy>(kMin, kMax), Rng(rng_seed), opts, Bootstrap{});
@@ -135,8 +209,9 @@ void drain(RaftNode& node, LogIndex& applied, std::string& out) {
 
 /// Runs the script through a fresh core; returns the concatenated Ready
 /// fingerprints plus a final-state stamp.
-std::string run_script(const std::vector<Input>& script, std::uint64_t rng_seed) {
-  auto node = make_core(rng_seed);
+std::string run_script(const std::vector<Input>& script, std::uint64_t rng_seed,
+                       NodeOptions opts = NodeOptions()) {
+  auto node = make_core(rng_seed, opts);
   std::string out;
   LogIndex applied = 0;
   node->start(0);
@@ -154,6 +229,9 @@ std::string run_script(const std::vector<Input>& script, std::uint64_t rng_seed)
         break;
       case Input::Kind::kSubmitRead:
         node->submit_read(in.now);
+        break;
+      case Input::Kind::kAckPersisted:
+        node->ack_persisted(in.durable, in.now);
         break;
     }
     drain(*node, applied, out);
@@ -188,6 +266,52 @@ TEST_P(CoreDeterminismTest, DifferentRngSeedsStillDeterministicPerSeed) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CoreDeterminismTest,
                          ::testing::Values(101, 202, 303, 404, 505, 606));
 
+// --- pipelined-input storms ---------------------------------------------------
+// Same contract, but over the replication fast path: tight windows, byte
+// budgets that force mid-batch trims, probe-mode churn from random NACKs, and
+// (second variant) the async-persist commit rule driven by ack_persisted.
+// Map iteration order over Progress, histogram bucketing and the optimistic
+// next/inflight bookkeeping all sit on this path — any hidden nondeterminism
+// there shows up as diverging fingerprints.
+
+NodeOptions pipelined_options() {
+  NodeOptions opts;
+  opts.max_entries_per_rpc = 8;
+  opts.max_bytes_per_msg = 256;  // 16-byte framing + 1-byte payloads: trims fire
+  opts.max_inflight_msgs = 4;
+  return opts;
+}
+
+class PipelinedDeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelinedDeterminismTest, StormYieldsIdenticalReadyStreams) {
+  const auto script = make_pipelined_script(GetParam(), 2000);
+  const std::string first = run_script(script, GetParam() ^ 0xBEEF, pipelined_options());
+  const std::string second = run_script(script, GetParam() ^ 0xBEEF, pipelined_options());
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The storm must actually commit through the pipeline — a stream that is
+  // identical because nothing happened proves nothing.
+  EXPECT_EQ(first.find(" commit=0 "), std::string::npos);
+}
+
+TEST_P(PipelinedDeterminismTest, AsyncPersistStormYieldsIdenticalReadyStreams) {
+  // With async_persist the leader's own entry only counts toward commit once
+  // ack_persisted covers it, so the scripted acks actively gate commit
+  // advancement — the exact interleaving the async driver produces.
+  const auto script = make_pipelined_script(GetParam(), 2000);
+  NodeOptions opts = pipelined_options();
+  opts.async_persist = true;
+  const std::string first = run_script(script, GetParam() ^ 0xD00D, opts);
+  const std::string second = run_script(script, GetParam() ^ 0xD00D, opts);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.find(" commit=0 "), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedDeterminismTest,
+                         ::testing::Values(111, 222, 333, 444, 555, 666));
+
 // --- Ready lifecycle discipline ---------------------------------------------
 
 TEST(ReadyLifecycleTest, ReadyReentryThrows) {
@@ -210,6 +334,19 @@ TEST(ReadyLifecycleTest, InputBetweenReadyAndAdvanceThrows) {
   EXPECT_THROW(node->step({2, 1, rpc::RequestVoteReply{}}, kMax + 2), std::logic_error);
   node->advance(node->last_applied());  // recovers; inputs flow again
   node->tick(kMax + 2);
+}
+
+TEST(ReadyLifecycleTest, AckPersistedBetweenReadyAndAdvanceThrows) {
+  // The durability ack is an input like any other: the completion queue may
+  // not inject it mid-drain.
+  auto node = make_core(9);
+  node->start(0);
+  node->tick(kMax + 1);
+  ASSERT_TRUE(node->has_ready());
+  (void)node->ready();
+  EXPECT_THROW(node->ack_persisted(1, kMax + 2), std::logic_error);
+  node->advance(node->last_applied());
+  node->ack_persisted(1, kMax + 2);  // flows again after the drain completes
 }
 
 TEST(ReadyLifecycleTest, AdvanceWithoutBatchThrows) {

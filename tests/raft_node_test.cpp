@@ -550,5 +550,204 @@ TEST(RaftNodeTest, DeniedVoteDoesNotResetElectionTimer) {
   EXPECT_EQ(f.node->next_deadline(), deadline);
 }
 
+// --- batched + pipelined replication ----------------------------------------
+
+/// Elects fixture node 1 leader of a 3-node cluster (vote from S2).
+void elect_leader(NodeFixture& f) {
+  f.node->start(0);
+  f.expire_election_timer();
+  f.node->take_outbox();
+  f.deliver(2, rpc::RequestVoteReply{.term = 1, .vote_granted = true, .voter_id = 2});
+  ASSERT_EQ(f.node->role(), Role::kLeader);
+  f.node->take_outbox();
+}
+
+/// AppendEntries messages to `to`, in send order.
+std::vector<rpc::AppendEntries> appends_to(std::vector<rpc::Envelope> out, ServerId to) {
+  std::vector<rpc::AppendEntries> result;
+  for (const auto& env : out) {
+    if (env.to != to) continue;
+    if (const auto* ae = std::get_if<rpc::AppendEntries>(&env.message)) result.push_back(*ae);
+  }
+  return result;
+}
+
+TEST(RaftPipelineTest, WindowCapsInflightBatchesPerFollower) {
+  NodeOptions opts;
+  opts.max_entries_per_rpc = 1;
+  opts.max_inflight_msgs = 3;
+  NodeFixture f(1, 3, {}, opts);
+  elect_leader(f);
+
+  // Five submissions, window of three: the optimistic next advances per
+  // send, so each peer sees exactly entries 1..3 and the rest queue.
+  for (int i = 0; i < 5; ++i) f.node->submit({static_cast<std::uint8_t>(i)}, f.now);
+  for (ServerId peer : {ServerId{2}, ServerId{3}}) {
+    const auto* pr = f.node->core().progress(peer);
+    ASSERT_NE(pr, nullptr);
+    EXPECT_EQ(pr->next, 4u);
+    EXPECT_EQ(pr->inflight, 3u);
+  }
+  auto out = f.node->take_outbox();
+  for (ServerId peer : {ServerId{2}, ServerId{3}}) {
+    const auto batches = appends_to(out, peer);
+    ASSERT_EQ(batches.size(), 3u);
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      ASSERT_EQ(batches[i].entries.size(), 1u);
+      EXPECT_EQ(batches[i].entries[0].index, i + 1);
+    }
+  }
+  EXPECT_EQ(f.node->counters().inflight_depth.max, 3u);
+
+  // One ack frees one slot; the backlog refills it immediately.
+  rpc::AppendEntriesReply ok{.term = 1, .success = true, .from = 2, .match_index = 1};
+  ok.status.log_index = 1;
+  f.deliver(2, ok);
+  const auto refill = appends_to(f.node->take_outbox(), 2);
+  ASSERT_EQ(refill.size(), 1u);
+  ASSERT_EQ(refill[0].entries.size(), 1u);
+  EXPECT_EQ(refill[0].entries[0].index, 4u);
+}
+
+TEST(RaftPipelineTest, ByteBudgetTrimsBatch) {
+  NodeOptions opts;
+  opts.max_entries_per_rpc = 128;
+  // Framing estimate is 24 B/entry; 8 B payloads make 32 B each, so a 64 B
+  // budget carries exactly two entries per message.
+  opts.max_bytes_per_msg = 64;
+  opts.max_inflight_msgs = 1;
+  NodeFixture f(1, 3, {}, opts);
+  elect_leader(f);
+
+  f.node->submit(std::vector<std::uint8_t>(8, 1), f.now);  // ships alone, fills the window
+  for (int i = 2; i <= 5; ++i) {
+    f.node->submit(std::vector<std::uint8_t>(8, static_cast<std::uint8_t>(i)), f.now);
+  }
+  f.node->take_outbox();
+
+  rpc::AppendEntriesReply ok{.term = 1, .success = true, .from = 2, .match_index = 1};
+  ok.status.log_index = 1;
+  f.deliver(2, ok);
+  const auto refill = appends_to(f.node->take_outbox(), 2);
+  ASSERT_EQ(refill.size(), 1u);
+  ASSERT_EQ(refill[0].entries.size(), 2u);  // budget, not the entry cap, trims
+  EXPECT_EQ(refill[0].entries[0].index, 2u);
+  EXPECT_EQ(refill[0].entries[1].index, 3u);
+}
+
+TEST(RaftPipelineTest, OversizedEntryStillShipsAlone) {
+  NodeOptions opts;
+  opts.max_bytes_per_msg = 8;  // smaller than any framed entry
+  NodeFixture f(1, 3, {}, opts);
+  elect_leader(f);
+  f.node->submit(std::vector<std::uint8_t>(64, 9), f.now);
+  const auto out = appends_to(f.node->take_outbox(), 2);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].entries.size(), 1u);  // a batch always carries >= 1 entry
+}
+
+TEST(RaftPipelineTest, RejectionEntersProbeModeUntilAck) {
+  NodeOptions opts;
+  opts.max_entries_per_rpc = 1;
+  opts.max_inflight_msgs = 4;
+  NodeFixture f(1, 3, {}, opts);
+  elect_leader(f);
+  for (int i = 0; i < 3; ++i) f.node->submit({static_cast<std::uint8_t>(i)}, f.now);
+  f.node->take_outbox();
+
+  // S2 lost the pipelined batches and rejects from scratch: the leader
+  // collapses the window and walks back to the conflict hint.
+  rpc::AppendEntriesReply nack{.term = 1, .success = false, .from = 2};
+  nack.conflict_index = 1;
+  nack.conflict_term = 0;
+  f.deliver(2, nack);
+  const auto* pr = f.node->core().progress(2);
+  ASSERT_NE(pr, nullptr);
+  EXPECT_TRUE(pr->probing);
+  const auto probes = appends_to(f.node->take_outbox(), 2);
+  ASSERT_EQ(probes.size(), 1u);  // single probe outstanding, not a new pipeline
+  EXPECT_EQ(probes[0].prev_log_index, 0u);
+
+  // While probing, fresh submissions must not reopen the pipeline to S2.
+  f.node->submit({42}, f.now);
+  EXPECT_TRUE(appends_to(f.node->take_outbox(), 2).empty());
+
+  // The probe's ack clears probe mode and resumes pipelined catch-up.
+  rpc::AppendEntriesReply ok{.term = 1, .success = true, .from = 2, .match_index = 1};
+  ok.status.log_index = 1;
+  f.deliver(2, ok);
+  EXPECT_FALSE(f.node->core().progress(2)->probing);
+  EXPECT_FALSE(appends_to(f.node->take_outbox(), 2).empty());
+}
+
+TEST(RaftPipelineTest, StaleRejectionBehindMatchIgnored) {
+  NodeOptions opts;
+  opts.max_entries_per_rpc = 1;
+  NodeFixture f(1, 3, {}, opts);
+  elect_leader(f);
+  for (int i = 0; i < 2; ++i) f.node->submit({static_cast<std::uint8_t>(i)}, f.now);
+  f.node->take_outbox();
+
+  rpc::AppendEntriesReply ok{.term = 1, .success = true, .from = 2, .match_index = 2};
+  ok.status.log_index = 2;
+  f.deliver(2, ok);
+  f.node->take_outbox();
+  const auto next_before = f.node->core().progress(2)->next;
+
+  // A reordered rejection of an already-acked prefix must not drag the
+  // cursor back below match (it would re-ship acknowledged entries forever).
+  rpc::AppendEntriesReply stale{.term = 1, .success = false, .from = 2};
+  stale.conflict_index = 1;
+  stale.conflict_term = 0;
+  f.deliver(2, stale);
+  EXPECT_EQ(f.node->core().progress(2)->next, next_before);
+  EXPECT_FALSE(f.node->core().progress(2)->probing);
+  EXPECT_TRUE(appends_to(f.node->take_outbox(), 2).empty());
+}
+
+TEST(RaftPipelineTest, HeartbeatRoundReopensStalledWindow) {
+  NodeOptions opts;
+  opts.max_entries_per_rpc = 1;
+  opts.max_inflight_msgs = 1;
+  NodeFixture f(1, 3, {}, opts);
+  elect_leader(f);
+  f.node->submit({1}, f.now);  // fills the single-slot window
+  f.node->submit({2}, f.now);  // queued behind it
+  f.node->take_outbox();
+
+  // Both in-flight sends were lost. The heartbeat round is the liveness
+  // valve: it resets the per-peer window, so the round itself re-ships from
+  // the current cursor instead of deadlocking on acks that never come.
+  f.now += opts.heartbeat_interval + 1;
+  f.node->on_tick(f.now);
+  const auto resent = appends_to(f.node->take_outbox(), 2);
+  ASSERT_FALSE(resent.empty());
+}
+
+TEST(RaftPipelineTest, GroupCommitCountersTrackSyncs) {
+  NodeFixture f;
+  elect_leader(f);
+  const auto before = f.node->counters().wal_group_syncs;
+  for (int i = 0; i < 3; ++i) f.node->submit({static_cast<std::uint8_t>(i)}, f.now);
+  const auto& c = f.node->counters();
+  EXPECT_GE(c.wal_group_syncs, before + 3);  // one sync per batch that carried log ops
+  EXPECT_EQ(c.wal_records_per_sync.count, c.wal_group_syncs);
+  EXPECT_GE(c.wal_records_per_sync.sum, 3u);
+  EXPECT_GT(c.append_batch_entries.count, 0u);
+}
+
+TEST(RaftPipelineTest, PowHistogramBucketsByBitWidth) {
+  PowHistogram h;
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 7ull, 8ull, 1024ull}) h.record(v);
+  EXPECT_EQ(h.count, 8u);
+  EXPECT_EQ(h.max, 1024u);
+  EXPECT_EQ(h.buckets[0], 1u);  // 0
+  EXPECT_EQ(h.buckets[1], 1u);  // 1
+  EXPECT_EQ(h.buckets[2], 2u);  // 2-3
+  EXPECT_EQ(h.buckets[3], 2u);  // 4-7
+  EXPECT_EQ(h.buckets[4], 1u);  // 8-15
+  EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 2 + 3 + 4 + 7 + 8 + 1024) / 8.0);
+}
+
 }  // namespace
 }  // namespace escape::raft

@@ -99,6 +99,94 @@ TEST(WireTest, OversizedPayloadRefusedAtFraming) {
   EXPECT_THROW(frame_payload(big), DecodeError);
 }
 
+TEST(WireTest, BatchedAppendEntriesRoundtrip) {
+  // The pipelined leader ships multi-entry batches; the whole batch — entry
+  // payloads, the piggybacked configuration, commit index — must survive the
+  // wire byte-for-byte.
+  AppendEntries ae;
+  ae.term = 7;
+  ae.leader_id = 3;
+  ae.prev_log_index = 41;
+  ae.prev_log_term = 6;
+  ae.leader_commit = 40;
+  for (LogIndex i = 42; i < 42 + 64; ++i) {
+    LogEntry e;
+    e.term = 7;
+    e.index = i;
+    e.command.assign(static_cast<std::size_t>(i % 13), static_cast<std::uint8_t>(i));
+    ae.entries.push_back(std::move(e));
+  }
+  Configuration cfg;
+  cfg.timer_period = from_ms(150);
+  cfg.priority = 2;
+  cfg.conf_clock = 3;
+  ae.new_config = cfg;
+
+  const auto framed = frame_message(ae);
+  FrameReader reader;
+  reader.feed(framed.data(), framed.size());
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  const auto decoded = decode_message(*payload);
+  ASSERT_TRUE(std::holds_alternative<AppendEntries>(decoded));
+  EXPECT_EQ(std::get<AppendEntries>(decoded), ae);
+}
+
+TEST(WireTest, ConflictHintReplyRoundtrip) {
+  // A NACK's conflict hints drive the leader's probe backtracking; losing or
+  // reordering them on the wire would turn one-RTT conflict resolution back
+  // into a per-index walk.
+  AppendEntriesReply nack;
+  nack.term = 7;
+  nack.success = false;
+  nack.from = 4;
+  nack.match_index = 0;
+  nack.conflict_index = 17;
+  nack.conflict_term = 5;
+  nack.status.log_index = 16;
+  nack.status.conf_clock = 3;
+
+  const auto framed = frame_message(nack);
+  FrameReader reader;
+  reader.feed(framed.data(), framed.size());
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  const auto decoded = decode_message(*payload);
+  ASSERT_TRUE(std::holds_alternative<AppendEntriesReply>(decoded));
+  EXPECT_EQ(std::get<AppendEntriesReply>(decoded), nack);
+}
+
+TEST(WireTest, MaxBudgetBatchFitsInOneFrame) {
+  // NodeOptions::max_bytes_per_msg defaults to 1 MiB, far under the 16 MiB
+  // frame cap — a budget-maximal batch must frame without tripping the wire
+  // limit (the two bounds are independent knobs, this pins their ordering).
+  AppendEntries ae;
+  ae.term = 2;
+  ae.leader_id = 1;
+  ae.prev_log_index = 0;
+  ae.prev_log_term = 0;
+  ae.leader_commit = 0;
+  std::size_t budget = 1u << 20;
+  LogIndex next = 1;
+  while (budget > (4u << 10)) {
+    LogEntry e;
+    e.term = 2;
+    e.index = next++;
+    e.command.assign(4u << 10, 0xA5);
+    budget -= e.command.size();
+    ae.entries.push_back(std::move(e));
+  }
+  const auto framed = frame_message(ae);
+  EXPECT_LT(framed.size(), kMaxFrameBytes);
+  FrameReader reader;
+  reader.feed(framed.data(), framed.size());
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  const auto decoded = decode_message(*payload);
+  ASSERT_TRUE(std::holds_alternative<AppendEntries>(decoded));
+  EXPECT_EQ(std::get<AppendEntries>(decoded), ae);
+}
+
 TEST(WireTest, RandomChunkingSweep) {
   Rng rng(2024);
   std::vector<std::uint8_t> stream;

@@ -97,6 +97,41 @@ TEST(FaultPlanTest, TrafficBurstSubmitsAndCommits) {
             static_cast<LogIndex>(submitted) - 5);
 }
 
+TEST(FaultPlanTest, ProposalBurstOpenLoopStormCommits) {
+  ScenarioRunner runner(paper_escape_cluster(5, 16));
+  ASSERT_NE(runner.bootstrap(), kNoServer);
+
+  FaultPlan plan;
+  plan.at(0, sim::ProposalBurst{from_ms(2'000), from_ms(20), 8});
+  EXPECT_EQ(plan.span(), from_ms(2'000));  // like TrafficBurst, span covers the storm
+  runner.run_plan(plan, from_ms(3'000));
+
+  // 8 proposals every 20 ms for 2 s — an open-loop storm, two orders of
+  // magnitude past the TrafficBurst trickle. The pipelined leader has to
+  // absorb it as multi-entry batches.
+  const auto submitted = runner.runtime().traffic_submitted();
+  EXPECT_GE(submitted, 400u);
+  auto& cluster = runner.cluster();
+  EXPECT_GE(cluster.node(cluster.leader()).commit_index(),
+            static_cast<LogIndex>(submitted) - 50);
+}
+
+TEST(FaultPlanTest, ProposalBurstRejectsDegenerateParameters) {
+  ScenarioRunner runner(paper_escape_cluster(3, 17));
+  ASSERT_NE(runner.bootstrap(), kNoServer);
+
+  FaultPlan plan;
+  plan.at(0, sim::ProposalBurst{from_ms(100), from_ms(20), /*per_tick=*/0});
+  runner.run_plan(plan, from_ms(500));
+
+  bool recorded_failure = false;
+  for (const auto& m : runner.runtime().markers()) {
+    if (m.what == "proposal-burst" && !m.ok) recorded_failure = true;
+  }
+  EXPECT_TRUE(recorded_failure);
+  EXPECT_EQ(runner.runtime().traffic_submitted(), 0u);
+}
+
 TEST(FaultPlanTest, CutLinkDropsTrafficAndAccountsStats) {
   ScenarioRunner runner(paper_escape_cluster(3, 14));
   const ServerId leader = runner.bootstrap();
