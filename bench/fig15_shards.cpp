@@ -1,0 +1,211 @@
+// Figure 15 (beyond the paper): multi-Raft scale-out and the failover storm.
+//
+// The single-group harnesses measure one consensus group; this sweep
+// measures the sharded deployment. Two experiments:
+//
+//   shard_scaling — aggregate committed writes/sec as the shard count grows
+//   over a fixed 5-host fleet. Each group is an independent ESCAPE instance
+//   (own patrol, leases, log), so an open-loop writer driving every shard
+//   leader should see aggregate throughput scale near-linearly with shards:
+//   groups pipeline their commit round trips through the shared timeline
+//   concurrently instead of queueing behind one leader's log.
+//
+//   failover_storm — the scenario multi-Raft exists to survive: pack several
+//   shard-leaderships onto one host, kill it, and time kill -> every
+//   orphaned group re-led. ESCAPE's pre-assigned successors take over each
+//   orphaned group in one deterministic timeout; randomized Raft re-runs its
+//   timeout lottery per group, so its storm total carries the max of several
+//   random draws.
+//
+// Exit gates (CI runs this harness): 4 shards must deliver >= 3x the
+// aggregate writes/sec of 1 shard, and ESCAPE's mean storm total must beat
+// randomized Raft's. Trials fan out over the TrialPool and fold in
+// trial-index order, so BENCH_fig15_shards.json is byte-identical across
+// ESCAPE_BENCH_THREADS.
+#include "bench_util.h"
+
+#include "shard/shard_check.h"
+#include "shard/sharded_cluster.h"
+
+namespace {
+
+using namespace escape;
+
+/// Open-loop measurement window per scaling trial.
+constexpr Duration kWindow = from_ms(20'000);
+
+/// Injection tick: every tick each shard leader gets a small write batch.
+/// Open loop — the writer never waits for commits, so per-group throughput
+/// is bounded by the commit pipeline, not by client think time.
+constexpr Duration kTick = from_ms(100);
+constexpr std::size_t kWritesPerTick = 4;
+
+struct ScalingResult {
+  bool measured = false;  ///< every group bootstrapped
+  double commits = 0;     ///< aggregate committed writes across all groups
+  double window_s = 0;
+};
+
+ScalingResult run_scaling_trial(std::uint64_t seed, std::size_t shards) {
+  shard::ShardedCluster cluster(shard::make_sharded_options("escape", shards, 5, seed));
+  if (!cluster.bootstrap_all()) return {};
+  if (cluster.spread_leaders() != shards) return {};
+
+  ScalingResult r;
+  r.measured = true;
+  std::vector<LogIndex> floor(shards, 0);
+  for (shard::ShardId s = 0; s < shards; ++s) {
+    floor[s] = cluster.group(s).node(cluster.leader(s)).commit_index();
+  }
+
+  const TimePoint start = cluster.loop().now();
+  const TimePoint end = start + kWindow;
+  std::size_t op = 0;
+  while (cluster.loop().now() < end) {
+    for (shard::ShardId s = 0; s < shards; ++s) {
+      for (std::size_t i = 0; i < kWritesPerTick; ++i) {
+        const std::string payload = "w" + std::to_string(op++);
+        cluster.group(s).submit_via_leader(
+            std::vector<std::uint8_t>(payload.begin(), payload.end()));
+      }
+    }
+    cluster.run_for(kTick);
+  }
+  r.window_s = to_ms_f(cluster.loop().now() - start) / 1000.0;
+
+  // Aggregate commits = per-group commit-index growth at the leader. Leaders
+  // were pinned by spread_leaders and no faults run, so the start leader is
+  // still the group's leader.
+  for (shard::ShardId s = 0; s < shards; ++s) {
+    const ServerId leader = cluster.leader(s);
+    if (leader == kNoServer) continue;
+    r.commits +=
+        static_cast<double>(cluster.group(s).node(leader).commit_index() - floor[s]);
+  }
+  return r;
+}
+
+struct ScalingStats {
+  Sample commits_per_sec;
+  Sample per_shard_per_sec;
+  std::size_t runs = 0;
+  std::size_t unconverged = 0;
+};
+
+ScalingStats measure_scaling(std::uint64_t root_seed, std::size_t trials,
+                             std::size_t shards) {
+  sim::TrialPool& pool = sim::TrialPool::shared();
+  const std::vector<ScalingResult> results = pool.map_seeded<ScalingResult>(
+      trials, root_seed,
+      [&](std::size_t, std::uint64_t seed) { return run_scaling_trial(seed, shards); });
+  ScalingStats stats;
+  for (const auto& r : results) {  // trial-index order: thread-count invariant
+    ++stats.runs;
+    if (!r.measured || r.window_s <= 0) {
+      ++stats.unconverged;
+      continue;
+    }
+    stats.commits_per_sec.add(r.commits / r.window_s);
+    stats.per_shard_per_sec.add(r.commits / r.window_s / static_cast<double>(shards));
+  }
+  return stats;
+}
+
+struct StormStats {
+  Sample first_ms;
+  Sample total_ms;
+  Sample shards_hit;
+  std::size_t runs = 0;
+  std::size_t failed = 0;  ///< bootstrap/recovery failure or violation
+};
+
+StormStats measure_storm(std::uint64_t root_seed, std::size_t trials,
+                         const std::string& policy) {
+  sim::TrialPool& pool = sim::TrialPool::shared();
+  const std::vector<shard::StormReport> results = pool.map_seeded<shard::StormReport>(
+      trials, root_seed, [&](std::size_t, std::uint64_t seed) {
+        shard::StormOptions options;
+        options.policy = policy;
+        options.shards = 8;
+        options.hosts = 5;
+        options.leaders_on_victim = 4;
+        options.seed = seed;
+        return shard::run_shard_failover_storm(options);
+      });
+  StormStats stats;
+  for (const auto& r : results) {
+    ++stats.runs;
+    if (!r.ok()) {
+      ++stats.failed;
+      continue;
+    }
+    stats.first_ms.add(to_ms_f(r.first_recovery));
+    stats.total_ms.add(to_ms_f(r.storm_total));
+    stats.shards_hit.add(static_cast<double>(r.shards_hit));
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace escape::bench;
+
+  const std::size_t kRuns = runs(10);
+  const std::uint64_t kSeed = seed_base(0xF15A4D5ull);
+  JsonReport report("fig15_shards", kRuns, kSeed);
+
+  std::printf("Figure 15: multi-Raft scale-out (aggregate writes/sec vs shard count) and "
+              "the shard failover storm\n");
+  std::printf("5 hosts, escape groups, open-loop writer (%zu writes per shard per %lld ms "
+              "tick), %lld ms window, runs per point=%zu\n",
+              kWritesPerTick, static_cast<long long>(to_ms(kTick)),
+              static_cast<long long>(to_ms(kWindow)), kRuns);
+  print_parallelism();
+
+  print_header("aggregate committed writes/sec by shard count");
+  std::printf("%-7s %14s %16s %12s\n", "shards", "commits/s", "per-shard c/s",
+              "unconverged");
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  double rps_at[16] = {0};
+  std::size_t point = 0;
+  for (const std::size_t shards : shard_counts) {
+    const ScalingStats stats = measure_scaling(stream_seed(kSeed, point++), kRuns, shards);
+    std::printf("%-7zu %14.1f %16.1f %9zu/%zu\n", shards, stats.commits_per_sec.mean(),
+                stats.per_shard_per_sec.mean(), stats.unconverged, stats.runs);
+    const std::string label = "escape_s" + std::to_string(shards);
+    report.add_metric("shard_scaling", label, "commits_per_sec", stats.commits_per_sec);
+    report.add_metric("shard_scaling", label, "per_shard_per_sec", stats.per_shard_per_sec);
+    rps_at[shards] = stats.commits_per_sec.mean();
+  }
+
+  print_header("failover storm: 4 shard-leaders on the victim host, 8 shards, 5 hosts");
+  std::printf("%-8s %14s %14s %12s %10s\n", "policy", "first ms", "storm total ms",
+              "shards hit", "failed");
+  double storm_mean[2] = {0};
+  std::size_t row = 0;
+  for (const std::string policy : {"escape", "raft"}) {
+    const StormStats stats = measure_storm(stream_seed(kSeed, 100 + row), kRuns, policy);
+    std::printf("%-8s %14.1f %14.1f %12.1f %7zu/%zu\n", policy.c_str(), stats.first_ms.mean(),
+                stats.total_ms.mean(), stats.shards_hit.mean(), stats.failed, stats.runs);
+    report.add_metric("failover_storm", policy, "first_recovery_ms", stats.first_ms);
+    report.add_metric("failover_storm", policy, "storm_total_ms", stats.total_ms);
+    storm_mean[row] = stats.total_ms.mean();
+    ++row;
+  }
+
+  const double scale_1_to_4 = rps_at[1] > 0 ? rps_at[4] / rps_at[1] : 0;
+  const bool scaling_ok = scale_1_to_4 >= 3.0;
+  const bool storm_ok = storm_mean[0] > 0 && storm_mean[0] < storm_mean[1];
+  std::printf("\nexpected shape: aggregate writes/sec grows near-linearly with shards "
+              "(independent groups pipeline concurrently); ESCAPE's storm total beats "
+              "randomized Raft's (deterministic successors vs a per-group timeout "
+              "lottery).\n");
+  std::printf("1->4 shard scaling: %.2fx (gate >= 3x): %s\n", scale_1_to_4,
+              scaling_ok ? "yes" : "NO (regression)");
+  std::printf("escape storm total %.1fms < raft %.1fms: %s\n", storm_mean[0], storm_mean[1],
+              storm_ok ? "yes" : "NO (regression)");
+  // Acceptance gates: sub-linear scale-out means the groups stopped being
+  // independent; a storm loss means successor-driven failover regressed.
+  return scaling_ok && storm_ok ? 0 : 1;
+}

@@ -1,0 +1,183 @@
+// ShardCheck CLI: randomized multi-group checking and the failover storm.
+//
+//   $ ./examples/shard_check                        # default fuzz run
+//   $ ./examples/shard_check --trials 300 --root-seed 99 --threads 8
+//   $ ./examples/shard_check --scenario-seed 1234567  # replay ONE trial
+//   $ ./examples/shard_check --scenario shard_failover_storm \
+//         --policy escape --shards 8 --hosts 5 --victim-leaders 4 --seed 7
+//
+// Fuzz mode drives randomized sharded deployments (host crashes/recoveries,
+// leadership steering, routed client traffic) and audits the cross-shard
+// invariants: per-group linearizability, no key served from the wrong group,
+// no cross-group confClock leakage. Every trial is a pure function of its
+// scenario seed, so the repro line a failure prints
+// (`shard_check --scenario-seed N`) replays the exact deployment and fault
+// schedule. Scenario mode runs one named host-level scenario and prints its
+// report. Both modes exit non-zero on any violation.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "shard/shard_check.h"
+#include "sim/trial_pool.h"
+
+using namespace escape;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::string names;
+  for (const auto& name : shard::shard_scenario_names()) {
+    if (!names.empty()) names += ",";
+    names += name;
+  }
+  std::fprintf(stderr,
+               "usage: %s [--trials N] [--root-seed S] [--threads T]\n"
+               "          [--max-fault-rounds K] [--no-determinism]\n"
+               "          [--scenario-seed N]   replay one fuzz trial verbosely\n"
+               "       %s --scenario NAME [--policy escape|zraft|raft] [--shards N]\n"
+               "          [--hosts N] [--victim-leaders N] [--seed S]\n"
+               "scenarios: %s\n",
+               argv0, argv0, names.c_str());
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end != '\0' || errno == ERANGE || s[0] == '-') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+int replay_one(std::uint64_t scenario_seed, const shard::ShardCheckOptions& options) {
+  const shard::ShardTrialReport r = shard::run_shard_trial(scenario_seed, options);
+  std::printf("scenario-seed=%llu policy=%s shards=%zu hosts=%zu\n",
+              static_cast<unsigned long long>(scenario_seed), r.policy.c_str(), r.shards,
+              r.hosts);
+  std::printf("bootstrapped=%s crashes=%zu recoveries=%zu transfers=%zu ops=%zu "
+              "reads-checked=%zu digest=%016llx\n",
+              r.bootstrapped ? "yes" : "NO", r.host_crashes, r.host_recoveries, r.transfers,
+              r.ops, r.reads_checked, static_cast<unsigned long long>(r.digest));
+  if (r.bootstrapped && r.violations.empty()) {
+    std::printf("verdict: OK (cross-shard invariants hold%s)\n",
+                options.check_determinism ? ", state digest deterministic" : "");
+    return 0;
+  }
+  std::printf("verdict: VIOLATION\n");
+  for (const auto& v : r.violations) std::printf("  violation: %s\n", v.c_str());
+  return 1;
+}
+
+int run_storm(const std::string& name, const shard::StormOptions& options) {
+  std::printf("scenario=%s policy=%s shards=%zu hosts=%zu victim-leaders=%zu seed=%llu\n",
+              name.c_str(), options.policy.c_str(), options.shards, options.hosts,
+              options.leaders_on_victim, static_cast<unsigned long long>(options.seed));
+  const shard::StormReport report = shard::run_shard_scenario(name, options);
+  std::printf("bootstrapped=%s leaders-packed=%zu shards-hit=%zu all-recovered=%s\n",
+              report.bootstrapped ? "yes" : "NO", report.leaders_packed, report.shards_hit,
+              report.all_recovered ? "yes" : "NO");
+  std::printf("per-shard recovery (kill -> new leader), ms:");
+  for (const Duration d : report.per_shard_total) {
+    std::printf(" %lld", static_cast<long long>(to_ms(d)));
+  }
+  std::printf("\nfirst-recovery=%lldms storm-total=%lldms\n",
+              static_cast<long long>(to_ms(report.first_recovery)),
+              static_cast<long long>(to_ms(report.storm_total)));
+  if (report.ok()) {
+    std::printf("verdict: OK\n");
+    return 0;
+  }
+  std::printf("verdict: FAILED\n");
+  for (const auto& v : report.violations) std::printf("  violation: %s\n", v.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  shard::ShardCheckOptions options;
+  shard::StormOptions storm;
+  std::optional<std::uint64_t> scenario_seed;
+  std::string scenario;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto flag = [arg](const char* name) { return std::strcmp(arg, name) == 0; };
+    std::uint64_t value = 0;
+    if (flag("--no-determinism")) {
+      options.check_determinism = false;
+    } else if (flag("--scenario")) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      scenario = argv[++i];
+    } else if (flag("--policy")) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      storm.policy = argv[++i];
+    } else if (i + 1 < argc && parse_u64(argv[i + 1], &value)) {
+      ++i;
+      if (flag("--trials")) {
+        options.trials = static_cast<std::size_t>(value);
+      } else if (flag("--root-seed")) {
+        options.root_seed = value;
+      } else if (flag("--threads")) {
+        options.threads = static_cast<std::size_t>(value);
+      } else if (flag("--max-fault-rounds")) {
+        options.max_fault_rounds = static_cast<std::size_t>(value);
+      } else if (flag("--scenario-seed")) {
+        scenario_seed = value;
+      } else if (flag("--shards")) {
+        storm.shards = static_cast<std::size_t>(value);
+      } else if (flag("--hosts")) {
+        storm.hosts = static_cast<std::size_t>(value);
+      } else if (flag("--victim-leaders")) {
+        storm.leaders_on_victim = static_cast<std::size_t>(value);
+      } else if (flag("--seed")) {
+        storm.seed = value;
+      } else {
+        return usage(argv[0]);
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!scenario.empty()) {
+    if (!shard::has_shard_scenario(scenario)) {
+      std::fprintf(stderr, "unknown scenario '%s'\n", scenario.c_str());
+      return usage(argv[0]);
+    }
+    return run_storm(scenario, storm);
+  }
+  if (scenario_seed) return replay_one(*scenario_seed, options);
+
+  const std::size_t threads =
+      options.threads == 0 ? sim::TrialPool::default_threads() : options.threads;
+  std::printf("ShardCheck: %zu randomized multi-group trials, root-seed=%llu, threads=%zu%s\n",
+              options.trials, static_cast<unsigned long long>(options.root_seed), threads,
+              options.check_determinism ? ", determinism replay on" : "");
+
+  const shard::ShardCheckResult result = shard::run_shard_check(options);
+  std::printf("trials=%zu bootstrapped=%zu crashes=%zu recoveries=%zu transfers=%zu "
+              "ops=%zu reads-checked=%zu\n",
+              result.trials, result.bootstrapped, result.host_crashes,
+              result.host_recoveries, result.transfers, result.ops, result.reads_checked);
+  std::printf("policy coverage:\n");
+  for (const auto& [name, count] : result.policy_histogram) {
+    std::printf("  %-8s %zu\n", name.c_str(), count);
+  }
+  if (result.ok()) {
+    std::printf("ShardCheck PASSED: zero cross-shard invariant violations\n");
+    return 0;
+  }
+  std::printf("ShardCheck FAILED: %zu violating trial(s)\n", result.failures.size());
+  for (const auto& f : result.failures) {
+    std::printf("  seed=%llu policy=%s shards=%zu hosts=%zu — repro: %s\n",
+                static_cast<unsigned long long>(f.scenario_seed), f.policy.c_str(), f.shards,
+                f.hosts, f.repro.c_str());
+    for (const auto& v : f.violations) std::printf("    violation: %s\n", v.c_str());
+  }
+  return 1;
+}

@@ -104,15 +104,30 @@ void KvCluster::resolve_grant(const raft::ReadGrant& grant) {
   pending_read_->done = true;
 }
 
+void KvCluster::retire_pending_read() {
+  if (!pending_read_) return;
+  // Drop only the retired ticket's stash entry, never the whole stash: the
+  // listener may stash grants for *other* issuers' probes (scenario
+  // ClientReads) at any time, and — the race this is keyed against — the
+  // next ticket's lease grant lands in the stash *inside* submit_read(),
+  // between the reset of the old ticket and the record of the new one. A
+  // wholesale clear anywhere in that window would discard the very grant the
+  // claim path is about to look up, stalling the client for its full
+  // timeout.
+  unclaimed_grants_.erase({pending_read_->server, pending_read_->id});
+  pending_read_.reset();
+}
+
 std::optional<CommandResult> KvCluster::read(const std::string& key, Duration timeout) {
   const TimePoint deadline = cluster_.loop().now() + timeout;
   pending_read_key_ = key;
-  pending_read_.reset();
-  unclaimed_grants_.clear();
+  retire_pending_read();
   while (cluster_.loop().now() < deadline) {
     if (!pending_read_ || pending_read_->rejected) {
       // (Re)issue through whatever leads now; a rejection means the previous
-      // leadership ended before confirming the batch.
+      // leadership ended before confirming the batch. Retire the rejected
+      // ticket first so a late grant for it can't linger in the stash.
+      retire_pending_read();
       const ServerId leader = cluster_.leader();
       if (leader != kNoServer) {
         if (const auto read = cluster_.submit_read(leader)) {
@@ -131,7 +146,7 @@ std::optional<CommandResult> KvCluster::read(const std::string& key, Duration ti
     }
     if (pending_read_ && pending_read_->done) {
       auto result = pending_read_->result;
-      pending_read_.reset();
+      retire_pending_read();
       return result;
     }
     // A crashed leader never answers; cap the wait so the retry loop can
@@ -143,7 +158,7 @@ std::optional<CommandResult> KvCluster::read(const std::string& key, Duration ti
   }
   std::optional<CommandResult> result;
   if (pending_read_ && pending_read_->done) result = pending_read_->result;
-  pending_read_.reset();
+  retire_pending_read();
   return result;
 }
 

@@ -54,6 +54,12 @@ class KvCluster {
   /// the post-submit claim path (synchronous lease grants).
   void resolve_grant(const raft::ReadGrant& grant);
 
+  /// Abandons the current read ticket (done, rejected, or timed out) and
+  /// erases exactly its stash entry. Keyed by ticket so grants stashed for
+  /// other issuers — or for the *next* ticket, which can land during
+  /// submit_read before the ticket is recorded — survive.
+  void retire_pending_read();
+
   sim::SimCluster& cluster_;
   std::map<ServerId, std::unique_ptr<KvStore>> stores_;
   std::map<ServerId, LogIndex> last_applied_;

@@ -37,6 +37,14 @@ class KvStore final : public StateMachine {
   std::size_t size() const { return data_.size(); }
   std::size_t session_count() const { return sessions_.size(); }
 
+  /// Visits every key currently in the store, in order. The shard layer's
+  /// routing audit uses this to prove no replica holds a key its group does
+  /// not own.
+  template <typename Fn>
+  void for_each_key(Fn&& fn) const {
+    for (const auto& [key, value] : data_) fn(key);
+  }
+
  private:
   CommandResult do_execute(const Command& cmd);
 

@@ -32,9 +32,23 @@ std::vector<std::uint8_t> hello_payload(ServerId self) {
 
 }  // namespace
 
+namespace testhooks {
+RecvFn recv_fn = &::recv;
+SendFn send_fn = &::send;
+AcceptFn accept_fn = &::accept;
+void reset() {
+  recv_fn = &::recv;
+  send_fn = &::send;
+  accept_fn = &::accept;
+}
+}  // namespace testhooks
+
 TcpTransport::TcpTransport(ServerId self, std::map<ServerId, std::uint16_t> endpoints,
-                           DeliverFn deliver)
-    : self_(self), endpoints_(std::move(endpoints)), deliver_(std::move(deliver)) {
+                           DeliverFn deliver, TransportOptions options)
+    : self_(self),
+      endpoints_(std::move(endpoints)),
+      deliver_(std::move(deliver)),
+      options_(options) {
   if (endpoints_.find(self_) == endpoints_.end()) {
     throw std::invalid_argument("endpoints must include self");
   }
@@ -42,11 +56,21 @@ TcpTransport::TcpTransport(ServerId self, std::map<ServerId, std::uint16_t> endp
 
 TcpTransport::~TcpTransport() { stop(); }
 
+void TcpTransport::apply_socket_options(int fd) const {
+  if (options_.sndbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf, sizeof(options_.sndbuf));
+  }
+  if (options_.rcvbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options_.rcvbuf, sizeof(options_.rcvbuf));
+  }
+}
+
 void TcpTransport::start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  apply_socket_options(listen_fd_);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -96,6 +120,7 @@ bool TcpTransport::connect_peer(ServerId peer) {
   set_nonblocking(fd);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  apply_socket_options(fd);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -156,13 +181,16 @@ void TcpTransport::close_conn(int fd) {
 void TcpTransport::handle_readable(Conn& conn) {
   std::uint8_t buf[1 << 16];
   while (true) {
-    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    const ssize_t n = testhooks::recv_fn(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn.reader.feed(buf, static_cast<std::size_t>(n));
     } else if (n == 0) {
-      close_conn(conn.fd);
+      close_conn(conn.fd);  // orderly shutdown by the peer
       return;
     } else {
+      // errno is only meaningful on a negative return. EINTR means a signal
+      // landed mid-syscall: the connection is healthy, retry immediately.
+      if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       close_conn(conn.fd);
       return;
@@ -198,9 +226,16 @@ void TcpTransport::flush_writable(Conn& conn) {
     std::uint8_t chunk[1 << 16];
     const std::size_t len = std::min(conn.outbuf.size(), sizeof(chunk));
     for (std::size_t i = 0; i < len; ++i) chunk[i] = conn.outbuf[i];
-    const ssize_t n = ::send(conn.fd, chunk, len, MSG_NOSIGNAL);
+    const ssize_t n = testhooks::send_fn(conn.fd, chunk, len, MSG_NOSIGNAL);
     if (n > 0) {
       conn.outbuf.erase(conn.outbuf.begin(), conn.outbuf.begin() + n);
+    } else if (n == 0) {
+      // No bytes accepted but no error either; errno is stale here and must
+      // not be consulted. Leave the buffer queued and retry on the next
+      // POLLOUT rather than spinning or closing on a leftover errno value.
+      break;
+    } else if (errno == EINTR) {
+      continue;  // signal mid-send; the connection is fine
     } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
       break;
     } else {
@@ -229,11 +264,16 @@ void TcpTransport::poll_loop() {
 
     if (fds[0].revents & POLLIN) {
       while (true) {
-        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
-        if (cfd < 0) break;
+        const int cfd = testhooks::accept_fn(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) {
+          if (errno == EINTR) continue;  // signal mid-accept; the pending
+                                         // connection is still queued
+          break;
+        }
         set_nonblocking(cfd);
         const int one = 1;
         ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        apply_socket_options(cfd);
         std::lock_guard lock(mu_);
         Conn conn;
         conn.fd = cfd;

@@ -21,6 +21,9 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/types.h>
+
 #include "rpc/messages.h"
 #include "rpc/wire.h"
 
@@ -34,13 +37,38 @@ struct TransportStats {
   std::atomic<std::uint64_t> reconnects{0};
 };
 
+/// Syscall seams for fault-injection tests. Production code always calls the
+/// sockets API through these pointers, which default to the real syscalls;
+/// net_transport_test swaps them (before start(), restoring afterwards) to
+/// inject EINTR returns and short writes deterministically — conditions the
+/// kernel produces rarely enough that a test relying on real signal timing
+/// would be flaky. Not for use outside tests.
+namespace testhooks {
+using RecvFn = ssize_t (*)(int fd, void* buf, std::size_t len, int flags);
+using SendFn = ssize_t (*)(int fd, const void* buf, std::size_t len, int flags);
+using AcceptFn = int (*)(int fd, sockaddr* addr, socklen_t* addrlen);
+extern RecvFn recv_fn;
+extern SendFn send_fn;
+extern AcceptFn accept_fn;
+/// Restores all three hooks to the real syscalls.
+void reset();
+}  // namespace testhooks
+
+struct TransportOptions {
+  /// When > 0, sets SO_SNDBUF / SO_RCVBUF on every socket. Tests use tiny
+  /// buffers to force partial writes; 0 keeps the kernel defaults.
+  int sndbuf = 0;
+  int rcvbuf = 0;
+};
+
 class TcpTransport {
  public:
   using DeliverFn = std::function<void(const rpc::Envelope&)>;
 
   /// `endpoints` maps every cluster member (including `self`) to a TCP port
   /// on 127.0.0.1. The transport binds self's port in start().
-  TcpTransport(ServerId self, std::map<ServerId, std::uint16_t> endpoints, DeliverFn deliver);
+  TcpTransport(ServerId self, std::map<ServerId, std::uint16_t> endpoints, DeliverFn deliver,
+               TransportOptions options = {});
   ~TcpTransport();
 
   TcpTransport(const TcpTransport&) = delete;
@@ -75,12 +103,14 @@ class TcpTransport {
   bool connect_peer(ServerId peer);
   void close_conn(int fd);
   void wake();
+  void apply_socket_options(int fd) const;
 
   static constexpr std::size_t kMaxOutboundBytes = 8u << 20;
 
   const ServerId self_;
   const std::map<ServerId, std::uint16_t> endpoints_;
   DeliverFn deliver_;
+  const TransportOptions options_;
 
   std::mutex mu_;                  // guards conns_, peer_conn_
   std::map<int, Conn> conns_;      // by fd

@@ -1,0 +1,74 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace escape::shard {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+// FNV-1a alone orders similar short strings poorly across the full 64-bit
+// range (the ring compares whole words, so top-bit clustering skews shard
+// shares badly at small vnode counts). A splitmix64 finalizer on top gives
+// avalanche without giving up the portable FNV base.
+std::uint64_t ring_point(std::string_view bytes) {
+  std::uint64_t z = fnv1a64(bytes);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ull;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(RouterOptions options) : options_(options) {
+  if (options_.shards == 0) throw std::invalid_argument("router needs at least one shard");
+  if (options_.vnodes_per_shard == 0) {
+    throw std::invalid_argument("router needs at least one vnode per shard");
+  }
+  ring_.reserve(options_.shards * options_.vnodes_per_shard);
+  for (ShardId shard = 0; shard < options_.shards; ++shard) {
+    for (std::size_t v = 0; v < options_.vnodes_per_shard; ++v) {
+      // Each vnode's point is the hash of a stable textual identity, so the
+      // ring is a pure function of (shards, vnodes) — no RNG, no state.
+      const std::string ident =
+          "shard-" + std::to_string(shard) + "/vnode-" + std::to_string(v);
+      ring_.emplace_back(ring_point(ident), shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+ShardId ShardRouter::shard_of(std::string_view key) const {
+  const std::uint64_t point = ring_point(key);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const std::pair<std::uint64_t, ShardId>& e, std::uint64_t p) { return e.first < p; });
+  return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+std::vector<double> ShardRouter::key_shares(std::size_t keys) const {
+  std::vector<std::size_t> counts(options_.shards, 0);
+  for (std::size_t i = 0; i < keys; ++i) {
+    ++counts[shard_of("sample-key-" + std::to_string(i))];
+  }
+  std::vector<double> shares(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    shares[s] = static_cast<double>(counts[s]) / static_cast<double>(keys);
+  }
+  return shares;
+}
+
+}  // namespace escape::shard

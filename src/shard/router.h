@@ -1,0 +1,61 @@
+// Consistent-hash shard router.
+//
+// Maps every key to exactly one consensus group the way tarantool's vshard
+// layers routing above replication: a hash ring of virtual nodes, each owned
+// by a shard, with a key served by the first virtual node at or after its
+// hash point (wrapping at the top of the ring). Virtual nodes smooth the
+// per-shard key share; the ring is built once from (shard count, vnode
+// count) and is identical on every process that constructs it with the same
+// parameters — routing needs no coordination and can never disagree between
+// a client and the groups.
+//
+// Hashing is FNV-1a over the key bytes with a splitmix64 finalizer (not
+// std::hash, whose value is implementation-defined and would make routing —
+// and therefore every sharded test and bench — differ across standard
+// libraries).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace escape::shard {
+
+using ShardId = std::uint32_t;
+
+/// 64-bit FNV-1a over `bytes`; the ring's hash function, exposed for tests.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+struct RouterOptions {
+  std::size_t shards = 1;
+  /// Virtual nodes per shard. More vnodes flatten the key-share spread at
+  /// the cost of a larger (still tiny) ring; 64 keeps the max/min share
+  /// under ~2x, plenty for a bench/test substrate.
+  std::size_t vnodes_per_shard = 64;
+};
+
+class ShardRouter {
+ public:
+  /// Builds the ring. Throws std::invalid_argument when shards or
+  /// vnodes_per_shard is 0.
+  explicit ShardRouter(RouterOptions options);
+
+  /// The owning shard of `key`: first ring point at or after fnv1a64(key),
+  /// wrapping past the top.
+  ShardId shard_of(std::string_view key) const;
+
+  std::size_t shards() const { return options_.shards; }
+  std::size_t ring_size() const { return ring_.size(); }
+
+  /// Fraction of a large pseudo-random key population owned by each shard
+  /// (distribution diagnostics in tests and the bench).
+  std::vector<double> key_shares(std::size_t keys = 100'000) const;
+
+ private:
+  RouterOptions options_;
+  /// (hash point, owner), sorted by hash point.
+  std::vector<std::pair<std::uint64_t, ShardId>> ring_;
+};
+
+}  // namespace escape::shard

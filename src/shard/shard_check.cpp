@@ -1,0 +1,351 @@
+#include "shard/shard_check.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "core/configuration.h"
+#include "shard/sharded_kv.h"
+#include "sim/invariants.h"
+#include "sim/presets.h"
+#include "sim/trial_pool.h"
+
+namespace escape::shard {
+namespace {
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+}
+
+/// Digest of the observable consensus state of every group: any divergence
+/// between two runs of the same seed lands here.
+std::uint64_t state_digest(ShardedCluster& cluster) {
+  std::uint64_t h = 0;
+  for (ShardId shard = 0; shard < cluster.shards(); ++shard) {
+    auto& group = cluster.group(shard);
+    mix(h, shard);
+    mix(h, static_cast<std::uint64_t>(group.leader()));
+    for (ServerId host = 1; host <= cluster.hosts(); ++host) {
+      if (!group.alive(host)) {
+        mix(h, 0xDEAD);
+        continue;
+      }
+      const auto& node = group.node(host);
+      mix(h, static_cast<std::uint64_t>(node.term()));
+      mix(h, static_cast<std::uint64_t>(node.commit_index()));
+      mix(h, node.conf_clock());
+    }
+  }
+  return h;
+}
+
+/// The no-leakage audit: an adopted confClock names its minting leadership
+/// via the stride quotient (core::kConfClockStride); that term must be one
+/// *this* group's checker saw lead. A clock minted by another group's
+/// leadership history (leakage through shared infrastructure) or a corrupted
+/// clock shows up as a term this group never elected.
+void audit_conf_clocks(ShardedCluster& cluster,
+                       const std::vector<std::unique_ptr<sim::InvariantChecker>>& checkers,
+                       std::vector<std::string>& out) {
+  for (ShardId shard = 0; shard < cluster.shards(); ++shard) {
+    auto& group = cluster.group(shard);
+    const auto& led = checkers[shard]->leaders_by_term();
+    for (ServerId host = 1; host <= cluster.hosts(); ++host) {
+      if (!group.alive(host)) continue;
+      const ConfClock clock = group.node(host).conf_clock();
+      if (clock == 0) continue;  // the shared initial configuration
+      const Term mint = static_cast<Term>(clock / core::kConfClockStride);
+      if (led.find(mint) == led.end()) {
+        out.push_back("shard " + std::to_string(shard) + ": " + server_name(host) +
+                      " adopted confClock " + std::to_string(clock) + " minted by term " +
+                      std::to_string(mint) + ", which never led this group");
+      }
+    }
+  }
+}
+
+struct TrialWorld {
+  ShardedCluster cluster;
+  ShardedKv kv;
+  std::vector<std::unique_ptr<sim::InvariantChecker>> checkers;
+
+  explicit TrialWorld(ShardedClusterOptions options)
+      : cluster(std::move(options)), kv(cluster) {
+    for (ShardId shard = 0; shard < cluster.shards(); ++shard) {
+      checkers.push_back(std::make_unique<sim::InvariantChecker>(cluster.group(shard)));
+    }
+  }
+};
+
+ShardTrialReport run_trial_once(std::uint64_t scenario_seed, const ShardCheckOptions& options) {
+  ShardTrialReport report;
+  report.scenario_seed = scenario_seed;
+
+  Rng rng(scenario_seed);
+  report.shards = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(options.min_shards),
+      static_cast<std::int64_t>(options.max_shards)));
+  report.hosts = rng.chance(0.5) ? 5 : 3;
+  // ESCAPE is the protocol under test; vanilla Raft and ZRaft groups keep
+  // the invariants honest across policies.
+  const double policy_roll = rng.uniform_real(0.0, 1.0);
+  report.policy = policy_roll < 0.6 ? "escape" : (policy_roll < 0.8 ? "zraft" : "raft");
+
+  TrialWorld world(
+      make_sharded_options(report.policy, report.shards, report.hosts, rng.next_u64()));
+  auto& cluster = world.cluster;
+  auto& kv = world.kv;
+
+  report.bootstrapped = cluster.bootstrap_all();
+  if (report.bootstrapped) {
+    cluster.spread_leaders();
+
+    auto traffic = [&](std::size_t nops) {
+      for (std::size_t i = 0; i < nops; ++i) {
+        const std::string key = "key-" + std::to_string(rng.uniform_int(0, 40));
+        const double roll = rng.uniform_real(0.0, 1.0);
+        if (roll < 0.6) {
+          kv.put(key, "v" + std::to_string(report.ops), from_ms(12'000));
+        } else if (roll < 0.85) {
+          kv.read(key, from_ms(12'000));
+        } else {
+          kv.get(key, from_ms(12'000));
+        }
+        ++report.ops;
+      }
+    };
+
+    // Hosts are shared by every group, so the quorum budget is host-level:
+    // never more than a minority down keeps every group able to commit.
+    const std::size_t down_budget = (report.hosts - 1) / 2;
+    std::vector<ServerId> downed;
+    const std::size_t rounds = static_cast<std::size_t>(
+        rng.uniform_int(2, static_cast<std::int64_t>(options.max_fault_rounds)));
+    for (std::size_t round = 0; round < rounds; ++round) {
+      traffic(static_cast<std::size_t>(rng.uniform_int(3, 8)));
+
+      const double roll = rng.uniform_real(0.0, 1.0);
+      if (downed.size() < down_budget && roll < 0.45) {
+        std::vector<ServerId> up;
+        for (ServerId host = 1; host <= report.hosts; ++host) {
+          if (cluster.host_alive(host)) up.push_back(host);
+        }
+        const ServerId victim = up[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(up.size()) - 1))];
+        cluster.crash_host(victim);
+        downed.push_back(victim);
+        ++report.host_crashes;
+      } else if (!downed.empty() && roll < 0.75) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(downed.size()) - 1));
+        cluster.recover_host(downed[pick]);
+        downed.erase(downed.begin() + static_cast<std::ptrdiff_t>(pick));
+        ++report.host_recoveries;
+      } else {
+        const ShardId shard = static_cast<ShardId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(report.shards) - 1));
+        const ServerId target =
+            static_cast<ServerId>(rng.uniform_int(1, static_cast<std::int64_t>(report.hosts)));
+        auto& group = cluster.group(shard);
+        const ServerId leader = group.leader();
+        if (leader != kNoServer && leader != target && group.alive(target)) {
+          group.node(leader).transfer_leadership(target, cluster.loop().now());
+          group.pump(leader);
+          ++report.transfers;
+        }
+      }
+      cluster.run_for(from_ms(rng.uniform_int(1'000, 4'000)));
+    }
+
+    // Closing sweep: heal everything and let every group converge before the
+    // deep checks, then prove the healed deployment still serves.
+    for (const ServerId host : downed) cluster.recover_host(host);
+    cluster.run_for(options.drain);
+    traffic(4);
+    cluster.run_for(from_ms(3'000));
+  }
+
+  for (ShardId shard = 0; shard < cluster.shards(); ++shard) {
+    world.checkers[shard]->deep_check();
+    report.reads_checked += world.checkers[shard]->reads_checked();
+    for (const auto& violation : world.checkers[shard]->violations()) {
+      report.violations.push_back("shard " + std::to_string(shard) + ": " + violation);
+    }
+  }
+  auto routing = kv.routing_violations();
+  report.violations.insert(report.violations.end(), routing.begin(), routing.end());
+  audit_conf_clocks(cluster, world.checkers, report.violations);
+  report.digest = state_digest(cluster);
+  return report;
+}
+
+}  // namespace
+
+ShardedClusterOptions make_sharded_options(const std::string& policy, std::size_t shards,
+                                           std::size_t hosts, std::uint64_t seed) {
+  ShardedClusterOptions options;
+  options.shards = shards;
+  options.hosts = hosts;
+  options.seed = seed;
+  options.network.latency = sim::uniform_latency(from_ms(100), from_ms(200));
+  options.node.heartbeat_interval = from_ms(500);
+  if (policy == "escape") {
+    options.policy = sim::presets::escape_policy();
+  } else if (policy == "zraft") {
+    options.policy = sim::presets::zraft_policy();
+  } else if (policy == "raft") {
+    options.policy = sim::presets::raft_policy();
+  } else {
+    throw std::invalid_argument("unknown policy: " + policy);
+  }
+  return options;
+}
+
+ShardTrialReport run_shard_trial(std::uint64_t scenario_seed, const ShardCheckOptions& options) {
+  ShardTrialReport report = run_trial_once(scenario_seed, options);
+  if (options.check_determinism) {
+    const ShardTrialReport replay = run_trial_once(scenario_seed, options);
+    if (replay.digest != report.digest || replay.violations != report.violations) {
+      report.violations.push_back("nondeterministic replay: state digest or violation set "
+                                  "differs between identical-seed runs");
+    }
+  }
+  return report;
+}
+
+ShardCheckResult run_shard_check(const ShardCheckOptions& options) {
+  sim::TrialPool pool(options.threads);
+  const auto reports = pool.map_seeded<ShardTrialReport>(
+      options.trials, options.root_seed,
+      [&options](std::size_t, std::uint64_t seed) { return run_shard_trial(seed, options); });
+
+  ShardCheckResult result;
+  result.trials = reports.size();
+  for (const auto& report : reports) {
+    if (report.bootstrapped) ++result.bootstrapped;
+    result.host_crashes += report.host_crashes;
+    result.host_recoveries += report.host_recoveries;
+    result.transfers += report.transfers;
+    result.ops += report.ops;
+    result.reads_checked += report.reads_checked;
+    ++result.policy_histogram[report.policy];
+    // A trial that failed to bootstrap found a liveness bug too; surface it.
+    if (!report.violations.empty() || !report.bootstrapped) {
+      ShardCheckFailure failure;
+      failure.scenario_seed = report.scenario_seed;
+      failure.policy = report.policy;
+      failure.shards = report.shards;
+      failure.hosts = report.hosts;
+      failure.violations = report.violations;
+      if (!report.bootstrapped) {
+        failure.violations.push_back("bootstrap failed: some group never elected a leader");
+      }
+      failure.repro = "shard_check --scenario-seed " + std::to_string(report.scenario_seed);
+      result.failures.push_back(std::move(failure));
+    }
+  }
+  return result;
+}
+
+StormReport run_shard_failover_storm(const StormOptions& options) {
+  StormReport report;
+  ShardedCluster cluster(
+      make_sharded_options(options.policy, options.shards, options.hosts, options.seed));
+  std::vector<std::unique_ptr<sim::InvariantChecker>> checkers;
+  for (ShardId shard = 0; shard < cluster.shards(); ++shard) {
+    checkers.push_back(std::make_unique<sim::InvariantChecker>(cluster.group(shard)));
+  }
+  ShardedKv kv(cluster);
+
+  report.bootstrapped = cluster.bootstrap_all();
+  if (!report.bootstrapped) return report;
+
+  // Concentrate the first `leaders_on_victim` shard-leaderships on the
+  // victim and spread the rest over the survivors, the worst-case placement
+  // the scenario exists to measure.
+  const ServerId victim = 1;
+  cluster.pack_leaders(victim, options.leaders_on_victim, options.max_wait);
+  for (ShardId shard = static_cast<ShardId>(options.leaders_on_victim);
+       shard < cluster.shards(); ++shard) {
+    const ServerId host = 2 + static_cast<ServerId>((shard - options.leaders_on_victim) %
+                                                    (options.hosts - 1));
+    cluster.place_leader(shard, host, options.max_wait);
+  }
+  report.leaders_packed = cluster.leaders_on(victim);
+
+  // Non-trivial logs in every group, so elections exercise log comparisons.
+  for (std::size_t i = 0; i < 3 * cluster.shards(); ++i) {
+    kv.put("storm-key-" + std::to_string(i), "v", from_ms(15'000));
+  }
+  cluster.run_for(from_ms(2'000));
+
+  std::vector<ShardId> orphaned;
+  for (ShardId shard = 0; shard < cluster.shards(); ++shard) {
+    if (cluster.leader(shard) == victim) orphaned.push_back(shard);
+  }
+  report.shards_hit = orphaned.size();
+  for (ShardId shard = 0; shard < cluster.shards(); ++shard) {
+    cluster.group(shard).clear_event_log();
+  }
+
+  const TimePoint t0 = cluster.loop().now();
+  cluster.crash_host(victim);
+  const TimePoint deadline = t0 + options.max_wait;
+  auto all_re_led = [&] {
+    return std::all_of(orphaned.begin(), orphaned.end(),
+                       [&](ShardId shard) { return cluster.leader(shard) != kNoServer; });
+  };
+  while (!all_re_led() && cluster.loop().now() < deadline) {
+    cluster.loop().run_until(std::min(deadline, cluster.loop().now() + from_ms(100)));
+  }
+  report.all_recovered = all_re_led();
+
+  for (const ShardId shard : orphaned) {
+    for (const auto& event : cluster.group(shard).event_log()) {
+      if (event.kind == raft::NodeEvent::Kind::kBecameLeader && event.at >= t0) {
+        report.per_shard_total.push_back(event.at - t0);
+        break;
+      }
+    }
+  }
+  if (!report.per_shard_total.empty()) {
+    report.first_recovery =
+        *std::min_element(report.per_shard_total.begin(), report.per_shard_total.end());
+    report.storm_total =
+        *std::max_element(report.per_shard_total.begin(), report.per_shard_total.end());
+  }
+
+  // Heal, settle, and audit: the storm must not have cost any safety.
+  cluster.recover_host(victim);
+  cluster.run_for(from_ms(10'000));
+  for (std::size_t i = 0; i < cluster.shards(); ++i) {
+    kv.put("post-storm-" + std::to_string(i), "v", from_ms(15'000));
+  }
+  cluster.run_for(from_ms(2'000));
+  for (ShardId shard = 0; shard < cluster.shards(); ++shard) {
+    checkers[shard]->deep_check();
+    for (const auto& violation : checkers[shard]->violations()) {
+      report.violations.push_back("shard " + std::to_string(shard) + ": " + violation);
+    }
+  }
+  auto routing = kv.routing_violations();
+  report.violations.insert(report.violations.end(), routing.begin(), routing.end());
+  audit_conf_clocks(cluster, checkers, report.violations);
+  return report;
+}
+
+std::vector<std::string> shard_scenario_names() { return {"shard_failover_storm"}; }
+
+bool has_shard_scenario(const std::string& name) {
+  const auto names = shard_scenario_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+StormReport run_shard_scenario(const std::string& name, const StormOptions& options) {
+  if (name != "shard_failover_storm") {
+    throw std::invalid_argument("unknown shard scenario: " + name);
+  }
+  return run_shard_failover_storm(options);
+}
+
+}  // namespace escape::shard

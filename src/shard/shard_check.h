@@ -1,0 +1,143 @@
+// Multi-group randomized checking and the shard failover storm scenario.
+//
+// run_shard_check extends the single-group SimCheck vocabulary to sharded
+// deployments: each trial builds a ShardedCluster from its scenario seed,
+// drives keyed client traffic through the router while crashing/recovering
+// whole hosts (never more than a quorum-minority at once) and steering
+// leaderships, then audits the cross-shard invariants:
+//   * each group is independently linearizable — a full InvariantChecker
+//     (election safety, log matching, leader completeness, state-machine
+//     safety, Lemma 3, read linearizability) runs per group;
+//   * the router never serves a key from the wrong group — every key in
+//     every replica store must hash to the group holding it;
+//   * no cross-group confClock leakage — a group's adopted confClock must
+//     have been minted by a leadership of *that* group: the clock's stride
+//     quotient (core::kConfClockStride) names the minting term, which must
+//     appear in the group's own observed leader history.
+// Trials are pure functions of their seed (TrialPool rules), so any failure
+// reproduces from the printed `shard_check --scenario-seed N` line, and an
+// optional replay re-runs each trial and compares state digests to prove it.
+//
+// run_shard_failover_storm is the scenario the multi-Raft design exists to
+// measure: pack many shard-leaderships onto one host, kill it, and time how
+// long until every orphaned shard leads again — ESCAPE's pre-assigned
+// successors against Raft's randomized timeouts, at storm scale.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "shard/sharded_cluster.h"
+
+namespace escape::shard {
+
+/// Paper-preset deployment options (100–200 ms links, 500 ms heartbeats)
+/// for a named policy: "escape", "zraft" or "raft". Shared by the checker,
+/// the storm scenario, fig15 and the tests so every consumer measures the
+/// same deployment. Throws std::invalid_argument on an unknown policy.
+ShardedClusterOptions make_sharded_options(const std::string& policy, std::size_t shards,
+                                           std::size_t hosts, std::uint64_t seed);
+
+// --- randomized multi-group checking ---------------------------------------
+
+struct ShardCheckOptions {
+  std::size_t trials = 150;
+  std::uint64_t root_seed = 0xE5CA9Eull;
+  std::size_t threads = 0;  ///< TrialPool sizing; 0 = default_threads()
+  std::size_t min_shards = 2;
+  std::size_t max_shards = 5;
+  std::size_t max_fault_rounds = 6;
+  /// Post-heal settling time before the deep checks.
+  Duration drain = from_ms(20'000);
+  /// Re-run every trial and compare state digests (doubles the cost).
+  bool check_determinism = true;
+};
+
+/// Everything one trial observed; pure function of (scenario_seed, options).
+struct ShardTrialReport {
+  std::uint64_t scenario_seed = 0;
+  std::string policy;
+  std::size_t shards = 0;
+  std::size_t hosts = 0;
+  bool bootstrapped = false;
+  std::size_t host_crashes = 0;
+  std::size_t host_recoveries = 0;
+  std::size_t transfers = 0;
+  std::size_t ops = 0;
+  std::size_t reads_checked = 0;
+  /// Order-independent digest of the final per-group consensus state
+  /// (terms, leaders, commit indexes, confClocks) for determinism replay.
+  std::uint64_t digest = 0;
+  std::vector<std::string> violations;
+};
+
+/// Runs one scenario; exposed so the CLI can replay a failure seed.
+ShardTrialReport run_shard_trial(std::uint64_t scenario_seed, const ShardCheckOptions& options);
+
+struct ShardCheckFailure {
+  std::uint64_t scenario_seed = 0;
+  std::string policy;
+  std::size_t shards = 0;
+  std::size_t hosts = 0;
+  std::vector<std::string> violations;
+  std::string repro;  ///< "shard_check --scenario-seed N"
+};
+
+struct ShardCheckResult {
+  std::size_t trials = 0;
+  std::size_t bootstrapped = 0;
+  std::size_t host_crashes = 0;
+  std::size_t host_recoveries = 0;
+  std::size_t transfers = 0;
+  std::size_t ops = 0;
+  std::size_t reads_checked = 0;
+  std::map<std::string, std::size_t> policy_histogram;
+  std::vector<ShardCheckFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Fans the trials over a TrialPool (thread-count invariant) and folds the
+/// reports in trial-index order.
+ShardCheckResult run_shard_check(const ShardCheckOptions& options);
+
+// --- shard failover storm ---------------------------------------------------
+
+struct StormOptions {
+  std::string policy = "escape";
+  std::size_t shards = 8;
+  std::size_t hosts = 5;
+  /// Shard-leaderships packed onto the victim host before the kill.
+  std::size_t leaders_on_victim = 4;
+  std::uint64_t seed = 1;
+  /// Ceiling on each wait phase (placement, recovery).
+  Duration max_wait = from_ms(60'000);
+};
+
+struct StormReport {
+  bool bootstrapped = false;
+  bool all_recovered = false;
+  std::size_t leaders_packed = 0;  ///< shard-leaders on the victim at the kill
+  std::size_t shards_hit = 0;      ///< groups orphaned by the kill
+  /// Kill -> new leader, one entry per orphaned group (recovery order).
+  std::vector<Duration> per_shard_total;
+  Duration first_recovery = 0;
+  Duration storm_total = 0;  ///< kill -> last orphaned group re-led
+  std::vector<std::string> violations;
+  bool ok() const { return bootstrapped && all_recovered && violations.empty(); }
+};
+
+StormReport run_shard_failover_storm(const StormOptions& options);
+
+// --- shard scenario registry -------------------------------------------------
+// The sim registry's ScenarioSpec plans over one SimCluster; storms are
+// host-level events spanning every group, so shard scenarios register here.
+
+std::vector<std::string> shard_scenario_names();
+bool has_shard_scenario(const std::string& name);
+
+/// Runs a registered scenario ("shard_failover_storm"). Throws
+/// std::invalid_argument on an unknown name.
+StormReport run_shard_scenario(const std::string& name, const StormOptions& options);
+
+}  // namespace escape::shard

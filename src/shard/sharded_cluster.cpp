@@ -1,0 +1,118 @@
+#include "shard/sharded_cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace escape::shard {
+
+ShardedCluster::ShardedCluster(ShardedClusterOptions options)
+    : options_(std::move(options)),
+      router_({options_.shards, options_.vnodes_per_shard}) {
+  if (options_.shards == 0) throw std::invalid_argument("need at least one shard");
+  if (options_.hosts == 0) throw std::invalid_argument("need at least one host");
+  groups_.reserve(options_.shards);
+  for (ShardId shard = 0; shard < options_.shards; ++shard) {
+    sim::ClusterOptions group_options;
+    group_options.size = options_.hosts;
+    group_options.policy = options_.policy;
+    group_options.node = options_.node;
+    group_options.driver = options_.driver;
+    group_options.network = options_.network;
+    // Independent deterministic randomness per group (elections, network
+    // jitter), all derived from one deployment seed.
+    group_options.seed = stream_seed(options_.seed, shard);
+    group_options.snapshot_interval = options_.snapshot_interval;
+    group_options.loop = &loop_;
+    groups_.push_back(std::make_unique<sim::SimCluster>(std::move(group_options)));
+  }
+}
+
+void ShardedCluster::start_all() {
+  for (auto& group : groups_) group->start_all();
+}
+
+std::size_t ShardedCluster::leaders_on(ServerId host) const {
+  std::size_t count = 0;
+  for (const auto& group : groups_) {
+    if (group->leader() == host) ++count;
+  }
+  return count;
+}
+
+void ShardedCluster::run_for(Duration d) { loop_.run_until(loop_.now() + d); }
+
+bool ShardedCluster::run_until_all_leaders(TimePoint deadline) {
+  auto all_led = [&] {
+    return std::all_of(groups_.begin(), groups_.end(),
+                       [](const auto& g) { return g->leader() != kNoServer; });
+  };
+  // Step the shared loop in slices: per-group stop predicates would fight
+  // over the one loop, and elections resolve within a few slices anyway.
+  while (!all_led() && loop_.now() < deadline) {
+    loop_.run_until(std::min(deadline, loop_.now() + from_ms(200)));
+  }
+  return all_led();
+}
+
+bool ShardedCluster::bootstrap_all(Duration max_wait, Duration settle) {
+  start_all();
+  if (!run_until_all_leaders(loop_.now() + max_wait)) return false;
+  run_for(settle);
+  // Settling can itself reshuffle a leadership; require a led steady state.
+  return run_until_all_leaders(loop_.now() + max_wait);
+}
+
+bool ShardedCluster::place_leader(ShardId shard, ServerId host, Duration max_wait) {
+  auto& g = group(shard);
+  const TimePoint deadline = loop_.now() + max_wait;
+  while (loop_.now() < deadline) {
+    const ServerId l = g.leader();
+    if (l == host) return true;
+    if (l != kNoServer && g.alive(host)) {
+      // TimeoutNow-based: the target campaigns immediately once caught up;
+      // when it is not caught up yet, transfer refuses and we retry after
+      // replication progresses.
+      g.node(l).transfer_leadership(host, loop_.now());
+      g.pump(l);
+    }
+    loop_.run_until(std::min(deadline, loop_.now() + from_ms(500)));
+  }
+  return g.leader() == host;
+}
+
+std::size_t ShardedCluster::spread_leaders(Duration max_wait) {
+  std::size_t placed = 0;
+  for (ShardId shard = 0; shard < shards(); ++shard) {
+    if (place_leader(shard, default_placement(shard), max_wait)) ++placed;
+  }
+  return placed;
+}
+
+std::size_t ShardedCluster::pack_leaders(ServerId host, std::size_t count, Duration max_wait) {
+  std::size_t placed = 0;
+  for (ShardId shard = 0; shard < shards() && shard < count; ++shard) {
+    if (place_leader(shard, host, max_wait)) ++placed;
+  }
+  return placed;
+}
+
+void ShardedCluster::crash_host(ServerId host) {
+  for (auto& group : groups_) {
+    if (group->alive(host)) group->crash(host);
+  }
+}
+
+void ShardedCluster::recover_host(ServerId host) {
+  for (auto& group : groups_) {
+    if (!group->alive(host)) group->recover(host);
+  }
+}
+
+bool ShardedCluster::host_alive(ServerId host) const {
+  return std::all_of(groups_.begin(), groups_.end(),
+                     [host](const auto& g) { return g->alive(host); });
+}
+
+}  // namespace escape::shard

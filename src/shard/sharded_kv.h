@@ -1,0 +1,58 @@
+// Sharded KV client: the router in front of one KvCluster per group.
+//
+// Every operation hashes its key through the ShardRouter and runs against
+// exactly the owning group's replicated KvStore; cross-shard operations do
+// not exist at this layer (the paper's scale-out story is independent
+// groups, not distributed transactions). routing_violations() audits the
+// other direction: no replica of any group may hold a key the router maps
+// elsewhere — the "router never serves a key from the wrong group"
+// invariant, checked from the authoritative state machines rather than from
+// client bookkeeping.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/kv_cluster.h"
+#include "shard/sharded_cluster.h"
+
+namespace escape::shard {
+
+class ShardedKv {
+ public:
+  /// Wraps `cluster` (which must outlive this object). Installs each group's
+  /// KvCluster apply hooks; nothing else may install hooks on those groups.
+  explicit ShardedKv(ShardedCluster& cluster);
+
+  /// Synchronous client operations, routed by key. Same semantics as the
+  /// single-group KvCluster calls they forward to.
+  std::optional<kv::CommandResult> put(const std::string& key, const std::string& value,
+                                       Duration timeout = from_ms(60'000));
+  std::optional<kv::CommandResult> get(const std::string& key,
+                                       Duration timeout = from_ms(60'000));
+  std::optional<kv::CommandResult> del(const std::string& key,
+                                       Duration timeout = from_ms(60'000));
+
+  /// Linearizable fast-path read (lease / ReadIndex) against the owning
+  /// group's leader.
+  std::optional<kv::CommandResult> read(const std::string& key,
+                                        Duration timeout = from_ms(60'000));
+
+  ShardId owner(const std::string& key) const { return cluster_.shard_of(key); }
+  kv::KvCluster& group_kv(ShardId shard) { return *kvs_.at(shard); }
+
+  /// Operations routed to each shard so far (client-side balance metric).
+  const std::vector<std::size_t>& ops_routed() const { return routed_; }
+
+  /// Scans every replica store of every group and reports each key whose
+  /// router owner is a different group. Empty means routing never leaked.
+  std::vector<std::string> routing_violations() const;
+
+ private:
+  ShardedCluster& cluster_;
+  std::vector<std::unique_ptr<kv::KvCluster>> kvs_;
+  std::vector<std::size_t> routed_;
+};
+
+}  // namespace escape::shard

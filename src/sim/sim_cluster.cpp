@@ -16,7 +16,10 @@ PolicyFactory raft_policy_factory(Duration timeout_min, Duration timeout_max) {
 }
 
 SimCluster::SimCluster(ClusterOptions options)
-    : options_(std::move(options)), rng_(options_.seed) {
+    : options_(std::move(options)),
+      owned_loop_(options_.loop ? nullptr : std::make_unique<EventLoop>()),
+      loop_(options_.loop ? options_.loop : owned_loop_.get()),
+      rng_(options_.seed) {
   if (options_.size == 0) throw std::invalid_argument("cluster size must be >= 1");
   if (!options_.policy) options_.policy = raft_policy_factory(from_ms(1500), from_ms(3000));
   // The core's commit rule and the driver's staging must agree on who counts
@@ -24,7 +27,7 @@ SimCluster::SimCluster(ClusterOptions options)
   if (options_.driver.async_persist) options_.node.async_persist = true;
   for (ServerId id = 1; id <= options_.size; ++id) members_.push_back(id);
   network_ = std::make_unique<SimNetwork>(
-      loop_, options_.network, rng_.fork(0xBEEF),
+      *loop_, options_.network, rng_.fork(0xBEEF),
       [this](const rpc::Envelope& env) { deliver(env); });
   for (ServerId id : members_) {
     auto& host = hosts_[id];
@@ -76,7 +79,7 @@ void SimCluster::start_all() {
   started_ = true;
   for (ServerId id : members_) {
     build_node(id);
-    hosts_.at(id).node->start(loop_.now());
+    hosts_.at(id).node->start(loop_->now());
     pump(id);
   }
 }
@@ -119,7 +122,7 @@ void SimCluster::crash(ServerId id) {
   // Outstanding read probes die with the volatile read state they audited.
   read_probes_.erase(read_probes_.lower_bound({id, 0}),
                      read_probes_.upper_bound({id, std::numeric_limits<raft::ReadId>::max()}));
-  LOG_DEBUG(server_name(id) << " crashed at " << to_ms(loop_.now()) << "ms");
+  LOG_DEBUG(server_name(id) << " crashed at " << to_ms(loop_->now()) << "ms");
 }
 
 void SimCluster::recover(ServerId id) {
@@ -135,8 +138,8 @@ void SimCluster::recover(ServerId id) {
       snapshot_restore_hook_(id, *snap);
     }
   }
-  host.node->start(loop_.now());
-  LOG_DEBUG(server_name(id) << " recovered at " << to_ms(loop_.now()) << "ms");
+  host.node->start(loop_->now());
+  LOG_DEBUG(server_name(id) << " recovered at " << to_ms(loop_->now()) << "ms");
   pump(id);
 }
 
@@ -144,8 +147,8 @@ std::optional<LogIndex> SimCluster::trigger_snapshot(ServerId id) {
   auto& host = hosts_.at(id);
   if (!host.alive || !host.node) return std::nullopt;
   auto state = snapshot_state_hook_ ? snapshot_state_hook_(id) : std::vector<std::uint8_t>{};
-  const auto upto = host.node->compact(host.node->last_applied(), std::move(state), loop_.now());
-  host.driver->pump(loop_.now());  // drain the kSaveSnapshot/kCompactTo ops immediately
+  const auto upto = host.node->compact(host.node->last_applied(), std::move(state), loop_->now());
+  host.driver->pump(loop_->now());  // drain the kSaveSnapshot/kCompactTo ops immediately
   return upto;
 }
 
@@ -153,7 +156,7 @@ std::optional<raft::NodeEvent> SimCluster::run_until_event(
     std::function<bool(const raft::NodeEvent&)> pred, TimePoint deadline) {
   stop_predicate_ = std::move(pred);
   stop_event_.reset();
-  loop_.run_until_stopped(deadline);
+  loop_->run_until_stopped(deadline);
   stop_predicate_ = nullptr;
   return std::exchange(stop_event_, std::nullopt);
 }
@@ -170,7 +173,7 @@ ServerId SimCluster::run_until_leader(TimePoint deadline) {
 std::optional<LogIndex> SimCluster::submit_via_leader(std::vector<std::uint8_t> command) {
   const ServerId l = leader();
   if (l == kNoServer) return std::nullopt;
-  auto idx = node(l).submit(std::move(command), loop_.now());
+  auto idx = node(l).submit(std::move(command), loop_->now());
   pump(l);
   return idx;
 }
@@ -189,7 +192,7 @@ std::optional<raft::ReadId> SimCluster::submit_read(ServerId id) {
     const auto& h = hosts_.at(member);
     if (h.alive && h.node) floor = std::max(floor, h.node->commit_index());
   }
-  const auto read = host.node->submit_read(loop_.now());
+  const auto read = host.node->submit_read(loop_->now());
   if (read) read_probes_[{id, *read}] = floor;
   pump(id);
   return read;
@@ -238,7 +241,7 @@ void SimCluster::remove_read_listener(std::size_t handle) { read_listeners_.eras
 void SimCluster::pump(ServerId id) {
   auto& host = hosts_.at(id);
   if (!host.alive || !host.node) return;
-  host.driver->pump(loop_.now());
+  host.driver->pump(loop_->now());
   if (options_.snapshot_interval > 0 &&
       host.node->last_applied() - host.node->log().base() >= options_.snapshot_interval) {
     trigger_snapshot(id);
@@ -258,11 +261,11 @@ void SimCluster::ensure_timer(ServerId id) {
   if (deadline == kNever) return;
   if (deadline >= host.scheduled_wakeup) return;  // earlier wakeup already pending
   host.scheduled_wakeup = deadline;
-  loop_.schedule_at(deadline, [this, id, deadline] {
+  loop_->schedule_at(deadline, [this, id, deadline] {
     auto& h = hosts_.at(id);
     if (h.scheduled_wakeup == deadline) h.scheduled_wakeup = kNever;
     if (!h.alive || !h.node) return;
-    h.node->tick(loop_.now());
+    h.node->tick(loop_->now());
     pump(id);
   });
 }
@@ -270,7 +273,7 @@ void SimCluster::ensure_timer(ServerId id) {
 void SimCluster::deliver(const rpc::Envelope& envelope) {
   auto& host = hosts_.at(envelope.to);
   if (!host.alive || !host.node) return;  // message to a dead machine
-  host.node->step(envelope, loop_.now());
+  host.node->step(envelope, loop_->now());
   pump(envelope.to);
 }
 
@@ -290,7 +293,7 @@ void SimCluster::on_node_event(const raft::NodeEvent& event) {
   }
   if (stop_predicate_ && stop_predicate_(event)) {
     stop_event_ = event;
-    loop_.stop();
+    loop_->stop();
   }
 }
 

@@ -47,6 +47,11 @@ struct ClusterOptions {
   raft::NodeDriver::Options driver;
   NetworkOptions network;
   std::uint64_t seed = 42;
+  /// External event loop to run on. When null (the default) the cluster owns
+  /// a private loop. A sharded deployment passes one shared loop to all of
+  /// its groups so they advance through a single virtual timeline — exactly
+  /// like independent consensus groups sharing real wall-clock time.
+  EventLoop* loop = nullptr;
   /// Automatic log compaction: when > 0, a host snapshots its state machine
   /// and compacts whenever it retains at least this many applied entries
   /// beyond its last snapshot. 0 keeps the whole log (manual
@@ -63,7 +68,7 @@ class SimCluster {
   void start_all();
 
   // --- accessors -----------------------------------------------------------
-  EventLoop& loop() { return loop_; }
+  EventLoop& loop() { return *loop_; }
   SimNetwork& network() { return *network_; }
   bool started() const { return started_; }
   std::uint64_t seed() const { return options_.seed; }
@@ -206,7 +211,8 @@ class SimCluster {
 
   ClusterOptions options_;
   std::vector<ServerId> members_;
-  EventLoop loop_;
+  std::unique_ptr<EventLoop> owned_loop_;  ///< null when options_.loop is external
+  EventLoop* loop_;
   Rng rng_;
   std::unique_ptr<SimNetwork> network_;
   std::map<ServerId, Host> hosts_;

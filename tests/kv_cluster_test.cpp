@@ -121,6 +121,30 @@ TEST(KvClusterTest, ReadsUseTheFastPathNotTheLog) {
   EXPECT_GT(counters.lease_reads, 0u);
 }
 
+TEST(KvClusterTest, ForeignProbeGrantsDoNotDisturbClientReads) {
+  // Scenario ClientRead probes share the cluster's read path with the KV
+  // client: their grants reach the KvCluster listener with no matching
+  // ticket and are stashed. A client read must neither claim a foreign
+  // grant nor wipe the stash wholesale on entry (the pre-fix behavior) —
+  // the stash may hold the very lease grant the next ticket resolves with.
+  SimCluster cluster(paper_escape_cluster(3, 19));
+  KvCluster kv(cluster);
+  sim::InvariantChecker invariants(cluster);
+  ASSERT_NE(sim::bootstrap(cluster), kNoServer);
+  ASSERT_TRUE(kv.put("k", "v1").has_value());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.submit_read(cluster.leader()).has_value());
+    const auto r = kv.read("k");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->ok);
+    EXPECT_EQ(r->value, "v1");
+  }
+  // Both the client tickets and the foreign probes were audited against the
+  // probe ledger; none of the interleavings produced a stale read.
+  EXPECT_GE(invariants.reads_checked(), 15u);
+  EXPECT_TRUE(invariants.ok()) << invariants.violations().front();
+}
+
 TEST(KvClusterTest, ReadsNeverStaleAcrossFailover) {
   SimCluster cluster(paper_escape_cluster(5, 18));
   KvCluster kv(cluster);

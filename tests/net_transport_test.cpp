@@ -3,13 +3,17 @@
 // between parallel ctest workers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <filesystem>
 #include <mutex>
 #include <thread>
 
+#include <sys/socket.h>
 #include <sys/stat.h>
 
 #include <unistd.h>
@@ -135,6 +139,219 @@ TEST(TcpTransportTest, StopIsIdempotent) {
   t1.start();
   t1.stop();
   t1.stop();  // second stop is a no-op
+}
+
+// --- robustness: EINTR and short writes --------------------------------------
+// The syscall seams (net/tcp_transport.h testhooks) stand in for the kernel:
+// they return the exact (-1, EINTR) / short-count / (0, stale errno) shapes
+// the sockets API is allowed to produce, while a real no-op SIGUSR1 raised
+// mid-transfer makes the interrupts genuine signal deliveries rather than
+// pure stubs. Each test fails on the pre-fix transport, which treated EINTR
+// as fatal and consulted errno on a 0-byte send.
+
+void noop_signal_handler(int) {}
+
+/// Installs a no-op SIGUSR1 handler (without SA_RESTART, so syscalls really
+/// can return EINTR) and restores the previous disposition on destruction.
+struct SigUsr1Scope {
+  struct sigaction old {};
+  SigUsr1Scope() {
+    struct sigaction sa {};
+    sa.sa_handler = noop_signal_handler;
+    ::sigaction(SIGUSR1, &sa, &old);
+  }
+  ~SigUsr1Scope() { ::sigaction(SIGUSR1, &old, nullptr); }
+};
+
+struct HookScope {
+  ~HookScope() { testhooks::reset(); }
+};
+
+std::atomic<int> g_recv_calls{0};
+std::atomic<int> g_send_calls{0};
+std::atomic<int> g_send_zero_budget{0};
+std::atomic<int> g_accept_eintr_budget{0};
+
+ssize_t eintr_recv(int fd, void* buf, std::size_t len, int flags) {
+  if (g_recv_calls.fetch_add(1) % 3 == 1) {
+    ::raise(SIGUSR1);
+    errno = EINTR;
+    return -1;
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t eintr_short_send(int fd, const void* buf, std::size_t len, int flags) {
+  if (g_send_calls.fetch_add(1) % 2 == 1) {
+    ::raise(SIGUSR1);
+    errno = EINTR;
+    return -1;
+  }
+  // A short write: the kernel may accept any prefix. 97 is deliberately not
+  // a divisor of the frame size, so frames straddle send() boundaries.
+  return ::send(fd, buf, std::min<std::size_t>(len, 97), flags);
+}
+
+ssize_t zero_return_send(int fd, const void* buf, std::size_t len, int flags) {
+  if (g_send_zero_budget.fetch_sub(1) > 0) {
+    // A 0 return with errno left over from an unrelated failure; errno is
+    // only meaningful for negative returns, so the transport must not act
+    // on this value.
+    errno = ECONNRESET;
+    return 0;
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+int eintr_accept(int fd, sockaddr* addr, socklen_t* addrlen) {
+  if (g_accept_eintr_budget.fetch_sub(1) > 0) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::accept(fd, addr, addrlen);
+}
+
+TEST(TcpTransportRobustnessTest, SurvivesEintrDuringRecv) {
+  SigUsr1Scope sig;
+  HookScope hooks;
+  g_recv_calls.store(0);
+  testhooks::recv_fn = &eintr_recv;
+
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 80);
+  const std::map<ServerId, std::uint16_t> endpoints = {
+      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Mailbox inbox;
+  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
+  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  t1.start();
+  t2.start();
+
+  constexpr int kCount = 200;
+  for (int i = 0; i < kCount; ++i) t1.send({1, 2, probe_message(i)});
+  ASSERT_TRUE(inbox.wait_for_count(kCount, 10000ms))
+      << "only " << inbox.messages.size() << " of " << kCount
+      << " messages survived EINTR-interrupted recv";
+  for (int i = 0; i < kCount; ++i) {
+    const auto& rv =
+        std::get<rpc::RequestVote>(inbox.messages[static_cast<std::size_t>(i)].message);
+    EXPECT_EQ(rv.term, i);
+  }
+  EXPECT_GT(g_recv_calls.load(), 0);
+  t1.stop();
+  t2.stop();
+}
+
+TEST(TcpTransportRobustnessTest, SurvivesEintrAndShortWritesDuringSend) {
+  SigUsr1Scope sig;
+  HookScope hooks;
+  g_send_calls.store(0);
+  testhooks::send_fn = &eintr_short_send;
+
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 90);
+  const std::map<ServerId, std::uint16_t> endpoints = {
+      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Mailbox inbox;
+  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
+  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  t1.start();
+  t2.start();
+
+  constexpr int kCount = 300;
+  for (int i = 0; i < kCount; ++i) t1.send({1, 2, probe_message(i)});
+  ASSERT_TRUE(inbox.wait_for_count(kCount, 15000ms))
+      << "only " << inbox.messages.size() << " of " << kCount
+      << " messages survived interrupt + short-write interleavings";
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(inbox.messages[static_cast<std::size_t>(i)].message, probe_message(i));
+  }
+  t1.stop();
+  t2.stop();
+}
+
+TEST(TcpTransportRobustnessTest, ZeroByteSendDoesNotActOnStaleErrno) {
+  HookScope hooks;
+  g_send_zero_budget.store(1);
+  testhooks::send_fn = &zero_return_send;
+
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 100);
+  const std::map<ServerId, std::uint16_t> endpoints = {
+      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Mailbox inbox;
+  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
+  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  t1.start();
+  t2.start();
+
+  // Pre-fix, the 0 return fell through to the stale-ECONNRESET branch and
+  // closed the connection with this frame still queued — losing it.
+  t1.send({1, 2, probe_message(1)});
+  ASSERT_TRUE(inbox.wait_for_count(1, 5000ms))
+      << "frame queued behind a 0-byte send() was lost";
+  EXPECT_EQ(inbox.messages[0].message, probe_message(1));
+  t1.stop();
+  t2.stop();
+}
+
+TEST(TcpTransportRobustnessTest, SurvivesEintrDuringAccept) {
+  HookScope hooks;
+  g_accept_eintr_budget.store(2);
+  testhooks::accept_fn = &eintr_accept;
+
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 110);
+  const std::map<ServerId, std::uint16_t> endpoints = {
+      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Mailbox inbox;
+  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
+  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  t1.start();
+  t2.start();
+
+  t1.send({1, 2, probe_message(3)});
+  ASSERT_TRUE(inbox.wait_for_count(1, 5000ms));
+  EXPECT_EQ(inbox.messages[0].message, probe_message(3));
+  t1.stop();
+  t2.stop();
+}
+
+TEST(TcpTransportRobustnessTest, FramesSurviveTinySendBuffer) {
+  // A 1-entry AppendEntries with a 64 KiB command dwarfs SO_SNDBUF, so every
+  // frame crosses many partial send() calls; CRC framing must reassemble
+  // each one intact.
+  TransportOptions tiny;
+  tiny.sndbuf = 4096;
+  tiny.rcvbuf = 4096;
+
+  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 120);
+  const std::map<ServerId, std::uint16_t> endpoints = {
+      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Mailbox inbox;
+  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {}, tiny);
+  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); }, tiny);
+  t1.start();
+  t2.start();
+
+  auto bulk_message = [](int i) -> rpc::Message {
+    rpc::AppendEntries ae;
+    ae.term = i;
+    ae.leader_id = 1;
+    rpc::LogEntry entry;
+    entry.term = i;
+    entry.index = i + 1;
+    entry.command.assign(64 * 1024, static_cast<std::uint8_t>(i));
+    ae.entries.push_back(std::move(entry));
+    return ae;
+  };
+
+  constexpr int kCount = 20;
+  for (int i = 0; i < kCount; ++i) t1.send({1, 2, bulk_message(i)});
+  ASSERT_TRUE(inbox.wait_for_count(kCount, 20000ms))
+      << "only " << inbox.messages.size() << " of " << kCount
+      << " bulk frames crossed the tiny send buffer";
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(inbox.messages[static_cast<std::size_t>(i)].message, bulk_message(i));
+  }
+  t1.stop();
+  t2.stop();
 }
 
 // --- real-time cluster -------------------------------------------------------

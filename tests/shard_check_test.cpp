@@ -1,0 +1,88 @@
+// Tests for the multi-group checker and the shard_failover_storm scenario:
+// cross-shard invariants hold under randomized host faults, trials are
+// deterministic functions of their seed, and the storm scenario measures
+// what it claims.
+#include <gtest/gtest.h>
+
+#include "shard/shard_check.h"
+
+namespace escape::shard {
+namespace {
+
+ShardCheckOptions small_check() {
+  ShardCheckOptions options;
+  options.trials = 6;
+  options.root_seed = 0xA11CE;
+  options.threads = 2;
+  options.min_shards = 2;
+  options.max_shards = 3;
+  options.max_fault_rounds = 4;
+  options.drain = from_ms(15'000);
+  options.check_determinism = false;  // covered by its own test below
+  return options;
+}
+
+TEST(ShardCheckTest, SmallRandomizedRunHoldsCrossShardInvariants) {
+  const auto result = run_shard_check(small_check());
+  EXPECT_EQ(result.trials, 6u);
+  EXPECT_EQ(result.bootstrapped, 6u);
+  for (const auto& failure : result.failures) {
+    ADD_FAILURE() << failure.repro << " [" << failure.policy << ", " << failure.shards
+                  << " shards]: " << failure.violations.front();
+  }
+  // The run must actually have exercised the machinery it audits.
+  EXPECT_GT(result.host_crashes, 0u);
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_GT(result.reads_checked, 0u);
+}
+
+TEST(ShardCheckTest, TrialsAreDeterministicFunctionsOfTheirSeed) {
+  auto options = small_check();
+  const auto a = run_shard_trial(0xDEC0DE, options);
+  const auto b = run_shard_trial(0xDEC0DE, options);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.host_crashes, b.host_crashes);
+  EXPECT_EQ(a.policy, b.policy);
+
+  // And the built-in replay agrees with itself.
+  options.check_determinism = true;
+  const auto c = run_shard_trial(0xDEC0DE, options);
+  EXPECT_EQ(c.violations, a.violations);
+}
+
+TEST(ShardCheckTest, StormScenarioMeasuresEveryOrphanedShard) {
+  StormOptions options;
+  options.policy = "escape";
+  options.shards = 6;
+  options.hosts = 5;
+  options.leaders_on_victim = 4;
+  options.seed = 7;
+  const auto report = run_shard_failover_storm(options);
+  ASSERT_TRUE(report.bootstrapped);
+  EXPECT_GE(report.leaders_packed, 4u);
+  EXPECT_GE(report.shards_hit, 4u);
+  ASSERT_TRUE(report.all_recovered);
+  EXPECT_EQ(report.per_shard_total.size(), report.shards_hit);
+  EXPECT_GT(report.first_recovery, 0);
+  EXPECT_GE(report.storm_total, report.first_recovery);
+  EXPECT_TRUE(report.violations.empty())
+      << report.violations.front();
+}
+
+TEST(ShardCheckTest, RegistryExposesTheStormScenario) {
+  EXPECT_TRUE(has_shard_scenario("shard_failover_storm"));
+  EXPECT_FALSE(has_shard_scenario("no_such_scenario"));
+  EXPECT_THROW(run_shard_scenario("no_such_scenario", {}), std::invalid_argument);
+  const auto names = shard_scenario_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names.front(), "shard_failover_storm");
+}
+
+TEST(ShardCheckTest, MakeShardedOptionsRejectsUnknownPolicy) {
+  EXPECT_THROW(make_sharded_options("paxos", 2, 3, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace escape::shard

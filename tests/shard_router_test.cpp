@@ -1,0 +1,73 @@
+// Tests for the consistent-hash shard router: determinism, balance, and the
+// ring construction contract.
+#include <gtest/gtest.h>
+
+#include "shard/router.h"
+
+namespace escape::shard {
+namespace {
+
+TEST(ShardRouterTest, HashIsTheFnv1aReference) {
+  // FNV-1a 64-bit published test vectors; routing must never depend on an
+  // implementation-defined std::hash.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(ShardRouterTest, RejectsDegenerateOptions) {
+  EXPECT_THROW(ShardRouter({0, 64}), std::invalid_argument);
+  EXPECT_THROW(ShardRouter({4, 0}), std::invalid_argument);
+}
+
+TEST(ShardRouterTest, SingleShardOwnsEverything) {
+  ShardRouter router({1, 8});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(router.shard_of("key-" + std::to_string(i)), 0u);
+  }
+}
+
+TEST(ShardRouterTest, MappingIsDeterministicAcrossInstances) {
+  ShardRouter a({4, 64});
+  ShardRouter b({4, 64});
+  EXPECT_EQ(a.ring_size(), 4u * 64u);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "user:" + std::to_string(i * 37);
+    EXPECT_EQ(a.shard_of(key), b.shard_of(key));
+    EXPECT_LT(a.shard_of(key), 4u);
+  }
+}
+
+TEST(ShardRouterTest, VnodesSpreadKeysAcrossAllShards) {
+  ShardRouter router({4, 64});
+  const auto shares = router.key_shares();
+  ASSERT_EQ(shares.size(), 4u);
+  double total = 0.0;
+  for (const double share : shares) {
+    // With 64 vnodes per shard the max/min spread stays well inside 2x of
+    // the fair 0.25 share.
+    EXPECT_GT(share, 0.10);
+    EXPECT_LT(share, 0.45);
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ShardRouterTest, GrowingTheRingMovesOnlyAFractionOfKeys) {
+  // The consistent-hashing contract: adding shards must not reshuffle the
+  // world. Going 4 -> 5 shards should move roughly 1/5 of keys, not ~all of
+  // them as a modulo router would.
+  ShardRouter before({4, 64});
+  ShardRouter after({5, 64});
+  int moved = 0;
+  const int keys = 2000;
+  for (int i = 0; i < keys; ++i) {
+    const std::string key = "stable-key-" + std::to_string(i);
+    if (before.shard_of(key) != after.shard_of(key)) ++moved;
+  }
+  EXPECT_LT(moved, keys / 2);  // far below a full reshuffle
+  EXPECT_GT(moved, 0);         // some keys must land on the new shard
+}
+
+}  // namespace
+}  // namespace escape::shard
