@@ -17,6 +17,14 @@ Usage:
         --dir build
     python3 bench/compare_bench.py --write-baseline bench/baseline/manifest.json \
         --dir build          # regenerate after adding a figure or series
+    python3 bench/compare_bench.py --dump-series --dir build \
+        --figures fig16_serving   # print the emitted series keys and exit
+
+--figures restricts a check (or dump) to a comma-separated subset, for jobs
+that build and run a single figure rather than the whole run_all sweep.
+--dump-series prints one "figure/series" line per emitted series, sorted, so
+two runs' shapes can be compared with plain diff even when the numeric
+values are wall-clock and therefore not byte-stable.
 """
 
 import argparse
@@ -76,10 +84,22 @@ def write_baseline(figures, baseline_path):
     print(f"wrote {baseline_path}: {len(manifest['figures'])} figures")
 
 
-def check(figures, baseline_path):
+def dump_series(figures):
+    """One sorted 'figure/series' line per emitted series, for diffing."""
+    for name, data in sorted(figures.items()):
+        for series in sorted({series_key(p) for p in data["points"]}):
+            print(f"{name}/{series}")
+
+
+def check(figures, baseline_path, only=None):
     manifest = json.loads(Path(baseline_path).read_text())
     errors = []
-    for name, expected in sorted(manifest["figures"].items()):
+    enrolled = manifest["figures"]
+    if only is not None:
+        for name in sorted(only - set(enrolled) - set(figures)):
+            errors.append(f"{name}: unknown figure (not emitted, not enrolled)")
+        enrolled = {n: v for n, v in enrolled.items() if n in only}
+    for name, expected in sorted(enrolled.items()):
         data = figures.get(name)
         if data is None:
             errors.append(f"{name}: BENCH_{name}.json missing from bench output")
@@ -107,9 +127,17 @@ def main():
     parser.add_argument("--dir", default="build", help="directory holding BENCH_*.json")
     parser.add_argument("--baseline", help="manifest to check against")
     parser.add_argument("--write-baseline", help="regenerate the manifest instead")
+    parser.add_argument("--dump-series", action="store_true",
+                        help="print emitted figure/series keys and exit")
+    parser.add_argument("--figures",
+                        help="comma-separated subset of figures to check/dump")
     args = parser.parse_args()
-    if bool(args.baseline) == bool(args.write_baseline):
-        parser.error("exactly one of --baseline / --write-baseline is required")
+    if sum([bool(args.baseline), bool(args.write_baseline), args.dump_series]) != 1:
+        parser.error(
+            "exactly one of --baseline / --write-baseline / --dump-series is required")
+    if args.write_baseline and args.figures:
+        # A partial manifest would silently unenroll every other figure.
+        parser.error("--figures cannot be combined with --write-baseline")
 
     try:
         figures = collect(args.dir)
@@ -120,11 +148,23 @@ def main():
         print(f"FAIL: no BENCH_*.json files found in {args.dir}")
         return 1
 
+    wanted = set(args.figures.split(",")) if args.figures else None
+    if wanted is not None:
+        figures = {n: d for n, d in figures.items() if n in wanted}
+
     if args.write_baseline:
         write_baseline(figures, args.write_baseline)
         return 0
 
-    errors = check(figures, args.baseline)
+    if args.dump_series:
+        missing = sorted(wanted - set(figures)) if wanted else []
+        if missing:
+            print(f"FAIL: requested figures not emitted: {', '.join(missing)}")
+            return 1
+        dump_series(figures)
+        return 0
+
+    errors = check(figures, args.baseline, wanted)
     if errors:
         print(f"FAIL: bench output diverges from {args.baseline}:")
         for error in errors:

@@ -119,11 +119,43 @@ class CheckTest(unittest.TestCase):
         errors = self.check(extra)
         self.assertTrue(any("not in baseline manifest" in e for e in errors))
 
+    def test_figures_subset_ignores_other_manifest_entries(self):
+        # A job that built only one figure must be able to gate it alone.
+        both = dict(self.figures)
+        both["other"] = figure([point("o", "a")])
+        compare_bench.write_baseline(both, self.baseline)
+        errors = compare_bench.check(self.figures, self.baseline, only={"fig"})
+        self.assertEqual(errors, [])
+
+    def test_figures_subset_still_catches_missing_series(self):
+        shrunk = {"fig": figure([point("e", "a")])}
+        errors = compare_bench.check(shrunk, self.baseline, only={"fig"})
+        self.assertTrue(any("disappeared" in e for e in errors))
+
+    def test_figures_subset_flags_unknown_name(self):
+        errors = compare_bench.check(self.figures, self.baseline, only={"fig", "typo"})
+        self.assertTrue(any("unknown figure" in e for e in errors))
+
     def test_baseline_roundtrip_is_stable(self):
         # Re-deriving the manifest from the same figures changes nothing.
         second = Path(self.dir.name) / "manifest2.json"
         compare_bench.write_baseline(self.figures, second)
         self.assertEqual(self.baseline.read_text(), second.read_text())
+
+
+class DumpSeriesTest(unittest.TestCase):
+    def test_dump_is_sorted_and_value_free(self):
+        import io
+        from contextlib import redirect_stdout
+        figures = {
+            "b": figure([point("e", "z", "m"), point("e", "a")]),
+            "a": figure([point("x", "y")]),
+        }
+        out = io.StringIO()
+        with redirect_stdout(out):
+            compare_bench.dump_series(figures)
+        self.assertEqual(out.getvalue().splitlines(),
+                         ["a/x/y", "b/e/a", "b/e/z/m"])
 
 
 class CollectTest(unittest.TestCase):

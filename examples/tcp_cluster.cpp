@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "core/escape_policy.h"
+#include "net/event_loop.h"
 #include "net/real_cluster.h"
 
 using namespace escape;
@@ -40,16 +41,27 @@ ServerId wait_for_leader(const std::vector<std::unique_ptr<net::RealNode>>& node
 }  // namespace
 
 int main() {
-  const std::map<ServerId, std::uint16_t> endpoints = {{1, 39121}, {2, 39122}, {3, 39123}};
+  // Port 0 everywhere: bind every listener first (the kernel assigns free
+  // ports), then hand the open fds to the nodes — parallel demo runs never
+  // collide and no port can be stolen between discovery and use.
+  std::map<ServerId, std::uint16_t> endpoints;
+  std::map<ServerId, int> listen_fds;
+  for (ServerId id = 1; id <= 3; ++id) {
+    const auto listener = net::bind_loopback_listener(0);
+    endpoints[id] = listener.port;
+    listen_fds[id] = listener.fd;
+  }
 
   std::vector<std::unique_ptr<net::RealNode>> nodes;
-  net::RealNode::Options options;
-  options.node.heartbeat_interval = from_ms(60);
   for (const auto& [id, port] : endpoints) {
+    net::RealNode::Options options;
+    options.node.heartbeat_interval = from_ms(60);
+    options.listen_fd = listen_fds[id];
     nodes.push_back(std::make_unique<net::RealNode>(id, endpoints, demo_policy(), options));
   }
   for (auto& node : nodes) node->start();
-  std::printf("3 nodes listening on 127.0.0.1:{39121,39122,39123}\n");
+  std::printf("3 nodes listening on 127.0.0.1:{%u,%u,%u} (kernel-assigned)\n", endpoints[1],
+              endpoints[2], endpoints[3]);
 
   const ServerId first = wait_for_leader(nodes, 5000);
   if (first == kNoServer) {

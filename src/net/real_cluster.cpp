@@ -32,10 +32,16 @@ RealNode::RealNode(ServerId id, std::map<ServerId, std::uint16_t> endpoints,
                                            Rng(options_.seed ^ (0xC0FFEEull + id_)),
                                            options_.node, std::move(boot));
   driver_io_->attach(*node_);
-  transport_ = std::make_unique<TcpTransport>(id_, endpoints, [this](const rpc::Envelope& env) {
+  TransportOptions topts;
+  topts.listen_fd = options_.listen_fd;
+  transport_ = std::make_unique<TcpTransport>(id_, endpoints, TcpTransport::DeliverFn{}, topts);
+  // Whole-burst delivery: every message of one readiness edge lands in the
+  // mailbox under a single lock acquisition, and the driver thread steps
+  // them all before pumping Ready batches.
+  transport_->set_deliver_batch([this](std::vector<rpc::Envelope>&& batch) {
     {
       std::lock_guard lock(mu_);
-      mailbox_.push_back(env);
+      for (auto& env : batch) mailbox_.push_back(std::move(env));
     }
     cv_.notify_one();
   });
@@ -127,6 +133,8 @@ raft::NodeCounters RealNode::counters() const {
   return node_->counters();
 }
 
+std::uint16_t RealNode::listen_port() const { return transport_->port(); }
+
 void RealNode::run_loop() {
   using namespace std::chrono;
   RealDriver::Effects effects;
@@ -149,9 +157,11 @@ void RealNode::run_loop() {
       }
       node_->tick(clock_.now());
     }
-    // Drain the pending Ready batches one at a time: persistence runs under
-    // the lock (pump_one), the environment-facing effects flush outside it
-    // in the mandatory order — send, restore, apply, grant — per batch.
+    // Drain the pending Ready batches one flush unit at a time: persistence
+    // runs under the lock (pump_unit merges consecutive message-only batches
+    // so a replication fan-out ships as one send_batch), the
+    // environment-facing effects flush outside it in the mandatory order —
+    // send, restore, apply, grant.
     for (;;) {
       effects.clear();
       bool drained = false;
@@ -160,13 +170,13 @@ void RealNode::run_loop() {
       std::function<void(const raft::Snapshot&)> restore_hook;
       {
         std::lock_guard lock(mu_);
-        drained = driver_io_->pump_one(effects);
+        drained = driver_io_->pump_unit(effects);
         hook = apply_hook_;
         read_hook = read_hook_;
         restore_hook = restore_hook_;
       }
       if (!drained) break;
-      for (const auto& env : effects.messages) transport_->send(env);
+      transport_->send_batch(effects.messages);
       if (effects.restore && restore_hook) restore_hook(*effects.restore);
       if (hook) {
         for (const auto& entry : effects.committed) hook(entry);

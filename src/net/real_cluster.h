@@ -48,6 +48,10 @@ class RealNode {
     /// volatile in-memory stores are used.
     std::string data_dir;
     std::uint64_t seed = 1;
+    /// Pre-bound listening socket to adopt (port-0 path; see
+    /// bind_loopback_listener). When < 0, the transport binds
+    /// endpoints[id] itself in start().
+    int listen_fd = -1;
   };
 
   /// `endpoints` maps every member (including `id`) to a 127.0.0.1 port.
@@ -94,6 +98,10 @@ class RealNode {
   LogIndex commit_index() const;
   raft::NodeCounters counters() const;
   ServerId id() const { return id_; }
+
+  /// Port the transport listens on (kernel-assigned with the port-0 path).
+  /// Meaningful after start().
+  std::uint16_t listen_port() const;
 
  private:
   void run_loop();

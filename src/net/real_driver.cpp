@@ -36,6 +36,28 @@ bool RealDriver::pump_one(Effects& out) {
   return drained;
 }
 
+bool RealDriver::pump_unit(Effects& out) {
+  bool any = false;
+  Effects batch;
+  for (;;) {
+    batch.clear();
+    if (!pump_one(batch)) break;
+    any = true;
+    out.messages.insert(out.messages.end(), std::make_move_iterator(batch.messages.begin()),
+                        std::make_move_iterator(batch.messages.end()));
+    if (batch.restore || !batch.committed.empty() || !batch.read_grants.empty()) {
+      // This batch carries environment effects beyond messages: stop merging
+      // so the caller's send -> restore -> apply -> grant flush preserves the
+      // per-batch order.
+      out.restore = std::move(batch.restore);
+      out.committed = std::move(batch.committed);
+      out.read_grants = std::move(batch.read_grants);
+      break;
+    }
+  }
+  return any;
+}
+
 std::size_t RealDriver::flush_persists(Effects& out, TimePoint now) {
   if (sink_) throw std::logic_error("RealDriver::flush_persists() re-entered");
   sink_ = &out;

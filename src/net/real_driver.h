@@ -58,6 +58,17 @@ class RealDriver {
   /// to flush after unlocking. Returns false when nothing was pending.
   bool pump_one(Effects& out);
 
+  /// Drains one flush *unit*: consecutive message-only batches merge into
+  /// `out` (requires out.empty()), and the first batch that carries a
+  /// restore, committed entries or read grants terminates the unit. Flushing
+  /// `out` in the usual order then equals flushing each batch in order —
+  /// every merged batch's persistence already ran here, before any of its
+  /// messages escape, and no apply/restore can be reordered across a later
+  /// batch. This is what lets RealNode ship a whole burst of AppendEntries
+  /// fan-out as one transport send_batch(). Returns false when nothing was
+  /// pending.
+  bool pump_unit(Effects& out);
+
   /// Async-persist completion (call holding the node lock, like pump_one):
   /// the WAL sync happens here and each released batch's held messages land
   /// in `out` for flushing outside the lock. See

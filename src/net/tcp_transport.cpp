@@ -1,47 +1,22 @@
 #include "net/tcp_transport.h"
 
-#include <cerrno>
-#include <cstring>
 #include <stdexcept>
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include "common/logging.h"
+#include "common/serde.h"
 
 namespace escape::net {
 namespace {
 
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
-
-// Frames carry a one-u32 hello (the sender's id) as the first payload so the
-// acceptor can attribute inbound traffic to a ServerId.
-std::vector<std::uint8_t> hello_payload(ServerId self) {
+// The first frame on an outgoing connection carries a one-u32 hello (the
+// sender's id) so the acceptor can attribute inbound traffic to a ServerId.
+std::vector<std::uint8_t> hello_frame(ServerId self) {
   Encoder e;
   e.u32(self);
-  return e.take();
+  return rpc::frame_payload(e.take());
 }
 
 }  // namespace
-
-namespace testhooks {
-RecvFn recv_fn = &::recv;
-SendFn send_fn = &::send;
-AcceptFn accept_fn = &::accept;
-void reset() {
-  recv_fn = &::recv;
-  send_fn = &::send;
-  accept_fn = &::accept;
-}
-}  // namespace testhooks
 
 TcpTransport::TcpTransport(ServerId self, std::map<ServerId, std::uint16_t> endpoints,
                            DeliverFn deliver, TransportOptions options)
@@ -52,254 +27,134 @@ TcpTransport::TcpTransport(ServerId self, std::map<ServerId, std::uint16_t> endp
   if (endpoints_.find(self_) == endpoints_.end()) {
     throw std::invalid_argument("endpoints must include self");
   }
+  EventLoop::Options loop_options;
+  loop_options.sndbuf = options_.sndbuf;
+  loop_options.rcvbuf = options_.rcvbuf;
+  // Transport mode: overflow drops the frame but keeps the connection —
+  // consensus retransmits by design, and evicting a live peer link would
+  // only force a reconnect.
+  loop_options.evict_on_overflow = false;
+  EventLoop::Handler handler;
+  handler.on_frames = [this](EventLoop::ConnId conn,
+                             std::vector<std::vector<std::uint8_t>>&& frames) {
+    on_frames(conn, std::move(frames));
+  };
+  handler.on_close = [this](EventLoop::ConnId conn) { on_conn_closed(conn); };
+  loop_ = std::make_unique<EventLoop>(std::move(handler), loop_options);
 }
 
 TcpTransport::~TcpTransport() { stop(); }
 
-void TcpTransport::apply_socket_options(int fd) const {
-  if (options_.sndbuf > 0) {
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf, sizeof(options_.sndbuf));
-  }
-  if (options_.rcvbuf > 0) {
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options_.rcvbuf, sizeof(options_.rcvbuf));
-  }
+void TcpTransport::set_deliver_batch(DeliverBatchFn deliver_batch) {
+  deliver_batch_ = std::move(deliver_batch);
 }
 
 void TcpTransport::start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  apply_socket_options(listen_fd_);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(endpoints_.at(self_));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw std::runtime_error("bind() failed on port " + std::to_string(endpoints_.at(self_)) +
-                             ": " + std::strerror(errno));
-  }
-  if (::listen(listen_fd_, 64) != 0) throw std::runtime_error("listen() failed");
-  set_nonblocking(listen_fd_);
-
-  if (::pipe(wake_pipe_) != 0) throw std::runtime_error("pipe() failed");
-  set_nonblocking(wake_pipe_[0]);
-  set_nonblocking(wake_pipe_[1]);
-
-  running_.store(true);
-  thread_ = std::thread([this] { poll_loop(); });
+  BoundListener listener{options_.listen_fd, endpoints_.at(self_)};
+  if (listener.fd < 0) listener = bind_loopback_listener(listener.port);
+  loop_->listen(listener);
+  loop_->start();
 }
 
 void TcpTransport::stop() {
-  if (!running_.exchange(false)) return;
-  wake();
-  if (thread_.joinable()) thread_.join();
+  loop_->stop();
   std::lock_guard lock(mu_);
-  for (auto& [fd, conn] : conns_) ::close(fd);
-  conns_.clear();
   peer_conn_.clear();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  listen_fd_ = -1;
-  for (int& fd : wake_pipe_) {
-    if (fd >= 0) ::close(fd);
-    fd = -1;
-  }
+  conn_peer_.clear();
 }
 
-void TcpTransport::wake() {
-  const char b = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
-}
+std::uint16_t TcpTransport::port() const { return loop_->port(); }
 
-bool TcpTransport::connect_peer(ServerId peer) {
-  // mu_ held by caller.
-  const auto it = endpoints_.find(peer);
-  if (it == endpoints_.end()) return false;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  set_nonblocking(fd);
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  apply_socket_options(fd);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(it->second);
-  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc != 0 && errno != EINPROGRESS) {
-    ::close(fd);
-    return false;
-  }
-  Conn conn;
-  conn.fd = fd;
-  conn.peer = peer;
-  conn.connecting = rc != 0;
-  // First frame on an outgoing connection identifies us to the acceptor.
-  const auto hello = rpc::frame_payload(hello_payload(self_));
-  conn.outbuf.insert(conn.outbuf.end(), hello.begin(), hello.end());
-  conns_.emplace(fd, std::move(conn));
-  peer_conn_[peer] = fd;
+EventLoop::ConnId TcpTransport::outgoing_locked(ServerId peer) {
+  const auto existing = peer_conn_.find(peer);
+  if (existing != peer_conn_.end()) return existing->second;
+  const auto endpoint = endpoints_.find(peer);
+  if (endpoint == endpoints_.end()) return 0;
+  const EventLoop::ConnId conn = loop_->connect(endpoint->second);
+  if (conn == 0) return 0;
+  peer_conn_[peer] = conn;
+  conn_peer_[conn] = peer;
   stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  loop_->send(conn, hello_frame(self_));
+  return conn;
 }
 
 void TcpTransport::send(const rpc::Envelope& envelope) {
   const auto frame = rpc::frame_message(envelope.message);
+  EventLoop::ConnId conn;
   {
     std::lock_guard lock(mu_);
-    auto it = peer_conn_.find(envelope.to);
-    if (it == peer_conn_.end()) {
-      if (!connect_peer(envelope.to)) {
-        stats_.dropped.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      it = peer_conn_.find(envelope.to);
-    }
-    auto& conn = conns_.at(it->second);
-    if (conn.outbuf.size() + frame.size() > kMaxOutboundBytes) {
-      stats_.dropped.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    conn.outbuf.insert(conn.outbuf.end(), frame.begin(), frame.end());
-    stats_.sent.fetch_add(1, std::memory_order_relaxed);
+    conn = outgoing_locked(envelope.to);
   }
-  wake();
+  if (conn == 0 || loop_->send(conn, frame) != EventLoop::SendResult::kOk) {
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  stats_.sent.fetch_add(1, std::memory_order_relaxed);
 }
 
-void TcpTransport::close_conn(int fd) {
-  // mu_ held by caller.
-  const auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  if (it->second.peer != kNoServer) {
-    const auto pit = peer_conn_.find(it->second.peer);
-    if (pit != peer_conn_.end() && pit->second == fd) peer_conn_.erase(pit);
-  }
-  ::close(fd);
-  conns_.erase(it);
+void TcpTransport::send_batch(const std::vector<rpc::Envelope>& envelopes) {
+  // Per-envelope path; the loop already coalesces every frame queued this
+  // pass into few write()s per destination.
+  for (const auto& envelope : envelopes) send(envelope);
 }
 
-void TcpTransport::handle_readable(Conn& conn) {
-  std::uint8_t buf[1 << 16];
-  while (true) {
-    const ssize_t n = testhooks::recv_fn(conn.fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      conn.reader.feed(buf, static_cast<std::size_t>(n));
-    } else if (n == 0) {
-      close_conn(conn.fd);  // orderly shutdown by the peer
-      return;
-    } else {
-      // errno is only meaningful on a negative return. EINTR means a signal
-      // landed mid-syscall: the connection is healthy, retry immediately.
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      close_conn(conn.fd);
-      return;
-    }
+void TcpTransport::on_frames(EventLoop::ConnId conn,
+                             std::vector<std::vector<std::uint8_t>>&& frames) {
+  ServerId peer = kNoServer;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = conn_peer_.find(conn);
+    if (it != conn_peer_.end()) peer = it->second;
   }
+  std::vector<rpc::Envelope> batch;
+  batch.reserve(frames.size());
+  bool corrupt = false;
+  std::size_t i = 0;
   try {
-    while (auto payload = conn.reader.next()) {
-      if (conn.peer == kNoServer) {
-        // First inbound frame is the hello carrying the sender's id.
-        Decoder d(*payload);
-        conn.peer = d.u32();
-        d.expect_end();
-        continue;
-      }
+    if (peer == kNoServer) {
+      // First inbound frame is the hello carrying the sender's id.
+      Decoder d(frames[0]);
+      peer = d.u32();
+      d.expect_end();
+      std::lock_guard lock(mu_);
+      conn_peer_[conn] = peer;
+      i = 1;
+    }
+    for (; i < frames.size(); ++i) {
       rpc::Envelope env;
-      env.from = conn.peer;
+      env.from = peer;
       env.to = self_;
-      env.message = rpc::decode_message(*payload);
-      stats_.received.fetch_add(1, std::memory_order_relaxed);
-      deliver_(env);
+      env.message = rpc::decode_message(frames[i]);
+      batch.push_back(std::move(env));
     }
   } catch (const DecodeError& e) {
-    LOG_WARN("transport " << server_name(self_) << ": closing connection after decode error: "
-                          << e.what());
-    close_conn(conn.fd);
+    LOG_WARN("transport " << server_name(self_)
+                          << ": closing connection after decode error: " << e.what());
+    corrupt = true;
   }
+  stats_.received.fetch_add(batch.size(), std::memory_order_relaxed);
+  // Frames decoded before the corrupt one still deliver, matching the
+  // stream-prefix semantics of the old per-frame path.
+  if (!batch.empty()) {
+    if (deliver_batch_) {
+      deliver_batch_(std::move(batch));
+    } else if (deliver_) {
+      for (const auto& env : batch) deliver_(env);
+    }
+  }
+  if (corrupt) loop_->close(conn);
 }
 
-void TcpTransport::flush_writable(Conn& conn) {
-  conn.connecting = false;
-  while (!conn.outbuf.empty()) {
-    // deque is not contiguous; copy a bounded chunk.
-    std::uint8_t chunk[1 << 16];
-    const std::size_t len = std::min(conn.outbuf.size(), sizeof(chunk));
-    for (std::size_t i = 0; i < len; ++i) chunk[i] = conn.outbuf[i];
-    const ssize_t n = testhooks::send_fn(conn.fd, chunk, len, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.outbuf.erase(conn.outbuf.begin(), conn.outbuf.begin() + n);
-    } else if (n == 0) {
-      // No bytes accepted but no error either; errno is stale here and must
-      // not be consulted. Leave the buffer queued and retry on the next
-      // POLLOUT rather than spinning or closing on a leftover errno value.
-      break;
-    } else if (errno == EINTR) {
-      continue;  // signal mid-send; the connection is fine
-    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      break;
-    } else {
-      close_conn(conn.fd);
-      return;
-    }
-  }
-}
-
-void TcpTransport::poll_loop() {
-  while (running_.load()) {
-    std::vector<pollfd> fds;
-    fds.push_back({listen_fd_, POLLIN, 0});
-    fds.push_back({wake_pipe_[0], POLLIN, 0});
-    {
-      std::lock_guard lock(mu_);
-      for (auto& [fd, conn] : conns_) {
-        short events = POLLIN;
-        if (!conn.outbuf.empty() || conn.connecting) events |= POLLOUT;
-        fds.push_back({fd, events, 0});
-      }
-    }
-    const int rc = ::poll(fds.data(), fds.size(), 100);
-    if (rc < 0 && errno != EINTR) break;
-    if (!running_.load()) break;
-
-    if (fds[0].revents & POLLIN) {
-      while (true) {
-        const int cfd = testhooks::accept_fn(listen_fd_, nullptr, nullptr);
-        if (cfd < 0) {
-          if (errno == EINTR) continue;  // signal mid-accept; the pending
-                                         // connection is still queued
-          break;
-        }
-        set_nonblocking(cfd);
-        const int one = 1;
-        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        apply_socket_options(cfd);
-        std::lock_guard lock(mu_);
-        Conn conn;
-        conn.fd = cfd;
-        conns_.emplace(cfd, std::move(conn));
-      }
-    }
-    if (fds[1].revents & POLLIN) {
-      char drain[256];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
-      }
-    }
-    for (std::size_t i = 2; i < fds.size(); ++i) {
-      std::lock_guard lock(mu_);
-      auto it = conns_.find(fds[i].fd);
-      if (it == conns_.end()) continue;
-      if (fds[i].revents & (POLLERR | POLLHUP)) {
-        close_conn(fds[i].fd);
-        continue;
-      }
-      if (fds[i].revents & POLLOUT) flush_writable(it->second);
-      // flush may close; re-find.
-      it = conns_.find(fds[i].fd);
-      if (it == conns_.end()) continue;
-      if (fds[i].revents & POLLIN) handle_readable(it->second);
-    }
-  }
+void TcpTransport::on_conn_closed(EventLoop::ConnId conn) {
+  std::lock_guard lock(mu_);
+  const auto it = conn_peer_.find(conn);
+  if (it == conn_peer_.end()) return;
+  const auto out = peer_conn_.find(it->second);
+  // Only forget the outgoing link when it is this connection — an inbound
+  // connection from the same peer closing must not sever our own link.
+  if (out != peer_conn_.end() && out->second == conn) peer_conn_.erase(out);
+  conn_peer_.erase(it);
 }
 
 }  // namespace escape::net

@@ -1,29 +1,33 @@
 // Real TCP transport for deploying the consensus core outside the simulator.
 //
 // Each server owns one TcpTransport: a listening socket plus lazily
-// established outgoing connections to peers, serviced by a single background
-// poll() thread. Messages are framed with rpc::frame_message (length prefix +
-// CRC); a corrupt frame closes the connection, and outgoing sends reconnect
+// established outgoing connections to peers, multiplexed by one EventLoop
+// (edge-triggered epoll, per-connection ring buffers — see event_loop.h).
+// Messages are framed with rpc::frame_message (length prefix + CRC); a
+// corrupt frame closes the connection, and outgoing sends reconnect
 // transparently — consensus tolerates lost messages by design, so the
 // transport drops rather than blocks when a peer is unreachable.
 //
-// Thread model: send() may be called from any thread (it enqueues and wakes
-// the poll loop via a self-pipe); the deliver callback runs on the poll
-// thread and must not block.
+// Thread model: send()/send_batch() may be called from any thread (they
+// enqueue on the loop's output rings and wake it via its eventfd); the
+// deliver callback runs on the loop thread and must not block. With
+// set_deliver_batch, every complete frame of one readiness burst arrives in
+// a single callback — the seam RealNode uses to step many messages per
+// node-lock acquisition.
+//
+// The net::testhooks syscall seams live in event_loop.h (shared with the
+// serving layer).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
-#include <sys/socket.h>
-#include <sys/types.h>
-
+#include "net/event_loop.h"
 #include "rpc/messages.h"
 #include "rpc/wire.h"
 
@@ -37,36 +41,27 @@ struct TransportStats {
   std::atomic<std::uint64_t> reconnects{0};
 };
 
-/// Syscall seams for fault-injection tests. Production code always calls the
-/// sockets API through these pointers, which default to the real syscalls;
-/// net_transport_test swaps them (before start(), restoring afterwards) to
-/// inject EINTR returns and short writes deterministically — conditions the
-/// kernel produces rarely enough that a test relying on real signal timing
-/// would be flaky. Not for use outside tests.
-namespace testhooks {
-using RecvFn = ssize_t (*)(int fd, void* buf, std::size_t len, int flags);
-using SendFn = ssize_t (*)(int fd, const void* buf, std::size_t len, int flags);
-using AcceptFn = int (*)(int fd, sockaddr* addr, socklen_t* addrlen);
-extern RecvFn recv_fn;
-extern SendFn send_fn;
-extern AcceptFn accept_fn;
-/// Restores all three hooks to the real syscalls.
-void reset();
-}  // namespace testhooks
-
 struct TransportOptions {
   /// When > 0, sets SO_SNDBUF / SO_RCVBUF on every socket. Tests use tiny
   /// buffers to force partial writes; 0 keeps the kernel defaults.
   int sndbuf = 0;
   int rcvbuf = 0;
+  /// When >= 0, start() adopts this already-bound listening socket (see
+  /// bind_loopback_listener) instead of binding endpoints[self]. This is the
+  /// port-0 path: reserve every listener first, discover the kernel-assigned
+  /// ports, then hand each open fd to its transport — no rebind race.
+  int listen_fd = -1;
 };
 
 class TcpTransport {
  public:
   using DeliverFn = std::function<void(const rpc::Envelope&)>;
+  using DeliverBatchFn = std::function<void(std::vector<rpc::Envelope>&&)>;
 
   /// `endpoints` maps every cluster member (including `self`) to a TCP port
-  /// on 127.0.0.1. The transport binds self's port in start().
+  /// on 127.0.0.1. The transport binds self's port in start() (unless
+  /// options.listen_fd adopts a pre-bound listener). `deliver` may be null
+  /// when set_deliver_batch() installs a batch callback before start().
   TcpTransport(ServerId self, std::map<ServerId, std::uint16_t> endpoints, DeliverFn deliver,
                TransportOptions options = {});
   ~TcpTransport();
@@ -74,52 +69,51 @@ class TcpTransport {
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
-  /// Binds, listens and launches the poll thread. Throws std::runtime_error
-  /// on bind failure.
+  /// Replaces per-envelope delivery with whole-burst delivery: all messages
+  /// parsed from one readiness edge arrive in a single call, in order.
+  /// Call before start().
+  void set_deliver_batch(DeliverBatchFn deliver_batch);
+
+  /// Binds (or adopts), listens and launches the event-loop thread. Throws
+  /// std::runtime_error on bind failure.
   void start();
 
-  /// Stops the poll thread and closes all sockets. Idempotent.
+  /// Stops the event loop and closes all sockets. Idempotent and terminal —
+  /// a stopped transport cannot be restarted.
   void stop();
 
   /// Queues `envelope` for its destination. Never blocks; drops (and counts)
-  /// when the peer is unreachable and the outbound queue is saturated.
+  /// when the peer is unreachable or the outbound queue is saturated.
   void send(const rpc::Envelope& envelope);
+
+  /// Queues a whole Ready batch: one lock acquisition on the transport, and
+  /// the loop coalesces all frames sharing a destination into few write()s.
+  void send_batch(const std::vector<rpc::Envelope>& envelopes);
+
+  /// Port the transport is listening on. Meaningful after start(); with a
+  /// pre-bound listener this is the kernel-assigned port.
+  std::uint16_t port() const;
 
   const TransportStats& stats() const { return stats_; }
   ServerId self() const { return self_; }
 
  private:
-  struct Conn {
-    int fd = -1;
-    ServerId peer = kNoServer;        ///< known for outgoing; learned for incoming
-    rpc::FrameReader reader;
-    std::deque<std::uint8_t> outbuf;  ///< bytes awaiting writability
-    bool connecting = false;          ///< nonblocking connect() in flight
-  };
-
-  void poll_loop();
-  void handle_readable(Conn& conn);
-  void flush_writable(Conn& conn);
-  bool connect_peer(ServerId peer);
-  void close_conn(int fd);
-  void wake();
-  void apply_socket_options(int fd) const;
-
-  static constexpr std::size_t kMaxOutboundBytes = 8u << 20;
+  void on_frames(EventLoop::ConnId conn, std::vector<std::vector<std::uint8_t>>&& frames);
+  void on_conn_closed(EventLoop::ConnId conn);
+  EventLoop::ConnId outgoing_locked(ServerId peer);  // mu_ held
 
   const ServerId self_;
   const std::map<ServerId, std::uint16_t> endpoints_;
   DeliverFn deliver_;
+  DeliverBatchFn deliver_batch_;
   const TransportOptions options_;
 
-  std::mutex mu_;                  // guards conns_, peer_conn_
-  std::map<int, Conn> conns_;      // by fd
-  std::map<ServerId, int> peer_conn_;  // outgoing connection per peer
+  std::unique_ptr<EventLoop> loop_;
 
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
-  std::thread thread_;
-  std::atomic<bool> running_{false};
+  std::mutex mu_;  // guards peer_conn_, conn_peer_
+  std::map<ServerId, EventLoop::ConnId> peer_conn_;  ///< outgoing connection per peer
+  std::map<EventLoop::ConnId, ServerId> conn_peer_;  ///< known (outgoing) or learned (hello)
+
   TransportStats stats_;
 };
 

@@ -1,0 +1,264 @@
+#include "serve/kv_client.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "rpc/wire.h"
+
+namespace escape::serve {
+namespace {
+
+std::vector<ServerId> server_list(const std::map<ServerId, std::uint16_t>& ports) {
+  std::vector<ServerId> out;
+  out.reserve(ports.size());
+  for (const auto& [id, port] : ports) out.push_back(id);
+  return out;
+}
+
+}  // namespace
+
+KvClient::KvClient(std::map<ServerId, std::uint16_t> client_ports, std::uint64_t base_client_id,
+                   Options options)
+    : ports_(std::move(client_ports)),
+      base_client_id_(base_client_id),
+      options_(options),
+      servers_(server_list(ports_)),
+      loop_(
+          [this] {
+            net::EventLoop::Handler h;
+            h.on_frames = [this](net::EventLoop::ConnId conn,
+                                 std::vector<std::vector<std::uint8_t>>&& frames) {
+              on_frames(conn, std::move(frames));
+            };
+            h.on_close = [this](net::EventLoop::ConnId conn) { on_conn_closed(conn); };
+            return h;
+          }(),
+          net::EventLoop::Options{}),
+      lanes_(static_cast<std::size_t>(std::max(1, options.lanes))),
+      leader_(servers_.empty() ? kNoServer : servers_.front()) {}
+
+KvClient::~KvClient() { stop(); }
+
+void KvClient::start() {
+  loop_.start();
+  running_.store(true);
+  janitor_ = std::thread([this] { janitor(); });
+}
+
+void KvClient::stop() {
+  if (!running_.exchange(false)) return;
+  if (janitor_.joinable()) janitor_.join();
+  loop_.stop();
+  // Complete whatever is left so no callback is silently dropped.
+  std::vector<std::pair<Callback, std::pair<Status, kv::CommandResult>>> completions;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, pending] : pending_) {
+      completions.emplace_back(std::move(pending.done),
+                               std::make_pair(Status::kRetry, kv::CommandResult{}));
+    }
+    pending_.clear();
+    for (auto& lane : lanes_) {
+      lane.active = 0;
+      lane.waiting.clear();
+    }
+  }
+  for (auto& [done, outcome] : completions) {
+    if (done) done(outcome.first, outcome.second);
+  }
+}
+
+std::size_t KvClient::outstanding() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+net::EventLoop::ConnId KvClient::conn_for_locked(ServerId server, std::uint64_t request_id) {
+  auto& slots = conns_[server];
+  if (slots.empty()) {
+    slots.resize(static_cast<std::size_t>(std::max(1, options_.connections_per_server)), 0);
+  }
+  const std::size_t slot = request_id % slots.size();
+  if (slots[slot] == 0) {
+    const auto port = ports_.find(server);
+    if (port == ports_.end()) return 0;
+    const auto conn = loop_.connect(port->second);
+    if (conn == 0) return 0;
+    slots[slot] = conn;
+    conn_server_[conn] = server;
+  }
+  return slots[slot];
+}
+
+void KvClient::rotate_leader_locked() {
+  if (servers_.empty()) return;
+  const auto it = std::find(servers_.begin(), servers_.end(), leader_);
+  const std::size_t at = it == servers_.end() ? 0 : (it - servers_.begin());
+  leader_ = servers_[(at + 1) % servers_.size()];
+}
+
+void KvClient::try_send_locked(std::uint64_t request_id, Pending& pending, TimePoint now) {
+  const auto conn = conn_for_locked(leader_, request_id);
+  if (conn == 0) {
+    pending.not_before = now + options_.retry_backoff;
+    return;
+  }
+  const auto frame = rpc::frame_payload(encode_request(pending.request));
+  if (loop_.send(conn, frame) != net::EventLoop::SendResult::kOk) {
+    pending.not_before = now + options_.retry_backoff;
+    return;
+  }
+  pending.in_flight = true;
+  pending.sent_conn = conn;
+}
+
+void KvClient::submit(kv::Command command, Callback done) {
+  const TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  const std::uint64_t request_id = next_request_++;
+  Pending pending;
+  pending.done = std::move(done);
+  pending.deadline = now + options_.timeout;
+  pending.request.request_id = request_id;
+  pending.request.command = std::move(command);
+
+  if (pending.request.command.op == kv::Op::kGet) {
+    // Reads carry no session identity and run with unbounded concurrency.
+    auto& slot = pending_[request_id] = std::move(pending);
+    try_send_locked(request_id, slot, now);
+    return;
+  }
+
+  const int lane_index = static_cast<int>(next_lane_++ % lanes_.size());
+  pending.lane = lane_index;
+  auto& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  auto& slot = pending_[request_id] = std::move(pending);
+  if (lane.active != 0) {
+    // The session already has a write in flight; sequence is stamped at
+    // activation so per-lane sequences match send order exactly.
+    lane.waiting.push_back(request_id);
+    return;
+  }
+  lane.active = request_id;
+  slot.request.command.client_id = base_client_id_ + static_cast<std::uint64_t>(lane_index);
+  slot.request.command.sequence = lane.next_sequence++;
+  try_send_locked(request_id, slot, now);
+}
+
+void KvClient::finish_locked(
+    std::uint64_t request_id, Status status, kv::CommandResult result, TimePoint now,
+    std::vector<std::pair<Callback, std::pair<Status, kv::CommandResult>>>& completions) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  const int lane_index = it->second.lane;
+  completions.emplace_back(std::move(it->second.done),
+                           std::make_pair(status, std::move(result)));
+  pending_.erase(it);
+  if (lane_index < 0) return;
+  auto& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  if (lane.active != request_id) return;
+  lane.active = 0;
+  // Activate the next queued write on this session.
+  while (!lane.waiting.empty()) {
+    const std::uint64_t next_id = lane.waiting.front();
+    lane.waiting.pop_front();
+    const auto next = pending_.find(next_id);
+    if (next == pending_.end()) continue;  // timed out while waiting
+    lane.active = next_id;
+    next->second.request.command.client_id =
+        base_client_id_ + static_cast<std::uint64_t>(lane_index);
+    next->second.request.command.sequence = lane.next_sequence++;
+    try_send_locked(next_id, next->second, now);
+    break;
+  }
+}
+
+void KvClient::on_frames(net::EventLoop::ConnId conn,
+                         std::vector<std::vector<std::uint8_t>>&& frames) {
+  const TimePoint now = clock_.now();
+  std::vector<std::pair<Callback, std::pair<Status, kv::CommandResult>>> completions;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& payload : frames) {
+      const auto response = decode_response(payload);
+      if (!response) continue;  // tolerate garbage; the deadline backstops
+      const auto it = pending_.find(response->request_id);
+      if (it == pending_.end()) continue;  // late answer for a timed-out request
+      switch (response->status) {
+        case Status::kOk:
+          finish_locked(response->request_id, Status::kOk, response->result, now, completions);
+          break;
+        case Status::kNotLeader:
+          if (response->leader_hint != kNoServer && ports_.count(response->leader_hint)) {
+            leader_ = response->leader_hint;
+          } else if (conn_server_.count(conn) && conn_server_[conn] == leader_) {
+            rotate_leader_locked();
+          }
+          it->second.in_flight = false;
+          it->second.not_before = now + options_.retry_backoff;
+          break;
+        case Status::kRetry:
+        default:
+          it->second.in_flight = false;
+          it->second.not_before = now + options_.retry_backoff;
+          break;
+      }
+    }
+  }
+  for (auto& [done, outcome] : completions) {
+    if (done) done(outcome.first, outcome.second);
+  }
+}
+
+void KvClient::on_conn_closed(net::EventLoop::ConnId conn) {
+  const TimePoint now = clock_.now();
+  std::lock_guard lock(mu_);
+  const auto owner = conn_server_.find(conn);
+  if (owner != conn_server_.end()) {
+    auto& slots = conns_[owner->second];
+    std::replace(slots.begin(), slots.end(), conn, net::EventLoop::ConnId{0});
+    // A dropped leader link usually means the leader died; try elsewhere.
+    if (owner->second == leader_) rotate_leader_locked();
+    conn_server_.erase(owner);
+  }
+  for (auto& [id, pending] : pending_) {
+    if (pending.in_flight && pending.sent_conn == conn) {
+      pending.in_flight = false;
+      pending.not_before = now + options_.retry_backoff;
+    }
+  }
+}
+
+void KvClient::janitor() {
+  while (running_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const TimePoint now = clock_.now();
+    std::vector<std::pair<Callback, std::pair<Status, kv::CommandResult>>> completions;
+    {
+      std::lock_guard lock(mu_);
+      std::vector<std::uint64_t> expired;
+      std::vector<std::uint64_t> resend;
+      for (auto& [id, pending] : pending_) {
+        if (pending.deadline <= now) {
+          expired.push_back(id);
+        } else if (!pending.in_flight && pending.not_before <= now &&
+                   (pending.lane < 0 ||
+                    lanes_[static_cast<std::size_t>(pending.lane)].active == id)) {
+          resend.push_back(id);
+        }
+      }
+      for (const auto id : expired) {
+        finish_locked(id, Status::kTimeout, kv::CommandResult{}, now, completions);
+      }
+      for (const auto id : resend) {
+        const auto it = pending_.find(id);
+        if (it != pending_.end()) try_send_locked(id, it->second, now);
+      }
+    }
+    for (auto& [done, outcome] : completions) {
+      if (done) done(outcome.first, outcome.second);
+    }
+  }
+}
+
+}  // namespace escape::serve

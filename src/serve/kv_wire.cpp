@@ -1,0 +1,57 @@
+#include "serve/kv_wire.h"
+
+#include "common/serde.h"
+
+namespace escape::serve {
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  Encoder e;
+  e.u64(request.request_id);
+  e.bytes(kv::encode_command(request.command));
+  return e.take();
+}
+
+std::optional<Request> decode_request(const std::vector<std::uint8_t>& bytes) {
+  try {
+    Decoder d(bytes);
+    Request r;
+    r.request_id = d.u64();
+    auto command = kv::decode_command(d.bytes());
+    d.expect_end();
+    if (!command) return std::nullopt;
+    r.command = std::move(*command);
+    return r;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  Encoder e;
+  e.u64(response.request_id);
+  e.u8(static_cast<std::uint8_t>(response.status));
+  e.u32(response.leader_hint);
+  e.bytes(kv::encode_result(response.result));
+  return e.take();
+}
+
+std::optional<Response> decode_response(const std::vector<std::uint8_t>& bytes) {
+  try {
+    Decoder d(bytes);
+    Response r;
+    r.request_id = d.u64();
+    const auto status = d.u8();
+    if (status > static_cast<std::uint8_t>(Status::kRetry)) return std::nullopt;
+    r.status = static_cast<Status>(status);
+    r.leader_hint = d.u32();
+    auto result = kv::decode_result(d.bytes());
+    d.expect_end();
+    if (!result) return std::nullopt;
+    r.result = std::move(*result);
+    return r;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace escape::serve

@@ -1,0 +1,462 @@
+// Epoll event-loop tests: ByteRing mechanics, port-0 listener adoption,
+// frame reassembly across partial transfers (tiny SO_SNDBUF/SO_RCVBUF),
+// slow-client eviction vs transport-mode overflow, a 1000-connection accept
+// storm, and EINTR injection through the net::testhooks syscall seams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/event_loop.h"
+#include "rpc/wire.h"
+
+namespace escape::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- ByteRing ----------------------------------------------------------------
+
+TEST(ByteRingTest, AppendPeekConsumeRoundtrip) {
+  ByteRing ring;
+  EXPECT_TRUE(ring.empty());
+  std::vector<std::uint8_t> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  ring.append(data.data(), data.size());
+  EXPECT_EQ(ring.size(), 100u);
+
+  std::vector<std::uint8_t> out(100);
+  ring.peek(0, out.data(), out.size());
+  EXPECT_EQ(out, data);
+
+  ring.consume(40);
+  EXPECT_EQ(ring.size(), 60u);
+  std::vector<std::uint8_t> tail(60);
+  ring.peek(0, tail.data(), tail.size());
+  EXPECT_EQ(tail, std::vector<std::uint8_t>(data.begin() + 40, data.end()));
+}
+
+TEST(ByteRingTest, WrapAroundPreservesBytes) {
+  ByteRing ring;
+  // Fill, drain most, then append past the physical end so the data wraps.
+  std::vector<std::uint8_t> first(48, 0xAA);
+  ring.append(first.data(), first.size());
+  const std::size_t cap = ring.capacity();
+  ring.consume(40);
+  std::vector<std::uint8_t> second(cap - 16, 0xBB);  // forces head < tail wrap
+  ring.append(second.data(), second.size());
+
+  std::vector<std::uint8_t> out(ring.size());
+  ring.peek(0, out.data(), out.size());
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(out[i], 0xAA) << i;
+  for (std::size_t i = 8; i < out.size(); ++i) ASSERT_EQ(out[i], 0xBB) << i;
+
+  // head_span is contiguous and may be shorter than size() when wrapped;
+  // consuming span-by-span must still walk every byte exactly once.
+  std::size_t seen = 0;
+  while (!ring.empty()) {
+    const auto [ptr, len] = ring.head_span();
+    ASSERT_GT(len, 0u);
+    ASSERT_LE(len, ring.size());
+    seen += len;
+    ring.consume(len);
+  }
+  EXPECT_EQ(seen, out.size());
+}
+
+TEST(ByteRingTest, TailSpanProduceMatchesAppend) {
+  ByteRing ring;
+  const auto [ptr, len] = ring.tail_span(1000);
+  ASSERT_GE(len, 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) ptr[i] = static_cast<std::uint8_t>(i % 251);
+  ring.produce(1000);
+  EXPECT_EQ(ring.size(), 1000u);
+  std::vector<std::uint8_t> out(1000);
+  ring.peek(0, out.data(), out.size());
+  for (std::size_t i = 0; i < 1000; ++i) ASSERT_EQ(out[i], i % 251) << i;
+}
+
+TEST(ByteRingTest, GrowsAcrossPowerOfTwoBoundaries) {
+  ByteRing ring;
+  std::vector<std::uint8_t> chunk(777);
+  std::iota(chunk.begin(), chunk.end(), 1);
+  for (int i = 0; i < 100; ++i) ring.append(chunk.data(), chunk.size());
+  EXPECT_EQ(ring.size(), 77700u);
+  // Capacity stays a power of two (or zero before first use).
+  const std::size_t cap = ring.capacity();
+  EXPECT_EQ(cap & (cap - 1), 0u);
+  std::vector<std::uint8_t> out(chunk.size());
+  ring.peek(99 * chunk.size(), out.data(), out.size());
+  EXPECT_EQ(out, chunk);
+}
+
+// --- helpers for socket tests ------------------------------------------------
+
+int connect_blocking(std::uint16_t port, int rcvbuf = 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (rcvbuf > 0) ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void send_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads frames from `fd` until `count` payloads arrive (or 10 s pass).
+std::vector<std::vector<std::uint8_t>> read_frames(int fd, std::size_t count) {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  rpc::FrameReader reader;
+  std::vector<std::uint8_t> buf(64 * 1024);
+  timeval tv{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  while (payloads.size() < count) {
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    reader.feed(buf.data(), static_cast<std::size_t>(n));
+    while (auto payload = reader.next()) payloads.push_back(std::move(*payload));
+  }
+  return payloads;
+}
+
+/// An EventLoop that echoes every inbound frame payload back on the same
+/// connection — the minimal server exercising the full read/parse/write path.
+struct EchoLoop {
+  EventLoop loop;
+
+  explicit EchoLoop(EventLoop::Options options = {})
+      : loop(
+            [this] {
+              EventLoop::Handler h;
+              h.on_frames = [this](EventLoop::ConnId conn,
+                                   std::vector<std::vector<std::uint8_t>>&& frames) {
+                for (const auto& payload : frames) loop.send(conn, rpc::frame_payload(payload));
+              };
+              return h;
+            }(),
+            options) {}
+
+  std::uint16_t start() {
+    loop.listen(bind_loopback_listener(0));
+    loop.start();
+    return loop.port();
+  }
+};
+
+// --- port-0 listeners --------------------------------------------------------
+
+TEST(EventLoopTest, PortZeroListenersGetDistinctKernelPorts) {
+  const BoundListener a = bind_loopback_listener(0);
+  const BoundListener b = bind_loopback_listener(0);
+  EXPECT_GT(a.port, 0);
+  EXPECT_GT(b.port, 0);
+  EXPECT_NE(a.port, b.port);
+  ::close(a.fd);
+  ::close(b.fd);
+}
+
+TEST(EventLoopTest, AdoptsPreBoundListenerAndEchoes) {
+  EchoLoop echo;
+  const BoundListener listener = bind_loopback_listener(0);
+  const std::uint16_t port = listener.port;
+  echo.loop.listen(listener);
+  echo.loop.start();
+  EXPECT_EQ(echo.loop.port(), port);
+
+  const int fd = connect_blocking(port);
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  send_all(fd, rpc::frame_payload(payload));
+  const auto got = read_frames(fd, 1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payload);
+  ::close(fd);
+  echo.loop.stop();
+}
+
+// --- partial transfers -------------------------------------------------------
+
+TEST(EventLoopTest, LargeFramesSurviveTinySocketBuffers) {
+  // 64 KiB payloads across 4 KiB socket buffers: every frame spans many
+  // partial recv()s on the way in and many partial send()s on the way out,
+  // so reassembly exercises the ring-buffer framing in both directions.
+  EventLoop::Options tiny;
+  tiny.sndbuf = 4096;
+  tiny.rcvbuf = 4096;
+  EchoLoop echo(tiny);
+  const std::uint16_t port = echo.start();
+
+  const int fd = connect_blocking(port);
+  constexpr int kCount = 10;
+  std::vector<std::vector<std::uint8_t>> sent;
+  std::thread writer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      std::vector<std::uint8_t> payload(64 * 1024, static_cast<std::uint8_t>(i + 1));
+      send_all(fd, rpc::frame_payload(payload));
+      sent.push_back(std::move(payload));
+    }
+  });
+  const auto got = read_frames(fd, kCount);
+  writer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], sent[static_cast<std::size_t>(i)]) << i;
+  ::close(fd);
+  echo.loop.stop();
+  EXPECT_GE(echo.loop.stats().frames_in.load(), static_cast<std::uint64_t>(kCount));
+}
+
+// --- backpressure ------------------------------------------------------------
+
+TEST(EventLoopTest, ServingModeEvictsSlowClient) {
+  // The server answers one tiny request with an unbounded stream of 8 KiB
+  // frames; the client never reads. The output ring must hit its bound and
+  // the connection must be evicted — a reader that stopped reading cannot
+  // pin server memory.
+  // Tiny socket buffers keep the kernel from absorbing the backlog: the
+  // unread responses must land in the loop's output ring, not in TCP.
+  EventLoop::Options serving;
+  serving.sndbuf = 4096;
+  serving.max_outbuf_bytes = 64 * 1024;
+  serving.evict_on_overflow = true;
+
+  std::atomic<bool> overflowed{false};
+  EventLoop* loop_ptr = nullptr;
+  EventLoop::Handler h;
+  h.on_frames = [&](EventLoop::ConnId conn, std::vector<std::vector<std::uint8_t>>&&) {
+    const std::vector<std::uint8_t> big(8 * 1024, 0xCC);
+    for (int i = 0; i < 1000; ++i) {
+      if (loop_ptr->send(conn, rpc::frame_payload(big)) != EventLoop::SendResult::kOk) {
+        overflowed.store(true);
+        return;
+      }
+    }
+  };
+  EventLoop loop(h, serving);
+  loop_ptr = &loop;
+  loop.listen(bind_loopback_listener(0));
+  loop.start();
+
+  const int fd = connect_blocking(loop.port(), 4096);
+  send_all(fd, rpc::frame_payload({1}));
+
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (loop.stats().evicted_slow.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(loop.stats().evicted_slow.load(), 1u);
+  EXPECT_TRUE(overflowed.load());
+  const auto gone = std::chrono::steady_clock::now() + 10s;
+  while (loop.connection_count() > 0 && std::chrono::steady_clock::now() < gone) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(loop.connection_count(), 0u);
+  ::close(fd);
+  loop.stop();
+}
+
+TEST(EventLoopTest, TransportModeRejectsOverflowButKeepsConnection) {
+  // Transport mode (consensus traffic): an overflowing frame is dropped —
+  // retransmission is the protocol's job — but the connection survives.
+  EventLoop::Options transport;
+  transport.sndbuf = 4096;
+  transport.max_outbuf_bytes = 16 * 1024;
+  transport.evict_on_overflow = false;
+
+  std::atomic<int> rejected{0};
+  EventLoop* loop_ptr = nullptr;
+  EventLoop::Handler h;
+  h.on_frames = [&](EventLoop::ConnId conn, std::vector<std::vector<std::uint8_t>>&&) {
+    const std::vector<std::uint8_t> big(8 * 1024, 0xDD);
+    for (int i = 0; i < 100; ++i) {
+      if (loop_ptr->send(conn, rpc::frame_payload(big)) == EventLoop::SendResult::kOverflow) {
+        rejected.fetch_add(1);
+      }
+    }
+  };
+  EventLoop loop(h, transport);
+  loop_ptr = &loop;
+  loop.listen(bind_loopback_listener(0));
+  loop.start();
+
+  const int fd = connect_blocking(loop.port(), 4096);
+  send_all(fd, rpc::frame_payload({1}));
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (rejected.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_GT(rejected.load(), 0);
+  EXPECT_EQ(loop.stats().evicted_slow.load(), 0u);
+  EXPECT_EQ(loop.connection_count(), 1u);
+  ::close(fd);
+  loop.stop();
+}
+
+// --- accept storm ------------------------------------------------------------
+
+TEST(EventLoopTest, AcceptStormThousandConnections) {
+  // 1000 concurrent client sockets plus server-side accepted fds needs
+  // > 2000 descriptors; raise RLIMIT_NOFILE toward its hard cap and skip if
+  // the environment cannot grant enough.
+  constexpr std::size_t kConns = 1000;
+  rlimit lim{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &lim), 0);
+  const rlim_t needed = 2 * kConns + 256;
+  if (lim.rlim_cur < needed) {
+    rlimit raised = lim;
+    raised.rlim_cur = std::min<rlim_t>(needed, lim.rlim_max);
+    ::setrlimit(RLIMIT_NOFILE, &raised);
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &lim), 0);
+  }
+  if (lim.rlim_cur < needed) {
+    GTEST_SKIP() << "RLIMIT_NOFILE " << lim.rlim_cur << " < " << needed;
+  }
+
+  EchoLoop echo;
+  const std::uint16_t port = echo.start();
+
+  std::vector<int> fds;
+  fds.reserve(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    const int fd = connect_blocking(port);
+    ASSERT_GE(fd, 0) << "connection " << i;
+    fds.push_back(fd);
+  }
+  // Every connection sends one frame; every frame must come back.
+  for (std::size_t i = 0; i < kConns; ++i) {
+    send_all(fds[i], rpc::frame_payload({static_cast<std::uint8_t>(i & 0xFF)}));
+  }
+  std::atomic<std::size_t> echoed{0};
+  std::vector<std::thread> readers;
+  const std::size_t stride = 100;
+  for (std::size_t lo = 0; lo < kConns; lo += stride) {
+    readers.emplace_back([&, lo] {
+      for (std::size_t i = lo; i < std::min(lo + stride, kConns); ++i) {
+        const auto got = read_frames(fds[i], 1);
+        if (got.size() == 1 && got[0][0] == static_cast<std::uint8_t>(i & 0xFF)) {
+          echoed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(echoed.load(), kConns);
+  EXPECT_GE(echo.loop.stats().accepted.load(), kConns);
+  EXPECT_EQ(echo.loop.connection_count(), kConns);
+  for (int fd : fds) ::close(fd);
+  echo.loop.stop();
+}
+
+// --- EINTR seams -------------------------------------------------------------
+
+void noop_signal_handler(int) {}
+
+/// Installs a no-op SIGUSR1 handler (without SA_RESTART, so syscalls really
+/// can return EINTR) and restores the previous disposition on destruction.
+struct SigUsr1Scope {
+  struct sigaction old {};
+  SigUsr1Scope() {
+    struct sigaction sa {};
+    sa.sa_handler = noop_signal_handler;
+    ::sigaction(SIGUSR1, &sa, &old);
+  }
+  ~SigUsr1Scope() { ::sigaction(SIGUSR1, &old, nullptr); }
+};
+
+struct HookScope {
+  ~HookScope() { testhooks::reset(); }
+};
+
+std::atomic<int> g_loop_recv_calls{0};
+std::atomic<int> g_loop_send_calls{0};
+std::atomic<int> g_loop_accept_budget{0};
+
+ssize_t eintr_recv(int fd, void* buf, std::size_t len, int flags) {
+  if (g_loop_recv_calls.fetch_add(1) % 3 == 1) {
+    ::raise(SIGUSR1);
+    errno = EINTR;
+    return -1;
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t eintr_short_send(int fd, const void* buf, std::size_t len, int flags) {
+  if (g_loop_send_calls.fetch_add(1) % 2 == 1) {
+    ::raise(SIGUSR1);
+    errno = EINTR;
+    return -1;
+  }
+  // Short write: any prefix is legal; 97 never divides the frame size, so
+  // frames straddle send() boundaries.
+  return ::send(fd, buf, std::min<std::size_t>(len, 97), flags);
+}
+
+int eintr_accept(int fd, sockaddr* addr, socklen_t* addrlen) {
+  if (g_loop_accept_budget.fetch_sub(1) > 0) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::accept(fd, addr, addrlen);
+}
+
+TEST(EventLoopRobustnessTest, SurvivesEintrOnRecvSendAndAccept) {
+  SigUsr1Scope sig;
+  HookScope hooks;
+  g_loop_recv_calls.store(0);
+  g_loop_send_calls.store(0);
+  g_loop_accept_budget.store(2);
+  testhooks::recv_fn = &eintr_recv;
+  testhooks::send_fn = &eintr_short_send;
+  testhooks::accept_fn = &eintr_accept;
+
+  EchoLoop echo;
+  const std::uint16_t port = echo.start();
+  const int fd = connect_blocking(port);
+
+  constexpr int kCount = 50;
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (int i = 0; i < kCount; ++i) {
+    std::vector<std::uint8_t> payload(512 + static_cast<std::size_t>(i),
+                                      static_cast<std::uint8_t>(i));
+    send_all(fd, rpc::frame_payload(payload));
+    sent.push_back(std::move(payload));
+  }
+  const auto got = read_frames(fd, kCount);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kCount))
+      << "frames lost under EINTR-interrupted recv/send/accept";
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], sent[static_cast<std::size_t>(i)]) << i;
+  EXPECT_GT(g_loop_recv_calls.load(), 0);
+  EXPECT_GT(g_loop_send_calls.load(), 0);
+  ::close(fd);
+  echo.loop.stop();
+}
+
+}  // namespace
+}  // namespace escape::net

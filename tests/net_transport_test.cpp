@@ -1,6 +1,7 @@
 // Real-socket tests: TCP transport framing/delivery and a 3-node real-time
-// cluster on 127.0.0.1. Ports are derived from the PID to dodge collisions
-// between parallel ctest workers.
+// cluster on 127.0.0.1. Every listener binds port 0 (kernel-assigned) and is
+// handed to its transport as an open fd, so parallel ctest workers can never
+// collide on a port and no port can be stolen between discovery and use.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -19,6 +20,7 @@
 #include <unistd.h>
 
 #include "core/escape_policy.h"
+#include "net/event_loop.h"
 #include "net/real_cluster.h"
 #include "net/tcp_transport.h"
 
@@ -27,8 +29,35 @@ namespace {
 
 using namespace std::chrono_literals;
 
-std::uint16_t base_port() {
-  return static_cast<std::uint16_t>(20000 + (::getpid() % 20000));
+/// Kernel-assigned ports for a set of members: binds one port-0 listener per
+/// id and keeps the open fds for the transports to adopt (TransportOptions /
+/// RealNode::Options listen_fd).
+struct Port0Cluster {
+  std::map<ServerId, std::uint16_t> endpoints;
+  std::map<ServerId, int> fds;
+
+  explicit Port0Cluster(std::initializer_list<ServerId> ids) {
+    for (ServerId id : ids) {
+      const BoundListener listener = bind_loopback_listener(0);
+      endpoints[id] = listener.port;
+      fds[id] = listener.fd;
+    }
+  }
+
+  TransportOptions options_for(ServerId id, TransportOptions base = {}) {
+    base.listen_fd = fds.at(id);
+    return base;
+  }
+};
+
+/// A loopback port that is currently free: bound, discovered, and released.
+/// Connecting to it gets ECONNREFUSED (barring an improbable immediate
+/// reuse), which is what the dead-peer tests need.
+std::uint16_t dead_port() {
+  const BoundListener listener = bind_loopback_listener(0);
+  const std::uint16_t port = listener.port;
+  ::close(listener.fd);
+  return port;
 }
 
 rpc::Message probe_message(Term term) {
@@ -60,11 +89,12 @@ struct Mailbox {
 };
 
 TEST(TcpTransportTest, DeliversBetweenTwoEndpoints) {
-  const std::uint16_t port = base_port();
-  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Port0Cluster ports({1, 2});
   Mailbox inbox1, inbox2;
-  TcpTransport t1(1, endpoints, [&](const rpc::Envelope& e) { inbox1.push(e); });
-  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox2.push(e); });
+  TcpTransport t1(1, ports.endpoints, [&](const rpc::Envelope& e) { inbox1.push(e); },
+                  ports.options_for(1));
+  TcpTransport t2(2, ports.endpoints, [&](const rpc::Envelope& e) { inbox2.push(e); },
+                  ports.options_for(2));
   t1.start();
   t2.start();
 
@@ -84,11 +114,11 @@ TEST(TcpTransportTest, DeliversBetweenTwoEndpoints) {
 }
 
 TEST(TcpTransportTest, ManyMessagesArriveInOrder) {
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 10);
-  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Port0Cluster ports({1, 2});
   Mailbox inbox;
-  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
-  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  TcpTransport t1(1, ports.endpoints, [](const rpc::Envelope&) {}, ports.options_for(1));
+  TcpTransport t2(2, ports.endpoints, [&](const rpc::Envelope& e) { inbox.push(e); },
+                  ports.options_for(2));
   t1.start();
   t2.start();
 
@@ -106,9 +136,8 @@ TEST(TcpTransportTest, ManyMessagesArriveInOrder) {
 }
 
 TEST(TcpTransportTest, SendToUnknownPeerDrops) {
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 20);
-  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}};
-  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
+  Port0Cluster ports({1});
+  TcpTransport t1(1, ports.endpoints, [](const rpc::Envelope&) {}, ports.options_for(1));
   t1.start();
   t1.send({1, 99, probe_message(1)});
   EXPECT_EQ(t1.stats().dropped.load(), 1u);
@@ -116,10 +145,11 @@ TEST(TcpTransportTest, SendToUnknownPeerDrops) {
 }
 
 TEST(TcpTransportTest, SendToDeadPeerDoesNotBlock) {
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 30);
+  Port0Cluster ports({1});
   // Peer 2's port has no listener.
-  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
-  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
+  auto endpoints = ports.endpoints;
+  endpoints[2] = dead_port();
+  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {}, ports.options_for(1));
   t1.start();
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < 100; ++i) t1.send({1, 2, probe_message(i)});
@@ -134,8 +164,8 @@ TEST(TcpTransportTest, RequiresSelfEndpoint) {
 }
 
 TEST(TcpTransportTest, StopIsIdempotent) {
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 40);
-  TcpTransport t1(1, {{1, port}}, [](const rpc::Envelope&) {});
+  Port0Cluster ports({1});
+  TcpTransport t1(1, ports.endpoints, [](const rpc::Envelope&) {}, ports.options_for(1));
   t1.start();
   t1.stop();
   t1.stop();  // second stop is a no-op
@@ -217,12 +247,11 @@ TEST(TcpTransportRobustnessTest, SurvivesEintrDuringRecv) {
   g_recv_calls.store(0);
   testhooks::recv_fn = &eintr_recv;
 
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 80);
-  const std::map<ServerId, std::uint16_t> endpoints = {
-      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Port0Cluster ports({1, 2});
   Mailbox inbox;
-  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
-  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  TcpTransport t1(1, ports.endpoints, [](const rpc::Envelope&) {}, ports.options_for(1));
+  TcpTransport t2(2, ports.endpoints, [&](const rpc::Envelope& e) { inbox.push(e); },
+                  ports.options_for(2));
   t1.start();
   t2.start();
 
@@ -247,12 +276,11 @@ TEST(TcpTransportRobustnessTest, SurvivesEintrAndShortWritesDuringSend) {
   g_send_calls.store(0);
   testhooks::send_fn = &eintr_short_send;
 
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 90);
-  const std::map<ServerId, std::uint16_t> endpoints = {
-      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Port0Cluster ports({1, 2});
   Mailbox inbox;
-  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
-  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  TcpTransport t1(1, ports.endpoints, [](const rpc::Envelope&) {}, ports.options_for(1));
+  TcpTransport t2(2, ports.endpoints, [&](const rpc::Envelope& e) { inbox.push(e); },
+                  ports.options_for(2));
   t1.start();
   t2.start();
 
@@ -273,12 +301,11 @@ TEST(TcpTransportRobustnessTest, ZeroByteSendDoesNotActOnStaleErrno) {
   g_send_zero_budget.store(1);
   testhooks::send_fn = &zero_return_send;
 
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 100);
-  const std::map<ServerId, std::uint16_t> endpoints = {
-      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Port0Cluster ports({1, 2});
   Mailbox inbox;
-  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
-  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  TcpTransport t1(1, ports.endpoints, [](const rpc::Envelope&) {}, ports.options_for(1));
+  TcpTransport t2(2, ports.endpoints, [&](const rpc::Envelope& e) { inbox.push(e); },
+                  ports.options_for(2));
   t1.start();
   t2.start();
 
@@ -297,12 +324,11 @@ TEST(TcpTransportRobustnessTest, SurvivesEintrDuringAccept) {
   g_accept_eintr_budget.store(2);
   testhooks::accept_fn = &eintr_accept;
 
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 110);
-  const std::map<ServerId, std::uint16_t> endpoints = {
-      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Port0Cluster ports({1, 2});
   Mailbox inbox;
-  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {});
-  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); });
+  TcpTransport t1(1, ports.endpoints, [](const rpc::Envelope&) {}, ports.options_for(1));
+  TcpTransport t2(2, ports.endpoints, [&](const rpc::Envelope& e) { inbox.push(e); },
+                  ports.options_for(2));
   t1.start();
   t2.start();
 
@@ -321,12 +347,11 @@ TEST(TcpTransportRobustnessTest, FramesSurviveTinySendBuffer) {
   tiny.sndbuf = 4096;
   tiny.rcvbuf = 4096;
 
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 120);
-  const std::map<ServerId, std::uint16_t> endpoints = {
-      {1, port}, {2, static_cast<std::uint16_t>(port + 1)}};
+  Port0Cluster ports({1, 2});
   Mailbox inbox;
-  TcpTransport t1(1, endpoints, [](const rpc::Envelope&) {}, tiny);
-  TcpTransport t2(2, endpoints, [&](const rpc::Envelope& e) { inbox.push(e); }, tiny);
+  TcpTransport t1(1, ports.endpoints, [](const rpc::Envelope&) {}, ports.options_for(1, tiny));
+  TcpTransport t2(2, ports.endpoints, [&](const rpc::Envelope& e) { inbox.push(e); },
+                  ports.options_for(2, tiny));
   t1.start();
   t2.start();
 
@@ -378,17 +403,14 @@ ServerId wait_for_leader(std::vector<std::unique_ptr<RealNode>>& nodes,
 }
 
 TEST(RealClusterTest, ElectsReplicatesAndFailsOver) {
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 50);
-  std::map<ServerId, std::uint16_t> endpoints;
-  for (ServerId id = 1; id <= 3; ++id) {
-    endpoints[id] = static_cast<std::uint16_t>(port + id);
-  }
-  RealNode::Options options;
-  options.node.heartbeat_interval = from_ms(60);
+  Port0Cluster ports({1, 2, 3});
 
   std::vector<std::unique_ptr<RealNode>> nodes;
   for (ServerId id = 1; id <= 3; ++id) {
-    nodes.push_back(std::make_unique<RealNode>(id, endpoints, fast_escape(), options));
+    RealNode::Options options;
+    options.node.heartbeat_interval = from_ms(60);
+    options.listen_fd = ports.fds[id];
+    nodes.push_back(std::make_unique<RealNode>(id, ports.endpoints, fast_escape(), options));
   }
   std::atomic<int> applied{0};
   for (auto& node : nodes) {
@@ -429,17 +451,14 @@ TEST(RealClusterTest, ElectsReplicatesAndFailsOver) {
 }
 
 TEST(RealClusterTest, LinearizableReadBarrierOverTcp) {
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 70);
-  std::map<ServerId, std::uint16_t> endpoints;
-  for (ServerId id = 1; id <= 3; ++id) {
-    endpoints[id] = static_cast<std::uint16_t>(port + id);
-  }
-  RealNode::Options options;
-  options.node.heartbeat_interval = from_ms(60);
+  Port0Cluster ports({1, 2, 3});
 
   std::vector<std::unique_ptr<RealNode>> nodes;
   for (ServerId id = 1; id <= 3; ++id) {
-    nodes.push_back(std::make_unique<RealNode>(id, endpoints, fast_escape(), options));
+    RealNode::Options options;
+    options.node.heartbeat_interval = from_ms(60);
+    options.listen_fd = ports.fds[id];
+    nodes.push_back(std::make_unique<RealNode>(id, ports.endpoints, fast_escape(), options));
   }
   std::atomic<int> granted{0};
   std::atomic<int> lease_granted{0};
@@ -490,8 +509,7 @@ TEST(RealClusterTest, LinearizableReadBarrierOverTcp) {
 }
 
 TEST(RealClusterTest, DurableStateSurvivesRestart) {
-  const std::uint16_t port = static_cast<std::uint16_t>(base_port() + 60);
-  const std::map<ServerId, std::uint16_t> endpoints = {{1, port}};
+  Port0Cluster ports({1});
   const std::string dir = "/tmp/escape_real_test_" + std::to_string(::getpid());
   ::mkdir(dir.c_str(), 0755);
 
@@ -501,7 +519,9 @@ TEST(RealClusterTest, DurableStateSurvivesRestart) {
 
   Term term_before = 0;
   {
-    RealNode node(1, endpoints, fast_escape(), options);
+    auto first_options = options;
+    first_options.listen_fd = ports.fds[1];
+    RealNode node(1, ports.endpoints, fast_escape(), first_options);
     node.start();
     // Single-node cluster: leads immediately after its first timeout.
     const auto deadline = std::chrono::steady_clock::now() + 5000ms;
@@ -518,7 +538,9 @@ TEST(RealClusterTest, DurableStateSurvivesRestart) {
     node.stop();
   }
 
-  RealNode restarted(1, endpoints, fast_escape(), options);
+  // The restart re-binds the (now released) port itself: SO_REUSEADDR makes
+  // the same endpoint available again immediately after stop().
+  RealNode restarted(1, ports.endpoints, fast_escape(), options);
   restarted.start();
   // Persisted term must be restored (it may then advance when it re-elects).
   EXPECT_GE(restarted.term(), term_before);
