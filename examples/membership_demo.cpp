@@ -1,0 +1,140 @@
+// Membership demo: grow a live 3-server ESCAPE cluster to 5 servers through
+// the full AddServer workflow — rack the machine, add it as a learner, let
+// it catch up, promote it via joint consensus — then kill the leader in the
+// middle of the second expansion's joint configuration and watch the
+// handoff complete anyway.
+//
+//   $ ./examples/membership_demo
+//
+// Everything runs in deterministic virtual time; re-running reproduces the
+// identical timeline. Exits non-zero if the expansion stalls, an acked write
+// is lost, or the cluster ends anywhere other than 5 settled voters.
+#include <cstdio>
+#include <vector>
+
+#include "sim/presets.h"
+#include "sim/scenario.h"
+
+using namespace escape;
+
+namespace {
+
+/// Admin-client retry loop for AddServer: re-derive the next step (add
+/// learner -> wait for catch-up -> promote) from the leader's current
+/// membership, retrying through kBusy, kNotCaughtUp and leader changes.
+bool join(sim::SimCluster& cluster, ServerId id, Duration max_wait) {
+  auto& loop = cluster.loop();
+  const TimePoint deadline = loop.now() + max_wait;
+  while (loop.now() < deadline) {
+    const ServerId l = cluster.leader();
+    if (l != kNoServer) {
+      const auto& m = cluster.node(l).membership();
+      if (m.is_voter(id) && !m.joint()) return true;
+      if (!m.is_voter(id)) {
+        cluster.propose_conf_change({m.is_learner(id) ? rpc::ConfChangeOp::kPromote
+                                                      : rpc::ConfChangeOp::kAddLearner,
+                                     id});
+      }
+    }
+    loop.run_until(loop.now() + from_ms(200));
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  sim::SimCluster cluster(sim::presets::paper_cluster(3, sim::presets::escape_policy(), 42));
+
+  cluster.add_event_listener([&](const raft::NodeEvent& e) {
+    switch (e.kind) {
+      case raft::NodeEvent::Kind::kBecameLeader:
+        std::printf("[%7.1f ms] %s elected leader of term %lld\n", to_ms_f(e.at),
+                    server_name(e.node).c_str(), static_cast<long long>(e.term));
+        break;
+      case raft::NodeEvent::Kind::kMembershipChanged:
+        std::printf("[%7.1f ms] %s adopts config entry @%lld\n", to_ms_f(e.at),
+                    server_name(e.node).c_str(), static_cast<long long>(e.index));
+        break;
+      default:
+        break;
+    }
+  });
+
+  std::printf("--- bootstrap: 3 voters ---\n");
+  if (sim::bootstrap(cluster) == kNoServer) {
+    std::printf("bootstrap failed\n");
+    return 1;
+  }
+
+  // Keep writes flowing through the whole demo; every acked one must survive.
+  std::printf("--- replicating while expanding ---\n");
+  sim::drive_traffic(cluster, from_ms(2'000), from_ms(200));
+  const LogIndex acked_before = cluster.node(cluster.leader()).commit_index();
+
+  // First expansion: 3 -> 4, the happy path.
+  std::printf("--- AddServer S4: learner, catch-up, promote ---\n");
+  cluster.add_host(4);
+  if (!join(cluster, 4, from_ms(60'000))) {
+    std::printf("S4 never became a settled voter\n");
+    return 1;
+  }
+  std::printf("S4 is a voter; cluster quorum is now %zu of %zu\n",
+              cluster.node(4).quorum(), cluster.node(4).cluster_size());
+
+  // Second expansion: 3 -> 5, with the leader killed mid-joint-config. The
+  // joint entry Cold,new survives on a quorum, the successor inherits the
+  // in-flight handoff, auto-commits Cnew, and the join completes.
+  std::printf("--- AddServer S5 with a leader crash mid-joint-config ---\n");
+  cluster.add_host(5);
+  // Retry through kBusy: the previous expansion's Cnew may still be in
+  // flight (one membership change at a time).
+  while (cluster.propose_conf_change({rpc::ConfChangeOp::kAddLearner, 5}).status !=
+         rpc::ConfChangeStatus::kOk) {
+    cluster.loop().run_until(cluster.loop().now() + from_ms(500));
+  }
+  // Let the learner catch up, then push it into the joint phase.
+  cluster.loop().run_until(cluster.loop().now() + from_ms(3'000));
+  rpc::ConfChangeStatus promoted = rpc::ConfChangeStatus::kNotLeader;
+  while (promoted != rpc::ConfChangeStatus::kOk) {
+    promoted = cluster.propose_conf_change({rpc::ConfChangeOp::kPromote, 5}).status;
+    if (promoted != rpc::ConfChangeStatus::kOk) {
+      cluster.loop().run_until(cluster.loop().now() + from_ms(500));
+    }
+  }
+  const ServerId doomed = cluster.leader();
+  std::printf("joint config Cold,new appended by %s -- crashing it now\n",
+              server_name(doomed).c_str());
+  cluster.crash(doomed);
+
+  if (!join(cluster, 5, from_ms(120'000))) {
+    std::printf("S5 never became a settled voter after the leader crash\n");
+    return 1;
+  }
+  std::printf("handoff completed by %s despite the crash\n",
+              server_name(cluster.leader()).c_str());
+  cluster.recover(doomed);
+  cluster.loop().run_until(cluster.loop().now() + from_ms(3'000));
+
+  // Final state: 5 settled voters everywhere, no acked write lost.
+  std::printf("--- final state ---\n");
+  const std::vector<ServerId> expected{1, 2, 3, 4, 5};
+  for (const ServerId id : cluster.members()) {
+    if (!cluster.alive(id)) continue;
+    const auto& m = cluster.node(id).membership();
+    if (m.voters != expected || m.joint()) {
+      std::printf("%s has not settled on the 5-voter config\n", server_name(id).c_str());
+      return 1;
+    }
+  }
+  const ServerId leader = cluster.leader();
+  if (leader == kNoServer ||
+      cluster.node(leader).commit_index() < acked_before) {
+    std::printf("acked writes went missing\n");
+    return 1;
+  }
+  std::printf("all servers settled on voters {S1..S5}; commit %lld >= pre-expansion %lld\n",
+              static_cast<long long>(cluster.node(leader).commit_index()),
+              static_cast<long long>(acked_before));
+  return 0;
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Docs-lint: documentation must not rot against the tree.
+
+Three checks over README.md and docs/*.md, stdlib only:
+
+  1. Intra-repo markdown links ([text](target)) resolve to a file or
+     directory, relative to the linking document (anchors stripped,
+     external schemes ignored).
+  2. Backtick-quoted repo paths (`src/...`, `tests/...`, `examples/...`,
+     `bench/...`, `docs/...`, `scripts/...`, `.github/...`) name something
+     that exists. Moving or renaming a source file without updating the
+     docs that cite it fails here instead of in review.
+  3. Every module directory under src/ has an entry in ARCHITECTURE.md,
+     so the module table can never silently omit a new subsystem.
+
+Exit 0 when clean; exit 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Directories whose backtick mentions must exist in the tree. Build
+# outputs (build/...) and placeholders (BENCH_*.json) are deliberately
+# outside this set.
+PATH_PREFIXES = ("src", "tests", "examples", "bench", "docs", "scripts", ".github")
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# A repo path inside backticks: starts at one of the known roots (not
+# mid-path — `./build/tests/foo` must not match on its `tests/` infix),
+# continues with at least one slash-separated component.
+CODE_PATH_RE = re.compile(
+    r"`[^`]*?(?<![\w/.])((?:%s)/[\w./-]+)" % "|".join(re.escape(p) for p in PATH_PREFIXES)
+)
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(doc: Path, text: str, errors: list[str]) -> None:
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (doc.parent / rel).resolve()
+        if not resolved.exists():
+            errors.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+
+
+def path_exists(path: str) -> bool:
+    if (REPO / path).exists():
+        return True
+    # Docs cite build targets and headers by stem (`bench/fig16_serving`,
+    # `src/raft/raft_node`); accept a stem when a source file carries it.
+    target = REPO / path
+    return target.parent.is_dir() and any(target.parent.glob(target.name + ".*"))
+
+
+def check_code_paths(doc: Path, text: str, errors: list[str]) -> None:
+    for match in CODE_PATH_RE.finditer(text):
+        path = match.group(1).rstrip(".,:;")
+        if not path_exists(path):
+            errors.append(f"{doc.relative_to(REPO)}: missing path `{path}`")
+
+
+def check_module_table(errors: list[str]) -> None:
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not arch.is_file():
+        errors.append("docs/ARCHITECTURE.md: file missing")
+        return
+    text = arch.read_text(encoding="utf-8")
+    for module in sorted(p for p in (REPO / "src").iterdir() if p.is_dir()):
+        if not any(module.glob("*.h")) and not any(module.glob("*.cpp")):
+            continue
+        if f"src/{module.name}" not in text:
+            errors.append(
+                f"docs/ARCHITECTURE.md: no entry for module src/{module.name}"
+            )
+
+
+def main() -> int:
+    errors: list[str] = []
+    for doc in doc_files():
+        text = doc.read_text(encoding="utf-8")
+        check_links(doc, text, errors)
+        check_code_paths(doc, text, errors)
+    check_module_table(errors)
+    if errors:
+        for e in errors:
+            print(f"docs-lint: {e}", file=sys.stderr)
+        print(f"docs-lint: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs-lint: {len(doc_files())} documents clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

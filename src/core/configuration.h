@@ -80,8 +80,16 @@ struct EscapeOptions {
 inline constexpr ConfClock kConfClockStride = ConfClock{1} << 20;
 
 /// Eq. 1: election timeout implied by priority `p` in an `n`-server cluster.
+/// Eq. 1's ladder spans [baseTime, baseTime + gap·(n−1)] for P in {1..n}; a
+/// priority *above* n can only come from a self-assigned initial config whose
+/// id exceeds the current voter count (a server joining an established
+/// cluster). Flooring at baseTime keeps such off-ladder configs sane — an
+/// unclamped period would go non-positive and the timer would fire every
+/// tick, a campaign livelock.
 constexpr Duration election_period(const EscapeOptions& opts, std::size_t n, Priority p) {
-  return opts.base_time + opts.gap * (static_cast<Duration>(n) - static_cast<Duration>(p));
+  const Duration ladder =
+      opts.base_time + opts.gap * (static_cast<Duration>(n) - static_cast<Duration>(p));
+  return ladder < opts.base_time ? opts.base_time : ladder;
 }
 
 /// The initial (clock-0) configuration a server self-assigns when joining:

@@ -70,6 +70,35 @@ void EscapePolicy::on_become_leader(const std::vector<ServerId>& others, Term te
   for (ServerId f : followers_) probes_[f];  // default probe entries
 }
 
+void EscapePolicy::on_membership_changed(const std::vector<ServerId>& voter_others,
+                                         std::size_t n_voters) {
+  // Eq. 1 and Eq. 2 are parameterized by n; followers track it too so their
+  // fallback period (no adopted assignment yet) matches the new ladder. A
+  // learner bootstrapping with zero known voters keeps n >= 1.
+  n_ = std::max<std::size_t>(1, n_voters);
+  if (!leading_) return;
+  std::vector<ServerId> next = voter_others;
+  std::sort(next.begin(), next.end());
+  if (next == followers_) return;
+  followers_ = std::move(next);
+  for (auto it = probes_.begin(); it != probes_.end();) {
+    if (!std::binary_search(followers_.begin(), followers_.end(), it->first)) {
+      it = probes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (ServerId f : followers_) probes_[f];  // default probe entries for newcomers
+  // Force a full re-deal at the next heartbeat round: with assignments_
+  // empty the patrol sees changed=true and mints a fresh confClock, so the
+  // whole pool {2..n} is re-issued over the new voter set in one generation
+  // — a reconfig can never leave two servers sharing a (P, k) pair from
+  // different-n ladders (Lemma 3 across reconfigs).
+  assignments_.clear();
+  rounds_since_patrol_ = options_.patrol_every;  // patrol immediately
+  patrol_round_pending_ = false;
+}
+
 void EscapePolicy::on_follower_status(ServerId from, const rpc::ConfigStatus& status) {
   if (!leading_) return;
   auto it = probes_.find(from);
@@ -157,10 +186,18 @@ void EscapePolicy::run_patrol() {
 
   // Prospective distribution of the pool {n, n-1, ..., 2}; the leader parks
   // itself at the bottom priority (1) with its timer effectively "NA/inf"
-  // while leading.
+  // while leading. The pool never reaches 1: a leader removing itself from
+  // the voter set patrols n followers, and dealing the last one P=1 would
+  // duplicate the leader's own priority at the same clock — the exact
+  // Lemma 3 violation the clock rules out. The lowest-ranked voter keeps
+  // its standing (older-clock) assignment until the next leadership deals
+  // a full pool.
   std::map<ServerId, Priority> proposed;
   Priority p = static_cast<Priority>(n_);
-  for (ServerId f : order) proposed[f] = p--;
+  for (ServerId f : order) {
+    if (p < 2) break;
+    proposed[f] = p--;
+  }
 
   // The configuration clock stamps *rearrangement generations*: it advances
   // only when the assignment actually changes (or when a follower reports a
@@ -170,9 +207,9 @@ void EscapePolicy::run_patrol() {
   // penalizing everyone else's freshness.
   bool changed = assignments_.empty() || max_clock_seen_ > round_clock_;
   if (!changed) {
-    for (ServerId f : followers_) {
+    for (const auto& [f, prio] : proposed) {
       const auto it = assignments_.find(f);
-      if (it == assignments_.end() || it->second.priority != proposed.at(f)) {
+      if (it == assignments_.end() || it->second.priority != prio) {
         changed = true;
         break;
       }
@@ -181,9 +218,9 @@ void EscapePolicy::run_patrol() {
   if (!changed) return;
 
   round_clock_ = std::max(round_clock_, max_clock_seen_) + 1;
-  for (ServerId f : followers_) {
+  for (const auto& [f, prio] : proposed) {
     rpc::Configuration c;
-    c.priority = proposed.at(f);
+    c.priority = prio;
     c.timer_period = election_period(options_, n_, c.priority);
     c.conf_clock = round_clock_;
     assignments_[f] = c;

@@ -45,6 +45,16 @@ class EscapePolicy final : public raft::ElectionPolicy {
 
   // --- leader side (PPF) ---------------------------------------------------
   void on_become_leader(const std::vector<ServerId>& others, Term term) override;
+  /// Membership change: adopts the new voter count n (Eq. 1's ladder and
+  /// Eq. 2's jumps recompute) and, while leading, resets the patrol pool to
+  /// the new voter set — the next patrol round re-deals every priority under
+  /// a freshly minted confClock. Lemma 3 across a reconfig: the re-deal and
+  /// any racing patrol rearrangement serialize on this leader's single
+  /// round_clock_, monotone adoption discards stale in-flight assignments,
+  /// and a removed server's standing assignment keeps a clock that is never
+  /// reused.
+  void on_membership_changed(const std::vector<ServerId>& voter_others,
+                             std::size_t n_voters) override;
   void on_follower_status(ServerId from, const rpc::ConfigStatus& status) override;
   void on_follower_backlog(ServerId follower, LogIndex backlog, std::size_t inflight) override;
   void begin_heartbeat_round() override;
@@ -66,7 +76,7 @@ class EscapePolicy final : public raft::ElectionPolicy {
   void run_patrol();
 
   const ServerId self_;
-  const std::size_t n_;
+  std::size_t n_;  ///< current voter count (updated by on_membership_changed)
   const EscapeOptions options_;
 
   /// Configuration currently in force on this server.

@@ -80,6 +80,20 @@ class ElectionPolicy {
   /// Leadership acquired; `others` are the remaining cluster members.
   virtual void on_become_leader(const std::vector<ServerId>& others, Term term) = 0;
 
+  /// The cluster membership changed (a configuration entry was adopted, on
+  /// leader and follower alike): `voter_others` is the destination voter set
+  /// minus this server, `n_voters` its full size — the n that Eq. 1's
+  /// timeout ladder and Eq. 2's term jumps are computed over from now on.
+  /// ESCAPE re-deals the priority pool {2..n} over the new set under a
+  /// freshly minted confClock, so Lemma 3 uniqueness survives a reconfig
+  /// racing a patrol rearrangement (both serialize on the leader's single
+  /// clock). Default: ignored (vanilla Raft needs no n).
+  virtual void on_membership_changed(const std::vector<ServerId>& voter_others,
+                                     std::size_t n_voters) {
+    (void)voter_others;
+    (void)n_voters;
+  }
+
   /// Records a follower's reply status (log responsiveness, adopted clock).
   virtual void on_follower_status(ServerId from, const rpc::ConfigStatus& status) = 0;
 

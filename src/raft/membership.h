@@ -1,0 +1,132 @@
+// Membership-change arithmetic (Raft dissertation §4, joint consensus).
+//
+// A configuration entry in the log carries the *resulting* rpc::Membership,
+// fully materialized — followers adopt what they read instead of replaying a
+// transition, so a node that crashed mid-reconfig reconstructs its exact
+// membership from snapshot + log alone. This header holds the pure helpers:
+// the transition function (current membership × ConfChange → target), the
+// joint-config completion, the conf-entry payload codec, and set utilities
+// the core uses to derive its peer and quorum sets. Everything is
+// deterministic and allocation-light; RaftNode owns all policy (when a
+// change is legal to *propose*).
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/types.h"
+#include "rpc/messages.h"
+
+namespace escape::raft {
+
+/// One requested membership change (the admin plane's verb).
+struct ConfChange {
+  rpc::ConfChangeOp op = rpc::ConfChangeOp::kAddLearner;
+  ServerId server = kNoServer;
+
+  bool operator==(const ConfChange&) const = default;
+};
+
+namespace membership_detail {
+
+inline std::vector<ServerId> sorted_with(std::vector<ServerId> ids, ServerId add) {
+  ids.push_back(add);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+inline std::vector<ServerId> without(std::vector<ServerId> ids, ServerId drop) {
+  ids.erase(std::remove(ids.begin(), ids.end(), drop), ids.end());
+  return ids;
+}
+
+}  // namespace membership_detail
+
+/// The membership a legal `change` produces from `current`. nullopt when the
+/// change is nonsensical: adding a server already present, promoting a
+/// non-learner, removing an unknown server, or removing the last voter.
+/// Promoting a learner or removing a voter yields a *joint* configuration
+/// Cold,new (old_voters = the previous voter set); adding or removing a
+/// learner is a simple one-step entry (learners are outside every quorum, so
+/// no handoff is needed).
+inline std::optional<rpc::Membership> apply_conf_change(const rpc::Membership& current,
+                                                        const ConfChange& change) {
+  using membership_detail::sorted_with;
+  using membership_detail::without;
+  if (change.server == kNoServer || current.joint()) return std::nullopt;
+  rpc::Membership next = current;
+  switch (change.op) {
+    case rpc::ConfChangeOp::kAddLearner:
+      if (current.contains(change.server)) return std::nullopt;
+      next.learners = sorted_with(std::move(next.learners), change.server);
+      return next;
+    case rpc::ConfChangeOp::kPromote:
+      if (!current.is_learner(change.server)) return std::nullopt;
+      next.old_voters = next.voters;
+      next.voters = sorted_with(std::move(next.voters), change.server);
+      next.learners = without(std::move(next.learners), change.server);
+      return next;
+    case rpc::ConfChangeOp::kRemove:
+      if (current.is_learner(change.server)) {
+        next.learners = without(std::move(next.learners), change.server);
+        return next;
+      }
+      if (!current.is_voter(change.server)) return std::nullopt;
+      if (current.voters.size() <= 1) return std::nullopt;  // last voter stays
+      next.old_voters = next.voters;
+      next.voters = without(std::move(next.voters), change.server);
+      return next;
+  }
+  return std::nullopt;
+}
+
+/// Cnew: the joint configuration with the old majority retired. The leader
+/// auto-appends this the moment the joint entry commits under both
+/// majorities.
+inline rpc::Membership finish_joint(const rpc::Membership& joint) {
+  rpc::Membership final_config = joint;
+  final_config.old_voters.clear();
+  return final_config;
+}
+
+/// Everyone the leader replicates to: voters ∪ old_voters ∪ learners,
+/// sorted, deduplicated.
+inline std::vector<ServerId> all_members(const rpc::Membership& m) {
+  std::vector<ServerId> ids = m.voters;
+  ids.insert(ids.end(), m.old_voters.begin(), m.old_voters.end());
+  ids.insert(ids.end(), m.learners.begin(), m.learners.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+/// Everyone whose vote can count: voters ∪ old_voters, sorted, deduplicated.
+inline std::vector<ServerId> voter_union(const rpc::Membership& m) {
+  std::vector<ServerId> ids = m.voters;
+  ids.insert(ids.end(), m.old_voters.begin(), m.old_voters.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+/// Conf-entry payload: the resulting membership, serialized with the shared
+/// rpc codec (the WAL and wire reuse LogEntry::command verbatim).
+inline std::vector<std::uint8_t> encode_conf_entry(const rpc::Membership& m) {
+  Encoder e;
+  rpc::encode_membership(e, m);
+  return e.take();
+}
+
+/// Parses a conf-entry payload. Throws DecodeError on malformed input — a
+/// conf entry was written by this code, so corruption is a bug, not a
+/// recoverable condition.
+inline rpc::Membership decode_conf_entry(const std::vector<std::uint8_t>& payload) {
+  Decoder d(payload.data(), payload.size());
+  rpc::Membership m = rpc::decode_membership(d);
+  d.expect_end();
+  return m;
+}
+
+}  // namespace escape::raft

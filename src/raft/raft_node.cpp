@@ -16,11 +16,28 @@ constexpr std::size_t kEntryFramingBytes = 24;
 
 }  // namespace
 
+namespace {
+
+rpc::Membership membership_from_voters(std::vector<ServerId> members) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  rpc::Membership m;
+  m.voters = std::move(members);
+  return m;
+}
+
+}  // namespace
+
 RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
                    std::unique_ptr<ElectionPolicy> policy, Rng rng, NodeOptions options,
                    Bootstrap boot)
+    : RaftNode(id, membership_from_voters(std::move(members)), std::move(policy), rng,
+               options, std::move(boot)) {}
+
+RaftNode::RaftNode(ServerId id, rpc::Membership base, std::unique_ptr<ElectionPolicy> policy,
+                   Rng rng, NodeOptions options, Bootstrap boot)
     : id_(id),
-      members_(std::move(members)),
+      base_membership_(std::move(base)),
       policy_(std::move(policy)),
       rng_(rng),
       options_(options),
@@ -34,20 +51,20 @@ RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
     // lease must end first. Refuse the unsound configuration loudly.
     throw std::invalid_argument("lease_ratio must be < vote_guard_ratio");
   }
-  bool self_listed = false;
-  for (ServerId m : members_) {
-    if (m == id_) {
-      self_listed = true;
-    } else {
-      others_.push_back(m);
-    }
+  // The operator-provided seed must name this server (as a voter, or — for
+  // a runtime join — as a lone learner). Durable state may later say
+  // otherwise (a removed server restarting), which is legal.
+  if (!base_membership_.contains(id_)) {
+    throw std::invalid_argument("member list must include self");
   }
-  if (!self_listed) throw std::invalid_argument("member list must include self");
   if (boot.snapshot) {
     // The snapshot is the log's new origin: commit/applied resume at its
     // boundary (the driver restores the state machine from the same
     // snapshot).
     snapshot_boot_config_ = boot.snapshot->config;
+    if (!boot.snapshot->membership.empty()) {
+      base_membership_ = boot.snapshot->membership;
+    }
     snapshot_ = std::make_shared<const Snapshot>(std::move(*boot.snapshot));
     log_.reset_to(snapshot_->last_included_index, snapshot_->last_included_term);
     commit_index_ = snapshot_->last_included_index;
@@ -68,6 +85,198 @@ RaftNode::RaftNode(ServerId id, std::vector<ServerId> members,
     }
     log_.append(std::move(e));
   }
+  // Latest-config-in-log across a restart: the snapshot membership seeds the
+  // base, conf entries in the recovered suffix override it.
+  rescan_membership(/*now=*/0);
+}
+
+// --- membership machinery ----------------------------------------------------
+
+std::vector<ServerId> RaftNode::voter_others() const {
+  std::vector<ServerId> ids = voter_union(membership_);
+  ids.erase(std::remove(ids.begin(), ids.end(), id_), ids.end());
+  return ids;
+}
+
+std::vector<ServerId> RaftNode::patrol_others() const {
+  std::vector<ServerId> ids = membership_.voters;
+  ids.erase(std::remove(ids.begin(), ids.end(), id_), ids.end());
+  return ids;
+}
+
+void RaftNode::set_membership(rpc::Membership m, LogIndex at, TimePoint now) {
+  const bool changed = !(m == membership_);
+  membership_ = std::move(m);
+  conf_index_ = at;
+  others_ = all_members(membership_);
+  others_.erase(std::remove(others_.begin(), others_.end(), id_), others_.end());
+  if (role_ == Role::kLeader) {
+    // Newcomers start probing from the log tail (their first NACK or
+    // snapshot walks the cursor back); departed peers drop out of
+    // replication immediately.
+    for (ServerId peer : others_) {
+      if (progress_.find(peer) == progress_.end()) {
+        progress_[peer] = Progress{log_.last_index() + 1, 0, 0, false};
+      }
+    }
+    for (auto it = progress_.begin(); it != progress_.end();) {
+      if (std::find(others_.begin(), others_.end(), it->first) == others_.end()) {
+        install_sent_round_.erase(it->first);
+        acked_round_.erase(it->first);
+        it = progress_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // ESCAPE re-deal: Eq. 1's ladder depends on n, so the policy must learn
+  // the new voter count (followers too — their fallback period recomputes);
+  // a leading policy additionally re-deals the {2..n} pool over the new
+  // voter set under a freshly minted confClock (Lemma 3: reconfig and
+  // patrol serialize on this leader's single clock).
+  policy_->on_membership_changed(patrol_others(), membership_.voters.size());
+  if (changed) {
+    ++counters_.membership_changes;
+    if (started_) {
+      emit({.kind = NodeEvent::Kind::kMembershipChanged,
+            .term = current_term_,
+            .index = at,
+            .at = now});
+      LOG_DEBUG(server_name(id_) << " adopts membership " << rpc::to_string(membership_)
+                                 << " @" << at);
+    }
+  }
+  // A promoted learner starts electing; a demoted or removed voter stops.
+  if (started_ && role_ != Role::kLeader) {
+    if (!membership_.is_voter(id_)) {
+      election_deadline_ = kNever;
+    } else if (election_deadline_ == kNever) {
+      arm_election_timer(now);
+    }
+  }
+}
+
+void RaftNode::rescan_membership(TimePoint now) {
+  rpc::Membership m = base_membership_;
+  LogIndex at = 0;
+  for (LogIndex i = log_.first_index(); i <= log_.last_index(); ++i) {
+    const auto* e = log_.entry_at(i);
+    if (e != nullptr && e->kind == rpc::EntryKind::kConfChange) {
+      m = decode_conf_entry(e->command);
+      at = i;
+    }
+  }
+  set_membership(std::move(m), at, now);
+}
+
+rpc::Membership RaftNode::membership_at(LogIndex upto) const {
+  rpc::Membership m = base_membership_;
+  const LogIndex last = std::min(upto, log_.last_index());
+  for (LogIndex i = log_.first_index(); i <= last; ++i) {
+    const auto* e = log_.entry_at(i);
+    if (e != nullptr && e->kind == rpc::EntryKind::kConfChange) {
+      m = decode_conf_entry(e->command);
+    }
+  }
+  return m;
+}
+
+bool RaftNode::votes_win() const {
+  if (membership_.voters.empty()) return false;
+  const auto majority = [&](const std::vector<ServerId>& set) {
+    std::size_t got = 0;
+    for (ServerId s : set) {
+      if (votes_.count(s) != 0) ++got;
+    }
+    return got >= set.size() / 2 + 1;
+  };
+  if (!majority(membership_.voters)) return false;
+  return !membership_.joint() || majority(membership_.old_voters);
+}
+
+RaftNode::ConfChangeResult RaftNode::propose_conf_change(const ConfChange& change,
+                                                         TimePoint now) {
+  assert(started_);
+  assert_inputs_allowed();
+  ConfChangeResult out;
+  if (role_ != Role::kLeader) {
+    out.status = rpc::ConfChangeStatus::kNotLeader;
+    return out;
+  }
+  if (membership_.joint() || conf_index_ > commit_index_) {
+    // One change at a time (dissertation §4.3): the previous conf entry
+    // must commit — and a joint config must complete its Cnew handoff —
+    // before the next change may start.
+    out.status = rpc::ConfChangeStatus::kBusy;
+    return out;
+  }
+  auto target = apply_conf_change(membership_, change);
+  if (!target) {
+    out.status = rpc::ConfChangeStatus::kInvalid;
+    return out;
+  }
+  if (change.op == rpc::ConfChangeOp::kPromote) {
+    const auto it = progress_.find(change.server);
+    if (it == progress_.end() || it->second.match < commit_index_) {
+      out.status = rpc::ConfChangeStatus::kNotCaughtUp;
+      return out;
+    }
+  }
+  rpc::LogEntry entry;
+  entry.term = current_term_;
+  entry.index = log_.last_index() + 1;
+  entry.kind = rpc::EntryKind::kConfChange;
+  entry.command = encode_conf_entry(*target);
+  out.index = entry.index;
+  out.status = rpc::ConfChangeStatus::kOk;
+  append_entry(std::move(entry), now);  // adopts the membership on append
+  for (ServerId peer : others_) maybe_send_appends(peer);
+  maybe_advance_commit(now);  // single-node clusters commit immediately
+  sync_soft_state();
+  LOG_DEBUG(server_name(id_) << " proposed conf change op=" << static_cast<int>(change.op)
+                             << " server=" << server_name(change.server) << " @" << out.index);
+  return out;
+}
+
+void RaftNode::maybe_finish_conf_change(TimePoint now) {
+  if (role_ != Role::kLeader || conf_index_ > commit_index_) return;
+  if (membership_.joint()) {
+    // Cold,new is committed under both majorities: the handoff is decided.
+    // Append Cnew so the old majority retires.
+    rpc::LogEntry entry;
+    entry.term = current_term_;
+    entry.index = log_.last_index() + 1;
+    entry.kind = rpc::EntryKind::kConfChange;
+    entry.command = encode_conf_entry(finish_joint(membership_));
+    append_entry(std::move(entry), now);
+    for (ServerId peer : others_) maybe_send_appends(peer);
+    maybe_advance_commit(now);
+    return;
+  }
+  if (!membership_.is_voter(id_)) {
+    // Cnew committed and it does not include this leader: step down
+    // (dissertation §4.2.2). The election timer stays disarmed — a removed
+    // server never campaigns — and the vote-recency guard on the remaining
+    // voters contains any disruption from our stale lease window.
+    LOG_DEBUG(server_name(id_) << " removed by committed conf entry; stepping down");
+    become_follower(current_term_, kNoServer, now, /*reset_timer=*/true);
+  }
+}
+
+void RaftNode::handle_conf_change_request(ServerId from, const rpc::ConfChangeRequest& m,
+                                          TimePoint now) {
+  rpc::ConfChangeReply reply;
+  reply.id = m.id;
+  if (role_ != Role::kLeader) {
+    reply.status = rpc::ConfChangeStatus::kNotLeader;
+    reply.leader_hint = leader_id_;
+  } else {
+    const ConfChangeResult r = propose_conf_change({m.op, m.server}, now);
+    reply.status = r.status;
+    reply.leader_hint = id_;
+    reply.index = r.index;
+  }
+  send(from, reply);
 }
 
 void RaftNode::start(TimePoint now) {
@@ -125,6 +334,11 @@ void RaftNode::step(const rpc::Envelope& envelope, TimePoint now) {
           handle_install_snapshot(m, now);
         } else if constexpr (std::is_same_v<T, rpc::InstallSnapshotReply>) {
           handle_install_snapshot_reply(m, now);
+        } else if constexpr (std::is_same_v<T, rpc::ConfChangeRequest>) {
+          handle_conf_change_request(envelope.from, m, now);
+        } else if constexpr (std::is_same_v<T, rpc::ConfChangeReply>) {
+          // Admin-plane reply addressed to whoever proposed the change; the
+          // serving layer consumes these, the consensus core ignores them.
         } else {
           // Client traffic is handled by the application layer (kv::Server);
           // the consensus core only sees consensus RPCs.
@@ -156,7 +370,7 @@ std::optional<LogIndex> RaftNode::submit(std::vector<std::uint8_t> command, Time
   entry.index = log_.last_index() + 1;
   entry.command = std::move(command);
   const LogIndex index = entry.index;
-  append_entry(std::move(entry));
+  append_entry(std::move(entry), now);
   // Replicate eagerly while each peer's pipelining window has room;
   // heartbeats would pick it up anyway, but latency matters to clients.
   // Once a window fills, further submissions accumulate and leave as
@@ -206,11 +420,11 @@ bool RaftNode::transfer_leadership(ServerId target, TimePoint now) {
 
 // --- read fast path ----------------------------------------------------------
 
-void RaftNode::append_noop() {
+void RaftNode::append_noop(TimePoint now) {
   rpc::LogEntry noop;
   noop.term = current_term_;
   noop.index = log_.last_index() + 1;
-  append_entry(std::move(noop));
+  append_entry(std::move(noop), now);
 }
 
 bool RaftNode::lease_valid(TimePoint now) const {
@@ -234,13 +448,15 @@ std::optional<ReadId> RaftNode::submit_read(TimePoint now) {
   // sure something of this term commits even on an otherwise idle cluster.
   const bool term_committed =
       log_.last_index() == 0 || log_.term_at(commit_index_) == current_term_;
-  // A single-node cluster is its own quorum: every read is trivially
-  // current-leader-confirmed (mirrors submit()'s immediate commit). The
-  // fresh-leadership barrier still applies — a restarted singleton resumes
-  // with commit_index at its snapshot boundary, below what it acked before.
-  if (others_.empty()) {
+  // A sole-voter cluster is its own quorum: every read is trivially
+  // current-leader-confirmed (mirrors submit()'s immediate commit), even
+  // when learners are attached — they sit outside the quorum and must not
+  // gate reads. The fresh-leadership barrier still applies — a restarted
+  // singleton resumes with commit_index at its snapshot boundary, below
+  // what it acked before.
+  if (sole_voter()) {
     if (!term_committed) {
-      append_noop();
+      append_noop(now);
       maybe_advance_commit(now);  // self-quorum: commits the whole log
     }
     grant_read(id, commit_index_, /*via_lease=*/false, now);
@@ -281,7 +497,7 @@ std::optional<ReadId> RaftNode::submit_read(TimePoint now) {
     // condition can be met without waiting for client write traffic. When a
     // round is about to open it carries the entry; only replicate
     // explicitly when the batch is riding an in-flight round instead.
-    append_noop();
+    append_noop(now);
     if (!open_round_now) {
       for (ServerId peer : others_) maybe_send_appends(peer);
     }
@@ -296,18 +512,32 @@ void RaftNode::note_round_ack(ServerId peer, std::uint64_t round, TimePoint now)
   auto& acked = acked_round_[peer];
   if (round <= acked) return;
   acked = round;
-  // Quorum-max: the highest round at least quorum() members (self included,
-  // at broadcast_round_) have acknowledged.
-  std::vector<std::uint64_t> rounds;
-  rounds.reserve(others_.size() + 1);
-  rounds.push_back(broadcast_round_);
-  for (const ServerId other : others_) {
-    const auto it = acked_round_.find(other);
-    rounds.push_back(it == acked_round_.end() ? 0 : it->second);
+  // Quorum-max per voter set: the highest round a majority of the set has
+  // acknowledged (self counts at broadcast_round_ when it is in the set;
+  // learner echoes never gate a quorum). A joint configuration confirms a
+  // round only when BOTH majorities have echoed it — the same rule its
+  // commits and elections obey, so a read confirmed mid-reconfig is sound
+  // against rivals elected under either configuration.
+  const auto set_round = [&](const std::vector<ServerId>& set) -> std::uint64_t {
+    std::vector<std::uint64_t> rounds;
+    rounds.reserve(set.size());
+    for (const ServerId s : set) {
+      if (s == id_) {
+        rounds.push_back(broadcast_round_);
+      } else {
+        const auto it = acked_round_.find(s);
+        rounds.push_back(it == acked_round_.end() ? 0 : it->second);
+      }
+    }
+    if (rounds.empty()) return broadcast_round_;
+    const auto nth = static_cast<std::ptrdiff_t>(rounds.size() / 2);
+    std::nth_element(rounds.begin(), rounds.begin() + nth, rounds.end(), std::greater<>());
+    return rounds[static_cast<std::size_t>(nth)];
+  };
+  std::uint64_t quorum_round = set_round(membership_.voters);
+  if (membership_.joint()) {
+    quorum_round = std::min(quorum_round, set_round(membership_.old_voters));
   }
-  std::nth_element(rounds.begin(), rounds.begin() + static_cast<std::ptrdiff_t>(quorum() - 1),
-                   rounds.end(), std::greater<>());
-  const std::uint64_t quorum_round = rounds[quorum() - 1];
   if (quorum_round <= confirmed_round_) return;
   confirmed_round_ = quorum_round;
 
@@ -415,6 +645,9 @@ std::optional<LogIndex> RaftNode::compact(LogIndex upto, std::vector<std::uint8_
   snap.last_included_index = upto;
   snap.last_included_term = *log_.term_at(upto);
   snap.config = policy_->current_config();
+  // Membership as of the compaction boundary (conf entries above `upto`
+  // survive in the log and still override this on a future rescan).
+  snap.membership = membership_at(upto);
   snap.state = std::move(state);
   snapshot_ = std::make_shared<const Snapshot>(std::move(snap));
   // Snapshot first, compact second: a crash between the two replays a log
@@ -424,6 +657,7 @@ std::optional<LogIndex> RaftNode::compact(LogIndex upto, std::vector<std::uint8_
   ready_.log_ops.push_back(LogOp::save_snapshot(snapshot_));
   ready_.log_ops.push_back(LogOp::compact_to(upto));
   log_.compact_to(upto);
+  base_membership_ = snapshot_->membership;  // the new log base's membership
   ++counters_.snapshots_taken;
   emit({.kind = NodeEvent::Kind::kSnapshotTaken,
         .term = current_term_,
@@ -495,6 +729,12 @@ void RaftNode::become_follower(Term term, ServerId leader, TimePoint now, bool r
 }
 
 void RaftNode::start_campaign(TimePoint now, bool leadership_transfer) {
+  if (!membership_.is_voter(id_)) {
+    // Learners and removed servers never campaign (their election timer is
+    // disarmed; this also shields against a stray TimeoutNow or a scripted
+    // timer override).
+    return;
+  }
   if (role_ == Role::kLeader) {
     // Re-campaign out of a leadership (possible only via scripted timers):
     // drop the read state the old leadership accumulated.
@@ -518,12 +758,14 @@ void RaftNode::start_campaign(TimePoint now, bool leadership_transfer) {
   rv.last_log_term = log_.last_term();
   rv.conf_clock = policy_->vote_request_clock();
   rv.leadership_transfer = leadership_transfer;
-  for (ServerId peer : others_) {
+  // Solicit every voter of either set — a joint election needs both
+  // majorities — but not learners: their grants would not count.
+  for (ServerId peer : voter_others()) {
     send(peer, rv);
     ++counters_.request_votes_sent;
   }
   arm_election_timer(now);
-  if (votes_.size() >= quorum()) become_leader(now);  // single-node cluster
+  if (votes_win()) become_leader(now);  // single-node cluster
 }
 
 void RaftNode::become_leader(TimePoint now) {
@@ -537,18 +779,27 @@ void RaftNode::become_leader(TimePoint now) {
   for (ServerId peer : others_) {
     progress_[peer] = Progress{log_.last_index() + 1, 0, 0, false};
   }
-  policy_->on_become_leader(others_, current_term_);
+  // The patrol pool covers the destination voter set: learners hold no
+  // priority (they never campaign) and old-only voters are being retired.
+  policy_->on_become_leader(patrol_others(), current_term_);
   ++counters_.elections_won;
   emit({.kind = NodeEvent::Kind::kBecameLeader, .term = current_term_, .at = now});
   LOG_DEBUG(server_name(id_) << " elected leader t=" << current_term_);
 
-  if (options_.commit_noop_on_elect) {
+  if (options_.commit_noop_on_elect || conf_index_ > commit_index_) {
     // Barrier entry: commits everything from prior terms once it replicates
     // (Raft §5.4.2 — prior-term entries never commit by counting alone).
-    append_noop();
+    // Forced when an uncommitted configuration entry was inherited: an
+    // in-flight reconfiguration must complete without waiting for client
+    // traffic to supply the current-term entry the commit rule needs.
+    append_noop(now);
   }
   broadcast_heartbeat_round(now);
   maybe_advance_commit(now);  // single-node clusters
+  // Inherited, already-committed joint config: append Cnew now. The
+  // commit-driven trigger only fires on a commit *advance*, which an idle
+  // leadership would otherwise never see.
+  maybe_finish_conf_change(now);
 }
 
 // --- message handlers --------------------------------------------------------
@@ -613,7 +864,7 @@ void RaftNode::handle_request_vote_reply(const rpc::RequestVoteReply& m, TimePoi
   }
   if (role_ != Role::kCandidate || m.term < current_term_ || !m.vote_granted) return;
   votes_.insert(m.voter_id);
-  if (votes_.size() >= quorum()) become_leader(now);
+  if (votes_win()) become_leader(now);
 }
 
 void RaftNode::handle_append_entries(ServerId from, const rpc::AppendEntries& m, TimePoint now) {
@@ -689,9 +940,15 @@ void RaftNode::handle_append_entries(ServerId from, const rpc::AppendEntries& m,
     if (existing && *existing != e.term) {
       ready_.log_ops.push_back(LogOp::truncate_from(e.index));
       log_.truncate_from(e.index);
+      if (conf_index_ >= e.index) {
+        // The conflicting suffix carried the conf entry we had adopted
+        // (latest-config-in-log cuts both ways: an uncommitted conf entry
+        // rolls back when the log does).
+        rescan_membership(now);
+      }
     }
     if (e.index > log_.last_index()) {
-      append_entry(e);
+      append_entry(e, now);  // a conf entry takes effect right here
     }
   }
 
@@ -824,6 +1081,11 @@ void RaftNode::handle_install_snapshot(const rpc::InstallSnapshot& m, TimePoint 
   // Our own snapshot stores *our* adopted configuration (it restores our
   // identity at restart), which the adoption above just refreshed.
   snap.config = policy_->current_config();
+  // Membership as of the snapshot boundary: what the leader shipped (a
+  // learner catching up by snapshot learns the voter set from here). An
+  // empty shipped membership (hand-crafted legacy message) keeps what we
+  // already believe.
+  snap.membership = m.membership.empty() ? membership_ : m.membership;
   snap.state = m.state;
   snapshot_ = std::make_shared<const Snapshot>(std::move(snap));
   // Same crash-ordering rule as compact(): the snapshot must be durable
@@ -852,6 +1114,11 @@ void RaftNode::handle_install_snapshot(const rpc::InstallSnapshot& m, TimePoint 
   }
   commit_index_ = m.last_included_index;
   last_applied_ = m.last_included_index;
+  // The snapshot boundary is the log's new base: its membership becomes the
+  // base membership, and conf entries surviving in the retained suffix (the
+  // consistent-suffix case above) still override it.
+  base_membership_ = snapshot_->membership;
+  rescan_membership(now);
   ready_.committed.clear();  // superseded by the snapshot's state
   ready_.restore = snapshot_;
   ++counters_.snapshots_installed;
@@ -1018,6 +1285,7 @@ void RaftNode::send_install_snapshot(ServerId peer) {
   // same (P, k) pair is exactly the Lemma 3 violation the clock exists to
   // rule out. Zeros (no assignment / non-ESCAPE policy) adopt as a no-op.
   is.config = policy_->assignment_for(peer).value_or(rpc::Configuration{});
+  is.membership = snapshot_->membership;
   is.state = snapshot_->state;
   is.round = broadcast_round_;  // counts toward the round's quorum, as an AE would
   send(peer, std::move(is));
@@ -1025,32 +1293,52 @@ void RaftNode::send_install_snapshot(ServerId peer) {
 }
 
 void RaftNode::maybe_advance_commit(TimePoint now) {
+  // Per-voter-set majority test: self counts only when its own copy is
+  // durable — always true with an inline-persisting driver (the Ready
+  // contract persists before the acks that drive this arrive), but in
+  // async-persist mode the local WAL tail may still sit in the completion
+  // queue, and until ack_persisted() covers n, commitment must come from
+  // the followers alone. Learners and retired peers hold Progress but sit
+  // outside every voter set, so their matches never count here.
+  const auto set_replicated = [&](const std::vector<ServerId>& set, LogIndex n) {
+    std::size_t replicas = 0;
+    for (const ServerId s : set) {
+      if (s == id_) {
+        if (!options_.async_persist || durable_index_ >= n) ++replicas;
+      } else {
+        const auto it = progress_.find(s);
+        if (it != progress_.end() && it->second.match >= n) ++replicas;
+      }
+    }
+    return replicas >= set.size() / 2 + 1;
+  };
+  bool advanced = false;
   // Raft §5.4.2: only entries of the current term commit by counting.
   for (LogIndex n = log_.last_index(); n > commit_index_; --n) {
     const auto t = log_.term_at(n);
     if (!t || *t != current_term_) break;  // older-term entries commit transitively
-    // Self counts only when its own copy is durable: always true with an
-    // inline-persisting driver (the Ready contract persists before the acks
-    // that drive this arrive), but in async-persist mode the local WAL tail
-    // may still sit in the completion queue — until ack_persisted() covers
-    // n, commitment must come from a quorum of followers alone.
-    std::size_t replicas = (!options_.async_persist || durable_index_ >= n) ? 1 : 0;
-    for (const auto& [peer, pr] : progress_) {
-      if (pr.match >= n) ++replicas;
-    }
-    if (replicas >= quorum()) {
+    // Joint consensus: a decision requires majorities of BOTH voter sets
+    // for as long as Cold,new is in force (dissertation §4.3).
+    if (!membership_.voters.empty() && set_replicated(membership_.voters, n) &&
+        (!membership_.joint() || set_replicated(membership_.old_voters, n))) {
       commit_index_ = n;
       apply_committed(now);
       emit({.kind = NodeEvent::Kind::kCommitAdvanced, .term = current_term_, .index = n, .at = now});
+      advanced = true;
       break;
     }
   }
+  // Conf-change state machine: committing the joint entry triggers the Cnew
+  // append; committing Cnew retires a removed leader.
+  if (advanced) maybe_finish_conf_change(now);
 }
 
 // --- common machinery ------------------------------------------------------------
 
 void RaftNode::arm_election_timer(TimePoint now) {
-  if (role_ == Role::kLeader) {
+  if (role_ == Role::kLeader || !membership_.is_voter(id_)) {
+    // Leaders heartbeat instead; learners and removed servers never
+    // campaign (Figure 5's "NA/inf" timer, extended to non-voters).
     election_deadline_ = kNever;
     return;
   }
@@ -1068,9 +1356,16 @@ void RaftNode::persist_state() {
   ready_.hard_state = std::move(s);
 }
 
-void RaftNode::append_entry(rpc::LogEntry entry) {
+void RaftNode::append_entry(rpc::LogEntry entry, TimePoint now) {
   ready_.log_ops.push_back(LogOp::append(entry));
+  const bool conf = entry.kind == rpc::EntryKind::kConfChange;
   log_.append(std::move(entry));
+  if (conf) {
+    // Latest-config-in-log (dissertation §4.1): a configuration entry takes
+    // effect the moment it is appended, on leader and follower alike.
+    const auto* e = log_.entry_at(log_.last_index());
+    set_membership(decode_conf_entry(e->command), log_.last_index(), now);
+  }
 }
 
 void RaftNode::apply_committed(TimePoint now) {

@@ -44,6 +44,7 @@
 #include "common/types.h"
 #include "raft/election_policy.h"
 #include "raft/log.h"
+#include "raft/membership.h"
 #include "raft/ready.h"
 #include "raft/snapshot.h"
 #include "rpc/messages.h"
@@ -140,6 +141,7 @@ struct NodeEvent {
     kSnapshotInstalled,  ///< installed a leader snapshot (index = last included)
     kReadGranted,        ///< linearizable read released (index = read index)
     kReadRejected,       ///< pending read dropped (leadership lost)
+    kMembershipChanged,  ///< adopted a configuration entry (index = its log slot)
   };
   Kind kind{};
   ServerId node = kNoServer;
@@ -195,6 +197,7 @@ struct NodeCounters {
   std::uint64_t read_index_reads = 0;          ///< reads confirmed by a round
   std::uint64_t reads_rejected = 0;            ///< pending reads dropped
   std::uint64_t votes_refused_recent_leader = 0;  ///< vote-recency guard hits
+  std::uint64_t membership_changes = 0;           ///< conf entries adopted
   PowHistogram append_batch_entries;  ///< entries per entry-carrying AppendEntries
   PowHistogram inflight_depth;        ///< per-peer window depth after each such send
   std::uint64_t wal_group_syncs = 0;  ///< driver group-commit syncs (see NodeDriver)
@@ -215,15 +218,25 @@ class RaftNode {
     bool probing = false;
   };
 
-  /// `members` lists every cluster member including `id`. `boot` carries the
-  /// durable state a driver recovered (NodeDriver::recover()): persisted
-  /// hard state, the stored snapshot (the log rebases onto it; recovered
-  /// entries at or below its boundary are skipped; commit/applied resume
-  /// from its point — the driver restores the state machine from the same
-  /// snapshot), and the WAL entry suffix.
+  /// `members` lists every cluster member including `id` (all voters; the
+  /// pre-membership-change bootstrap shape). `boot` carries the durable
+  /// state a driver recovered (NodeDriver::recover()): persisted hard state,
+  /// the stored snapshot (the log rebases onto it; recovered entries at or
+  /// below its boundary are skipped; commit/applied resume from its point —
+  /// the driver restores the state machine from the same snapshot), and the
+  /// WAL entry suffix.
   RaftNode(ServerId id, std::vector<ServerId> members,
            std::unique_ptr<ElectionPolicy> policy, Rng rng, NodeOptions options = {},
            Bootstrap boot = {});
+
+  /// Membership-aware bootstrap: `base` is the membership in force at the
+  /// log's origin — for a seed server, the cluster's initial voter set; for
+  /// a server joining at runtime, just itself as a learner (it learns the
+  /// real membership from the snapshot or conf entries the leader ships).
+  /// The boot snapshot's membership (when present) and any conf entries in
+  /// the recovered log override `base`, latest wins.
+  RaftNode(ServerId id, rpc::Membership base, std::unique_ptr<ElectionPolicy> policy,
+           Rng rng, NodeOptions options = {}, Bootstrap boot = {});
 
   RaftNode(const RaftNode&) = delete;
   RaftNode& operator=(const RaftNode&) = delete;
@@ -285,6 +298,26 @@ class RaftNode {
   std::optional<LogIndex> compact(LogIndex upto, std::vector<std::uint8_t> state,
                                   TimePoint now);
 
+  /// Outcome of propose_conf_change: `index` is the conf entry's log slot
+  /// when status == kOk.
+  struct ConfChangeResult {
+    rpc::ConfChangeStatus status = rpc::ConfChangeStatus::kNotLeader;
+    LogIndex index = 0;
+  };
+
+  /// Leader-side membership change (the admin plane's entry point; also
+  /// reached via a ConfChangeRequest message). Appends a configuration
+  /// entry carrying the *resulting* membership and replicates it like any
+  /// command. One change at a time: while a conf entry is uncommitted or a
+  /// joint configuration is in force, further changes return kBusy.
+  /// Promotion additionally requires the learner's replication progress to
+  /// have reached the current commit index (kNotCaughtUp otherwise) — the
+  /// dissertation's availability gate: a straggler must not enter the
+  /// quorum. When the joint entry commits under BOTH majorities the leader
+  /// auto-appends Cnew; once Cnew commits a leader that removed itself
+  /// steps down.
+  ConfChangeResult propose_conf_change(const ConfChange& change, TimePoint now);
+
   // --- the Ready interface -------------------------------------------------
 
   /// True when side effects are pending. Inputs may be stepped while a batch
@@ -321,8 +354,19 @@ class RaftNode {
   LogIndex commit_index() const { return commit_index_; }
   LogIndex last_applied() const { return last_applied_; }
   const Log& log() const { return log_; }
-  std::size_t cluster_size() const { return members_.size(); }
-  std::size_t quorum() const { return members_.size() / 2 + 1; }
+  std::size_t cluster_size() const { return others_.size() + (membership_.contains(id_) ? 1 : 0); }
+  /// Majority of the (new) voter set. Joint configurations need majorities
+  /// of both sets — the commit/vote/read paths check that internally; this
+  /// accessor reports the primary set for tests and observers.
+  std::size_t quorum() const { return membership_.voters.size() / 2 + 1; }
+  /// Membership currently in force (the latest configuration entry in the
+  /// log, or the bootstrap/snapshot membership when none).
+  const rpc::Membership& membership() const { return membership_; }
+  /// Log index of the configuration entry membership() came from (0 when it
+  /// is the bootstrap/snapshot base).
+  LogIndex conf_index() const { return conf_index_; }
+  /// True when this server can vote and campaign under membership().
+  bool is_voter() const { return membership_.is_voter(id_); }
   const ElectionPolicy& policy() const { return *policy_; }
   ElectionPolicy& mutable_policy() { return *policy_; }
   const NodeCounters& counters() const { return counters_; }
@@ -362,6 +406,37 @@ class RaftNode {
   void handle_timeout_now(const rpc::TimeoutNow& m, TimePoint now);
   void handle_install_snapshot(const rpc::InstallSnapshot& m, TimePoint now);
   void handle_install_snapshot_reply(const rpc::InstallSnapshotReply& m, TimePoint now);
+  void handle_conf_change_request(ServerId from, const rpc::ConfChangeRequest& m,
+                                  TimePoint now);
+
+  // Membership machinery.
+  /// Adopts `m` as the membership in force (latest-config-in-log: applied
+  /// the moment the conf entry is appended, not committed — dissertation
+  /// §4.1). Rebuilds the peer set and leader Progress, re-deals the
+  /// election policy's priority pool over the new voter set, and arms or
+  /// disarms the election timer as this server's voter status changes.
+  void set_membership(rpc::Membership m, LogIndex at, TimePoint now);
+  /// Recomputes membership from base + surviving conf entries after a log
+  /// truncation or snapshot rebase invalidated conf_index_.
+  void rescan_membership(TimePoint now);
+  /// Membership as of log index `upto` (base + conf entries <= upto).
+  rpc::Membership membership_at(LogIndex upto) const;
+  /// Leader-only: appends Cnew when the joint entry has committed under
+  /// both majorities; steps down once Cnew commits without this server.
+  void maybe_finish_conf_change(TimePoint now);
+  /// Quorum predicates over one voter set (joint configurations evaluate
+  /// both).
+  bool votes_win() const;
+  /// voter_union(membership_) minus self — who campaigns are addressed to.
+  std::vector<ServerId> voter_others() const;
+  /// membership_.voters minus self — the destination voter set the patrol
+  /// pool re-deals priorities over (old-only voters are being retired and
+  /// keep their standing, stale-clock assignments).
+  std::vector<ServerId> patrol_others() const;
+  bool sole_voter() const {
+    return !membership_.joint() && membership_.voters.size() == 1 &&
+           membership_.voters[0] == id_;
+  }
 
   // Leader machinery.
   void broadcast_heartbeat_round(TimePoint now);
@@ -379,7 +454,7 @@ class RaftNode {
   /// Appends a current-term no-op barrier entry to the log and Ready batch
   /// (§5.4.2: committing it commits every inherited prior-term entry
   /// transitively).
-  void append_noop();
+  void append_noop(TimePoint now);
   void note_round_ack(ServerId peer, std::uint64_t round, TimePoint now);
   void release_ready_reads(TimePoint now);
   void grant_read(ReadId id, LogIndex read_index, bool via_lease, TimePoint now);
@@ -395,8 +470,9 @@ class RaftNode {
   /// Marks the hard state dirty: the pending Ready batch carries the current
   /// (term, vote, config) for the driver to persist before it sends.
   void persist_state();
-  /// Appends `entry` to the in-memory log and records a kAppend op.
-  void append_entry(rpc::LogEntry entry);
+  /// Appends `entry` to the in-memory log and records a kAppend op. A
+  /// configuration entry takes effect here (latest-config-in-log).
+  void append_entry(rpc::LogEntry entry, TimePoint now);
   void apply_committed(TimePoint now);
   void send(ServerId to, rpc::Message message);
   void emit(NodeEvent event);
@@ -409,7 +485,14 @@ class RaftNode {
 
   // Identity & collaborators.
   const ServerId id_;
-  const std::vector<ServerId> members_;
+  /// Membership in force at the log's base (bootstrap seed, overridden by
+  /// the boot/installed snapshot's membership, advanced by compaction).
+  rpc::Membership base_membership_;
+  /// Membership currently in force: base + the latest conf entry in the log.
+  rpc::Membership membership_;
+  /// Index of the conf entry membership_ came from (0 = base).
+  LogIndex conf_index_ = 0;
+  /// Everyone this server replicates to / hears from: all_members minus self.
   std::vector<ServerId> others_;
   std::unique_ptr<ElectionPolicy> policy_;
   Rng rng_;

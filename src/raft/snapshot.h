@@ -26,6 +26,12 @@ struct Snapshot {
   LogIndex last_included_index = 0;  ///< last log index the state covers
   Term last_included_term = 0;       ///< its term (consistency-check anchor)
   rpc::Configuration config;         ///< ESCAPE config adopted at snapshot time
+  /// Cluster membership as of the snapshot boundary. The log rebases onto
+  /// the snapshot, so this is the base the latest-config-in-log rule scans
+  /// from; a server restoring (or installing) the snapshot reconstructs its
+  /// exact membership from this plus any conf entries in the retained
+  /// suffix. Empty only for pre-membership snapshots (decoded as v1).
+  rpc::Membership membership;
   std::vector<std::uint8_t> state;   ///< serialized application state machine
 
   bool operator==(const Snapshot&) const = default;

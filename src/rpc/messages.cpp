@@ -15,6 +15,8 @@ enum class Tag : std::uint8_t {
   kTimeoutNow = 7,
   kInstallSnapshot = 8,
   kInstallSnapshotReply = 9,
+  kConfChangeRequest = 10,
+  kConfChangeReply = 11,
 };
 
 void encode(Encoder& e, const Configuration& c) {
@@ -34,6 +36,7 @@ Configuration decode_config(Decoder& d) {
 void encode(Encoder& e, const LogEntry& le) {
   e.i64(le.term);
   e.i64(le.index);
+  e.u8(static_cast<std::uint8_t>(le.kind));
   e.bytes(le.command);
 }
 
@@ -41,6 +44,11 @@ LogEntry decode_entry(Decoder& d) {
   LogEntry le;
   le.term = d.i64();
   le.index = d.i64();
+  const auto kind = d.u8();
+  if (kind > static_cast<std::uint8_t>(EntryKind::kConfChange)) {
+    throw DecodeError("invalid entry kind");
+  }
+  le.kind = static_cast<EntryKind>(kind);
   le.command = d.bytes();
   return le;
 }
@@ -67,7 +75,35 @@ std::uint32_t checked_count(Decoder& d) {
   return n;
 }
 
+/// Sorted unique id list: u32 count + u32 per id.
+void encode_id_list(Encoder& e, const std::vector<ServerId>& ids) {
+  e.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const ServerId id : ids) e.u32(id);
+}
+
+std::vector<ServerId> decode_id_list(Decoder& d) {
+  const auto n = checked_count(d);
+  std::vector<ServerId> ids;
+  ids.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ids.push_back(d.u32());
+  return ids;
+}
+
 }  // namespace
+
+void encode_membership(Encoder& e, const Membership& m) {
+  encode_id_list(e, m.voters);
+  encode_id_list(e, m.old_voters);
+  encode_id_list(e, m.learners);
+}
+
+Membership decode_membership(Decoder& d) {
+  Membership m;
+  m.voters = decode_id_list(d);
+  m.old_voters = decode_id_list(d);
+  m.learners = decode_id_list(d);
+  return m;
+}
 
 bool is_heartbeat(const Message& m) {
   const auto* ae = std::get_if<AppendEntries>(&m);
@@ -137,6 +173,7 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
           e.i64(msg.last_included_index);
           e.i64(msg.last_included_term);
           encode(e, msg.config);
+          encode_membership(e, msg.membership);
           e.bytes(msg.state);
           e.u64(msg.round);
         } else if constexpr (std::is_same_v<T, InstallSnapshotReply>) {
@@ -147,6 +184,17 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
           e.i64(msg.match_index);
           encode(e, msg.status);
           e.u64(msg.round);
+        } else if constexpr (std::is_same_v<T, ConfChangeRequest>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kConfChangeRequest));
+          e.u64(msg.id);
+          e.u8(static_cast<std::uint8_t>(msg.op));
+          e.u32(msg.server);
+        } else if constexpr (std::is_same_v<T, ConfChangeReply>) {
+          e.u8(static_cast<std::uint8_t>(Tag::kConfChangeReply));
+          e.u64(msg.id);
+          e.u8(static_cast<std::uint8_t>(msg.status));
+          e.u32(msg.leader_hint);
+          e.i64(msg.index);
         }
       },
       m);
@@ -227,6 +275,7 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       m.last_included_index = d.i64();
       m.last_included_term = d.i64();
       m.config = decode_config(d);
+      m.membership = decode_membership(d);
       m.state = d.bytes();
       m.round = d.u64();
       out = m;
@@ -240,6 +289,31 @@ Message decode_message(const std::uint8_t* data, std::size_t size) {
       m.match_index = d.i64();
       m.status = decode_status(d);
       m.round = d.u64();
+      out = m;
+      break;
+    }
+    case Tag::kConfChangeRequest: {
+      ConfChangeRequest m;
+      m.id = d.u64();
+      const auto op = d.u8();
+      if (op > static_cast<std::uint8_t>(ConfChangeOp::kRemove)) {
+        throw DecodeError("invalid conf-change op");
+      }
+      m.op = static_cast<ConfChangeOp>(op);
+      m.server = d.u32();
+      out = m;
+      break;
+    }
+    case Tag::kConfChangeReply: {
+      ConfChangeReply m;
+      m.id = d.u64();
+      const auto st = d.u8();
+      if (st > static_cast<std::uint8_t>(ConfChangeStatus::kNotCaughtUp)) {
+        throw DecodeError("invalid conf-change status");
+      }
+      m.status = static_cast<ConfChangeStatus>(st);
+      m.leader_hint = d.u32();
+      m.index = d.i64();
       out = m;
       break;
     }
@@ -268,6 +342,28 @@ std::string to_string(const Configuration& c) {
   std::ostringstream os;
   os << "pi(P=" << c.priority << ",k=" << c.conf_clock << ",timeout=" << to_ms(c.timer_period)
      << "ms)";
+  return os.str();
+}
+
+std::string to_string(const Membership& m) {
+  std::ostringstream os;
+  auto list = [&os](const char* label, const std::vector<ServerId>& ids) {
+    os << label << "[";
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i) os << ",";
+      os << ids[i];
+    }
+    os << "]";
+  };
+  list("voters", m.voters);
+  if (m.joint()) {
+    os << " ";
+    list("old", m.old_voters);
+  }
+  if (!m.learners.empty()) {
+    os << " ";
+    list("learners", m.learners);
+  }
   return os.str();
 }
 
@@ -310,6 +406,12 @@ std::string to_string(const Message& m) {
         } else if constexpr (std::is_same_v<T, InstallSnapshotReply>) {
           os << "InstallSnapshotReply{t=" << msg.term << " from=" << server_name(msg.from)
              << " ok=" << msg.success << " match=" << msg.match_index << "}";
+        } else if constexpr (std::is_same_v<T, ConfChangeRequest>) {
+          os << "ConfChangeRequest{id=" << msg.id << " op=" << static_cast<int>(msg.op)
+             << " server=" << server_name(msg.server) << "}";
+        } else if constexpr (std::is_same_v<T, ConfChangeReply>) {
+          os << "ConfChangeReply{id=" << msg.id << " status=" << static_cast<int>(msg.status)
+             << " hint=" << server_name(msg.leader_hint) << " index=" << msg.index << "}";
         }
       },
       m);

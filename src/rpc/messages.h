@@ -23,14 +23,55 @@
 
 namespace escape::rpc {
 
+/// What a log slot carries. Configuration changes ride the replicated log
+/// like ordinary commands (the Raft dissertation's "configuration entries"),
+/// so membership decisions inherit the log's ordering and durability.
+enum class EntryKind : std::uint8_t {
+  kNormal = 0,      ///< state-machine command
+  kConfChange = 1,  ///< encoded Membership (the configuration *after* this entry)
+};
+
 /// One replicated log slot. `index` is implicit in storage but carried on the
 /// wire so receivers can sanity-check contiguity.
 struct LogEntry {
   Term term = 0;
   LogIndex index = 0;
+  EntryKind kind = EntryKind::kNormal;
   std::vector<std::uint8_t> command;
 
   bool operator==(const LogEntry&) const = default;
+};
+
+/// A cluster membership: who votes, and who is still catching up. A
+/// configuration entry carries the *resulting* membership (self-contained:
+/// followers adopt it without computing transitions). `old_voters` non-empty
+/// marks a joint configuration Cold,new — decisions then require majorities
+/// of BOTH voter sets (Raft dissertation §4.3).
+struct Membership {
+  std::vector<ServerId> voters;      ///< current (or "new") voter set, sorted
+  std::vector<ServerId> old_voters;  ///< non-empty => joint config Cold,new
+  std::vector<ServerId> learners;    ///< non-voting, replicated-to, promotable
+
+  bool joint() const { return !old_voters.empty(); }
+  bool is_voter(ServerId id) const {
+    for (const ServerId v : voters) {
+      if (v == id) return true;
+    }
+    for (const ServerId v : old_voters) {
+      if (v == id) return true;
+    }
+    return false;
+  }
+  bool is_learner(ServerId id) const {
+    for (const ServerId l : learners) {
+      if (l == id) return true;
+    }
+    return false;
+  }
+  bool contains(ServerId id) const { return is_voter(id) || is_learner(id); }
+  bool empty() const { return voters.empty() && old_voters.empty() && learners.empty(); }
+
+  bool operator==(const Membership&) const = default;
 };
 
 /// ESCAPE configuration π(P, k) plus its paired election timeout (Listing 1
@@ -136,6 +177,10 @@ struct InstallSnapshot {
   LogIndex last_included_index = 0;
   Term last_included_term = 0;
   Configuration config;             ///< destination's PPF assignment (zeros: none)
+  /// Membership as of the snapshot boundary. A learner catching up by
+  /// snapshot learns who the voters are from here; conf entries retained in
+  /// the follower's log suffix still override it (latest-config-in-log).
+  Membership membership;
   std::vector<std::uint8_t> state;  ///< serialized state machine
   /// Broadcast-round sequence, as on AppendEntries: a snapshot shipped in
   /// place of a round's heartbeat still counts toward that round's quorum, so
@@ -183,6 +228,44 @@ struct TimeoutNow {
   bool operator==(const TimeoutNow&) const = default;
 };
 
+/// Membership-change operation (admin plane). AddServer from the
+/// dissertation decomposes into kAddLearner (catch up outside any quorum)
+/// followed by kPromote (the joint-consensus voter handoff); RemoveServer is
+/// kRemove.
+enum class ConfChangeOp : std::uint8_t {
+  kAddLearner = 0,  ///< add a non-voting learner (simple config entry)
+  kPromote = 1,     ///< learner -> voter via joint consensus
+  kRemove = 2,      ///< drop a voter (joint consensus) or a learner (simple)
+};
+
+/// Admin client -> any server: request a membership change.
+struct ConfChangeRequest {
+  std::uint64_t id = 0;  ///< request correlation ticket, echoed in the reply
+  ConfChangeOp op = ConfChangeOp::kAddLearner;
+  ServerId server = kNoServer;  ///< the server being added/promoted/removed
+
+  bool operator==(const ConfChangeRequest&) const = default;
+};
+
+/// Outcome of proposing a membership change.
+enum class ConfChangeStatus : std::uint8_t {
+  kOk = 0,           ///< conf entry appended; `index` is its log position
+  kNotLeader = 1,    ///< retry at `leader_hint` (kNoServer when unknown)
+  kBusy = 2,         ///< a reconfiguration is already in flight; retry later
+  kInvalid = 3,      ///< nonsensical (unknown server, duplicate add, last voter)
+  kNotCaughtUp = 4,  ///< learner too far behind to promote; keep replicating
+};
+
+/// Server -> admin client.
+struct ConfChangeReply {
+  std::uint64_t id = 0;
+  ConfChangeStatus status = ConfChangeStatus::kNotLeader;
+  ServerId leader_hint = kNoServer;
+  LogIndex index = 0;  ///< log index of the appended conf entry when kOk
+
+  bool operator==(const ConfChangeReply&) const = default;
+};
+
 /// Server -> client.
 enum class ClientStatus : std::uint8_t {
   kOk = 0,          ///< committed and applied; `result` is the SM output
@@ -203,7 +286,7 @@ struct ClientReply {
 /// Any protocol message.
 using Message = std::variant<RequestVote, RequestVoteReply, AppendEntries, AppendEntriesReply,
                              ClientRequest, ClientReply, TimeoutNow, InstallSnapshot,
-                             InstallSnapshotReply>;
+                             InstallSnapshotReply, ConfChangeRequest, ConfChangeReply>;
 
 /// A routed message: what the node hands to the transport.
 struct Envelope {
@@ -228,5 +311,11 @@ inline Message decode_message(const std::vector<std::uint8_t>& buf) {
 /// Compact single-line rendering for traces and test failure messages.
 std::string to_string(const Message& m);
 std::string to_string(const Configuration& c);
+std::string to_string(const Membership& m);
+
+/// Membership serde, shared by the message codec, the WAL conf-entry
+/// payload, and the snapshot store.
+void encode_membership(Encoder& e, const Membership& m);
+Membership decode_membership(Decoder& d);
 
 }  // namespace escape::rpc

@@ -92,6 +92,25 @@ class ShardedCluster {
   std::size_t pack_leaders(ServerId host, std::size_t count,
                            Duration max_wait = from_ms(30'000));
 
+  // --- membership ----------------------------------------------------------
+  /// Racks a fresh machine and runs the AddServer workflow (learner ->
+  /// catch-up -> promote) against *every* group, driving the shared loop
+  /// until the host is a settled voter in all of them or `max_wait` elapses.
+  /// One machine carries one replica of every shard, so scaling out means N
+  /// independent joint-consensus handshakes sharing one timeline. True when
+  /// every group settled. Idempotent per group: groups where the host is
+  /// already racked (or already a voter) just re-verify.
+  bool join_host(ServerId host, Duration max_wait = from_ms(120'000));
+
+  /// Runs RemoveServer against every group until `host` is out of all their
+  /// configurations. The machine stays racked (its replicas keep ticking,
+  /// harmlessly non-voting) — crash_host afterwards models decommissioning.
+  /// Removing a host that currently leads some groups is fine: each such
+  /// leader commits Cnew and retires, and the group re-elects. Note
+  /// default_placement keeps its original host count; steer leaders
+  /// explicitly after a topology change.
+  bool remove_host(ServerId host, Duration max_wait = from_ms(120'000));
+
   // --- host-level faults ---------------------------------------------------
   /// Crashes `host`'s replica in every group where it is up. Volatile state
   /// dies everywhere at once; per-group durable state survives.

@@ -46,6 +46,8 @@ const char* action_name(const FaultAction& action) {
     const char* operator()(const MarkEpisode&) const { return "mark-episode"; }
     const char* operator()(const TriggerSnapshot&) const { return "snapshot"; }
     const char* operator()(const SnapshotAndCrash&) const { return "snapshot-crash"; }
+    const char* operator()(const JoinServer&) const { return "join-server"; }
+    const char* operator()(const LeaveServer&) const { return "leave-server"; }
   };
   return std::visit(Visitor{}, action);
 }
@@ -128,6 +130,8 @@ void PlanRuntime::clear_markers() {
   markers_.clear();
   traffic_submitted_ = 0;
   reads_issued_ = 0;
+  joins_completed_ = 0;
+  leaves_completed_ = 0;
   last_crashed_ = kNoServer;
   live_->crashes_pending = 0;
 }
@@ -257,6 +261,63 @@ void PlanRuntime::read_tick(TimePoint end, Duration interval) {
       if (live->active) read_tick(end, interval);
     });
   }
+}
+
+void PlanRuntime::join_tick(ServerId id, Duration interval) {
+  // One state machine, re-derived from the leader's membership every tick so
+  // leader changes, rollbacks and lost replies all land on a retry instead of
+  // a stuck phase: not-present -> AddLearner, learner -> Promote (the core
+  // answers kNotCaughtUp until replication/snapshot catch-up finishes),
+  // voter-in-joint -> wait, settled voter -> done.
+  const ServerId leader = cluster_.leader();
+  if (leader != kNoServer) {
+    const auto& m = cluster_.node(leader).membership();
+    if (m.is_voter(id)) {
+      if (!m.joint()) {
+        ++joins_completed_;
+        PlanMarker marker;
+        marker.at = cluster_.loop().now();
+        marker.what = "join-complete";
+        marker.node = id;
+        marker.log_index = cluster_.event_log().size();
+        markers_.push_back(std::move(marker));
+        return;
+      }
+      // Joint config still resolving; the leader auto-appends Cnew on commit.
+    } else if (m.is_learner(id)) {
+      cluster_.propose_conf_change({rpc::ConfChangeOp::kPromote, id});
+    } else {
+      cluster_.propose_conf_change({rpc::ConfChangeOp::kAddLearner, id});
+    }
+  }
+  cluster_.loop().schedule_at(cluster_.loop().now() + interval,
+                              [this, live = live_, id, interval] {
+                                if (live->active) join_tick(id, interval);
+                              });
+}
+
+void PlanRuntime::leave_tick(ServerId id, Duration interval) {
+  const ServerId leader = cluster_.leader();
+  if (leader != kNoServer) {
+    const auto& m = cluster_.node(leader).membership();
+    if (!m.contains(id) && !m.joint()) {
+      ++leaves_completed_;
+      PlanMarker marker;
+      marker.at = cluster_.loop().now();
+      marker.what = "leave-complete";
+      marker.node = id;
+      marker.log_index = cluster_.event_log().size();
+      markers_.push_back(std::move(marker));
+      return;
+    }
+    // A joint config containing the target is the removal in flight; propose
+    // only from a settled state (kBusy would be the answer anyway).
+    if (!m.joint()) cluster_.propose_conf_change({rpc::ConfChangeOp::kRemove, id});
+  }
+  cluster_.loop().schedule_at(cluster_.loop().now() + interval,
+                              [this, live = live_, id, interval] {
+                                if (live->active) leave_tick(id, interval);
+                              });
 }
 
 void PlanRuntime::execute(const FaultAction& action) {
@@ -463,6 +524,29 @@ void PlanRuntime::execute(const FaultAction& action) {
         return;
       }
       marker.ok = rt.cluster_.trigger_snapshot(id).has_value();
+    }
+    void operator()(const JoinServer& a) {
+      marker.node = a.id;
+      if (a.id == kNoServer || a.retry_interval <= 0) {
+        marker.ok = false;
+        return;
+      }
+      // A replacement scenario may have pre-staged the machine; otherwise
+      // provision it now. An id that is already a cluster member is a plan
+      // bug only if it was never removed — the tick loop sorts that out.
+      bool present = false;
+      for (const ServerId m : rt.cluster_.members()) present = present || (m == a.id);
+      if (!present) rt.cluster_.add_host(a.id);
+      rt.join_tick(a.id, a.retry_interval);
+    }
+    void operator()(const LeaveServer& a) {
+      const ServerId id = rt.resolve(a.node);
+      marker.node = id;
+      if (id == kNoServer || a.retry_interval <= 0) {
+        marker.ok = false;
+        return;
+      }
+      rt.leave_tick(id, a.retry_interval);
     }
     void operator()(const SnapshotAndCrash& a) {
       const ServerId id = rt.resolve(a.node);

@@ -191,6 +191,32 @@ struct TriggerSnapshot {
   NodeRef node = NodeRef::leader();
 };
 
+/// Drives the full AddServer workflow for a brand-new server: provisions the
+/// host (SimCluster::add_host, unless it already exists — e.g. a replacement
+/// scenario pre-staged the machine), proposes kAddLearner through whatever
+/// leader exists, waits for the learner to catch up (snapshot or log
+/// replication — the core answers kNotCaughtUp until it has), then proposes
+/// kPromote and waits for the joint configuration to resolve. Every step
+/// retries each `retry_interval` across leaderless gaps, kBusy windows
+/// (another change in flight) and leader changes, so joins interleave with
+/// arbitrary faults; a "join-complete" marker records when the server is a
+/// settled voter.
+struct JoinServer {
+  ServerId id = kNoServer;
+  Duration retry_interval = from_ms(200);
+};
+
+/// Drives RemoveServer: proposes kRemove for the node (resolved at execution
+/// time, so NodeRef::leader() removes whoever leads then — the retiring-
+/// leader path) and retries until the server is out of the configuration,
+/// recording a "leave-complete" marker. The host itself stays racked (and
+/// keeps ticking, harmlessly non-voting) — crash it separately to model
+/// decommissioning.
+struct LeaveServer {
+  NodeRef node;
+  Duration retry_interval = from_ms(200);
+};
+
 /// Snapshot immediately followed by a crash of the same node — the
 /// compact-to-last-applied-then-restart hazard as one atomic action (a
 /// paired RecoverNode/RecoverAll restarts it from the snapshot). Crashing
@@ -203,7 +229,8 @@ using FaultAction =
     std::variant<CrashNode, RecoverNode, RecoverAll, IsolateNode, HealNode, CutLink,
                  HealLink, PartialIsolate, HealPartial, SwapLatency, DegradeNode,
                  RestoreLatency, SetLossRate, LeaderTransfer, TrafficBurst, ProposalBurst,
-                 ClientRead, ScriptTimeout, MarkEpisode, TriggerSnapshot, SnapshotAndCrash>;
+                 ClientRead, ScriptTimeout, MarkEpisode, TriggerSnapshot, SnapshotAndCrash,
+                 JoinServer, LeaveServer>;
 
 /// Human-readable tag for traces and markers ("crash", "traffic", ...).
 const char* action_name(const FaultAction& action);
@@ -296,6 +323,13 @@ class PlanRuntime {
   /// Fast-path reads issued by ClientRead actions since the last clear.
   std::size_t reads_issued() const { return reads_issued_; }
 
+  /// JoinServer workflows that reached "settled voter" since the last clear.
+  std::size_t joins_completed() const { return joins_completed_; }
+
+  /// LeaveServer workflows whose target left the configuration since the
+  /// last clear.
+  std::size_t leaves_completed() const { return leaves_completed_; }
+
   /// Node most recently crashed by this runtime (kNoServer if none).
   ServerId last_crashed() const { return last_crashed_; }
 
@@ -328,6 +362,8 @@ class PlanRuntime {
   void proposal_tick(TimePoint end, Duration interval, std::size_t per_tick,
                      std::size_t payload_bytes);
   void read_tick(TimePoint end, Duration interval);
+  void join_tick(ServerId id, Duration interval);
+  void leave_tick(ServerId id, Duration interval);
 
   SimCluster& cluster_;
   NetworkOptions base_options_;  ///< snapshot for scoped restore
@@ -341,6 +377,8 @@ class PlanRuntime {
   std::vector<PlanMarker> markers_;
   std::size_t traffic_submitted_ = 0;
   std::size_t reads_issued_ = 0;
+  std::size_t joins_completed_ = 0;
+  std::size_t leaves_completed_ = 0;
   ServerId last_crashed_ = kNoServer;
   std::shared_ptr<LiveFlag> live_;
   std::size_t listener_handle_ = 0;

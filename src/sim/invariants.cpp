@@ -172,6 +172,33 @@ void InvariantChecker::deep_check() {
     }
   }
 
+  // Membership agreement: a committed configuration entry is one log entry,
+  // so any two servers whose latest config boundary is the same *committed*
+  // index must have materialized the identical membership from it. (Uncommitted
+  // boundaries are exempt — one server may sit on a divergent branch a future
+  // leader will truncate.)
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (!cluster_.alive(members[i]) || !cluster_.alive(members[j])) continue;
+      const auto& na = cluster_.node(members[i]);
+      const auto& nb = cluster_.node(members[j]);
+      if (na.conf_index() != nb.conf_index()) continue;
+      // conf_index 0 is the bootstrap base, not a log entry: a freshly
+      // joined host boots as a self-learner while the seed trio boots as
+      // voters, and only an adopted conf entry reconciles them.
+      if (na.conf_index() == 0) continue;
+      if (na.conf_index() > na.commit_index() || nb.conf_index() > nb.commit_index()) continue;
+      if (!(na.membership() == nb.membership())) {
+        std::ostringstream os;
+        os << "membership agreement: " << server_name(members[i]) << " and "
+           << server_name(members[j]) << " disagree on the configuration committed at index "
+           << na.conf_index() << " (" << rpc::to_string(na.membership()) << " vs "
+           << rpc::to_string(nb.membership()) << ")";
+        add_violation(os.str());
+      }
+    }
+  }
+
   // Snapshot clock monotonicity: the configuration generation a snapshot
   // carries is a floor for the server that holds it. A node whose adopted
   // confClock is behind its own snapshot's has regressed through a restore —

@@ -45,6 +45,9 @@ std::string trace_line(const raft::NodeEvent& event) {
     case Kind::kReadRejected:
       line += " read-reject index=" + std::to_string(event.index);
       break;
+    case Kind::kMembershipChanged:
+      line += " membership index=" + std::to_string(event.index);
+      break;
   }
   return line;
 }

@@ -167,6 +167,75 @@ FaultPlan loss_spike_plan(SimCluster&, const ScenarioParams& params) {
   return plan;
 }
 
+FaultPlan rolling_expansion_plan(SimCluster& cluster, const ScenarioParams&) {
+  // Capacity ramp under load: two servers join (learner -> catch-up ->
+  // promote), the leader dies mid-ramp, and two more join after the
+  // failover. Every join re-deals the SCA pool over the grown voter set
+  // under a fresh confClock; the acked-write ledger and the invariant
+  // checker must survive every hop. With the default 3 seed servers this is
+  // the 3 -> 5 -> 7 expansion.
+  const auto base = static_cast<ServerId>(cluster.size());
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(32'000)});
+  plan.at(from_ms(1'000), JoinServer{static_cast<ServerId>(base + 1)});
+  plan.at(from_ms(7'000), JoinServer{static_cast<ServerId>(base + 2)});
+  plan.at(from_ms(14'000), CrashNode{NodeRef::leader()});
+  plan.at(from_ms(17'000), RecoverNode{NodeRef::last_crashed()});
+  plan.at(from_ms(20'000), JoinServer{static_cast<ServerId>(base + 3)});
+  plan.at(from_ms(26'000), JoinServer{static_cast<ServerId>(base + 4)});
+  return plan;
+}
+
+FaultPlan membership_flap_plan(SimCluster& cluster, const ScenarioParams&) {
+  // Autoscaler flapping during a partition: a server joins, a follower gets
+  // isolated, the autoscaler reverses itself (remove the newcomer), then
+  // reverses again (re-add it) — all before the partition heals. Quorum
+  // arithmetic shifts 4 times while one voter is unreachable; the one-change-
+  // at-a-time rule (kBusy) and the joint commit rule are what keep the
+  // flapping linearized.
+  const ServerId leader = cluster.leader();
+  ServerId follower = kNoServer;
+  for (const ServerId id : cluster.members()) {
+    if (id != leader) {
+      follower = id;
+      break;
+    }
+  }
+  const auto extra = static_cast<ServerId>(cluster.size() + 1);
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(28'000)});
+  plan.at(from_ms(1'000), JoinServer{extra});
+  plan.at(from_ms(8'000), IsolateNode{NodeRef::id(follower)});
+  plan.at(from_ms(9'000), LeaveServer{NodeRef::id(extra)});
+  plan.at(from_ms(16'000), JoinServer{extra});
+  plan.at(from_ms(23'000), HealNode{NodeRef::id(follower)});
+  return plan;
+}
+
+FaultPlan dead_node_replacement_plan(SimCluster& cluster, const ScenarioParams&) {
+  // Operator replaces a dead machine: a follower crashes and is removed from
+  // the configuration while the leader's lease — which that follower's last
+  // heartbeat acks helped extend — could still be live, then a fresh server
+  // joins in its place. Lease reads flow throughout: the quorum the lease
+  // argument rests on shrinks mid-lease, and no grant may go stale.
+  const ServerId leader = cluster.leader();
+  ServerId follower = kNoServer;
+  for (const ServerId id : cluster.members()) {
+    if (id != leader) {
+      follower = id;
+      break;
+    }
+  }
+  const auto replacement = static_cast<ServerId>(cluster.size() + 1);
+  FaultPlan plan;
+  plan.at(0, TrafficBurst{from_ms(20'000)});
+  plan.at(from_ms(500), ClientRead{from_ms(20'000), from_ms(120)});
+  plan.at(from_ms(2'000), CrashNode{NodeRef::id(follower)});
+  plan.at(from_ms(2'100), LeaveServer{NodeRef::id(follower)});
+  plan.at(from_ms(6'000), JoinServer{replacement});
+  return plan;
+}
+
 std::map<std::string, ScenarioSpec>& registry() {
   static std::map<std::string, ScenarioSpec> scenarios = [] {
     std::map<std::string, ScenarioSpec> built_in;
@@ -212,6 +281,19 @@ std::map<std::string, ScenarioSpec>& registry() {
          "Leader fully partitioned mid-read-storm; its lease must lapse "
          "before the successor election, pending reads are rejected",
          lease_expiry_storm_plan, from_ms(12'000), 3});
+    add({"rolling_expansion",
+         "Two servers join under traffic, the leader dies mid-ramp, two more "
+         "join after failover (3 -> 5 -> 7 with the default seed cluster)",
+         rolling_expansion_plan, from_ms(14'000), 3});
+    add({"membership_flap",
+         "Autoscaler adds, removes, and re-adds a server while a follower is "
+         "partitioned away; quorum shifts stay linearized via joint consensus",
+         membership_flap_plan, from_ms(14'000), 3});
+    add({"dead_node_replacement",
+         "Follower crashes and is removed while the leader's lease could "
+         "still rest on its acks, then a replacement joins; lease reads flow "
+         "throughout",
+         dead_node_replacement_plan, from_ms(14'000), 3});
     return built_in;
   }();
   return scenarios;

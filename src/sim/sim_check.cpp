@@ -31,6 +31,8 @@ enum class FuzzAction : int {
   kSnapshot,
   kSnapshotCrash,
   kClientRead,
+  kJoinServer,
+  kLeaveServer,
   kCount,
 };
 
@@ -41,10 +43,15 @@ struct ActionSpec {
   const char* name;
   int weight;
 };
+// The membership pair defaults to weight 0: a zero weight draws no RNG and
+// adds nothing to the weight total, so every pre-membership scenario seed
+// still maps to the byte-identical schedule (the repro contract). CI's
+// dedicated membership pass opts in with --actions join-server=N,...
 constexpr ActionSpec kActionSpecs[] = {
     {"crash", 30},   {"cut-link", 12}, {"partial-isolate", 12}, {"isolate", 8},
     {"degrade", 10}, {"loss-storm", 10}, {"transfer", 8},       {"burst", 10},
     {"proposal-burst", 12}, {"snapshot", 12}, {"snapshot-crash", 8}, {"client-read", 14},
+    {"join-server", 0}, {"leave-server", 0},
 };
 static_assert(std::size(kActionSpecs) == kFuzzActionCount,
               "every FuzzAction needs a name + default weight row");
@@ -147,6 +154,13 @@ FuzzCase make_fuzz_case(std::uint64_t scenario_seed, const SimCheckOptions& opti
   bool used_one_way = false;             // one-way cuts / partial isolations
   bool touched_latency = false;
   bool touched_loss = false;
+  // Joined-but-not-yet-left server ids. Joins mint fresh ids above the seed
+  // range (crash/isolate targeting stays on 1..n, so the quorum budget
+  // arithmetic — computed against the seed voter count — remains a
+  // conservative bound as the voter set grows); leaves only ever target an
+  // outstanding joined id, never a seed voter.
+  std::vector<ServerId> joined_live;
+  auto next_join = static_cast<ServerId>(n) + 1;
 
   auto random_server = [&] {
     return static_cast<ServerId>(rng.uniform_int(1, static_cast<std::int64_t>(n)));
@@ -289,6 +303,23 @@ FuzzCase make_fuzz_case(std::uint64_t scenario_seed, const SimCheckOptions& opti
         const Duration up = t + ms_between(rng, 2'500, 8'000);
         plan.at(up, RecoverNode{leader ? NodeRef::last_crashed() : NodeRef::id(direct)});
         crash_repairs.push_back(up);
+        break;
+      }
+      case FuzzAction::kJoinServer: {
+        // Full AddServer workflow (provision, learner catch-up, promote)
+        // racing whatever faults surround it; the retry loop rides through
+        // leaderless gaps and kBusy windows on its own.
+        plan.at(t, JoinServer{next_join});
+        joined_live.push_back(next_join);
+        ++next_join;
+        break;
+      }
+      case FuzzAction::kLeaveServer: {
+        if (joined_live.empty()) break;  // nothing legally removable yet
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(joined_live.size()) - 1));
+        plan.at(t, LeaveServer{NodeRef::id(joined_live[idx])});
+        joined_live.erase(joined_live.begin() + static_cast<std::ptrdiff_t>(idx));
         break;
       }
       case FuzzAction::kCount:

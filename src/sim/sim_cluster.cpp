@@ -26,6 +26,7 @@ SimCluster::SimCluster(ClusterOptions options)
   // the local copy; force the node option so callers can't desynchronize them.
   if (options_.driver.async_persist) options_.node.async_persist = true;
   for (ServerId id = 1; id <= options_.size; ++id) members_.push_back(id);
+  seed_size_ = members_.size();
   network_ = std::make_unique<SimNetwork>(
       *loop_, options_.network, rng_.fork(0xBEEF),
       [this](const rpc::Envelope& env) { deliver(env); });
@@ -34,6 +35,7 @@ SimCluster::SimCluster(ClusterOptions options)
     host.store = std::make_unique<storage::MemoryStateStore>();
     host.wal = std::make_unique<storage::MemoryWal>();
     host.snaps = std::make_unique<storage::MemorySnapshotStore>();
+    host.base.voters = members_;
   }
 }
 
@@ -41,10 +43,12 @@ void SimCluster::build_node(ServerId id) {
   auto& host = hosts_.at(id);
   host.driver = std::make_unique<SimDriver>(*host.store, *host.wal, host.snaps.get(),
                                             options_.driver);
-  host.node = std::make_unique<raft::RaftNode>(id, members_,
-                                               options_.policy(id, members_.size()),
-                                               rng_.fork(0x1000 + id), options_.node,
-                                               host.driver->recover());
+  // The policy is parameterized by the host's *bootstrap* voter count (its
+  // Eq. 1 starting point); conf entries recovered from the WAL re-parameterize
+  // it via on_membership_changed before the node ever ticks.
+  host.node = std::make_unique<raft::RaftNode>(
+      id, host.base, options_.policy(id, std::max<std::size_t>(1, host.base.voters.size())),
+      rng_.fork(0x1000 + id), options_.node, host.driver->recover());
   host.driver->attach(*host.node);
   host.node->set_event_hook([this](const raft::NodeEvent& ev) { on_node_event(ev); });
 
@@ -110,6 +114,30 @@ ServerId SimCluster::leader() const {
     }
   }
   return best;
+}
+
+void SimCluster::add_host(ServerId id) {
+  if (hosts_.count(id) != 0) throw std::logic_error("add_host: host already exists");
+  auto& host = hosts_[id];
+  host.store = std::make_unique<storage::MemoryStateStore>();
+  host.wal = std::make_unique<storage::MemoryWal>();
+  host.snaps = std::make_unique<storage::MemorySnapshotStore>();
+  host.base.learners = {id};
+  members_.push_back(id);
+  if (started_) {
+    build_node(id);
+    host.node->start(loop_->now());
+    LOG_DEBUG(server_name(id) << " provisioned at " << to_ms(loop_->now()) << "ms");
+    pump(id);
+  }
+}
+
+raft::RaftNode::ConfChangeResult SimCluster::propose_conf_change(const raft::ConfChange& change) {
+  const ServerId l = leader();
+  if (l == kNoServer) return {};  // status defaults to kNotLeader
+  const auto result = node(l).propose_conf_change(change, loop_->now());
+  pump(l);
+  return result;
 }
 
 void SimCluster::crash(ServerId id) {
@@ -271,7 +299,11 @@ void SimCluster::ensure_timer(ServerId id) {
 }
 
 void SimCluster::deliver(const rpc::Envelope& envelope) {
-  auto& host = hosts_.at(envelope.to);
+  // A removed-then-forgotten or not-yet-provisioned destination is a machine
+  // that does not exist: the network drops the frame on the floor.
+  const auto it = hosts_.find(envelope.to);
+  if (it == hosts_.end()) return;
+  auto& host = it->second;
   if (!host.alive || !host.node) return;  // message to a dead machine
   host.node->step(envelope, loop_->now());
   pump(envelope.to);

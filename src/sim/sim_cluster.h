@@ -77,6 +77,9 @@ class SimCluster {
   bool alive(ServerId id) const;
   const std::vector<ServerId>& members() const { return members_; }
   std::size_t size() const { return members_.size(); }
+  /// Hosts present at construction (the bootstrap voter set). Joined hosts
+  /// (add_host) extend members() but never this list.
+  std::size_t seed_size() const { return seed_size_; }
 
   /// The unique alive leader in the highest term, or kNoServer when no alive
   /// node currently leads.
@@ -89,6 +92,21 @@ class SimCluster {
 
   /// Entries applied (committed) by a host, in order, across incarnations.
   const std::vector<rpc::LogEntry>& applied(ServerId id) const { return hosts_.at(id).applied; }
+
+  // --- membership --------------------------------------------------------------
+  /// Provisions a brand-new host (empty disk) and boots it as a self-learner:
+  /// it knows only itself, holds no vote, and waits for a leader to replicate
+  /// (or snapshot) state into it. Joining the consensus group is a separate
+  /// step — propose_conf_change(kAddLearner) makes the leader start feeding
+  /// it, kPromote makes it a voter. Mirrors racking a fresh machine before
+  /// running the AddServer API against the cluster.
+  void add_host(ServerId id);
+
+  /// Routes a configuration change through the current leader. Returns the
+  /// core's verdict; status kNotLeader (the default) when the cluster is
+  /// leaderless. One change at a time: a kBusy reply means a joint config is
+  /// still in flight — retry after it commits.
+  raft::RaftNode::ConfChangeResult propose_conf_change(const raft::ConfChange& change);
 
   // --- fault injection -------------------------------------------------------
   /// Kills a node: it stops processing and loses volatile state; its store
@@ -196,6 +214,10 @@ class SimCluster {
     std::unique_ptr<storage::MemoryStateStore> store;
     std::unique_ptr<storage::MemoryWal> wal;
     std::unique_ptr<storage::MemorySnapshotStore> snaps;
+    /// Bootstrap membership for this host's incarnations: the seed voter set
+    /// for construction-time hosts, {self} as a learner for joined ones.
+    /// Durable config entries (log/snapshot) override it on recovery.
+    rpc::Membership base;
     /// Per-incarnation Ready consumer; rebuilt (like the node) on recover.
     std::unique_ptr<SimDriver> driver;
     std::unique_ptr<raft::RaftNode> node;
@@ -211,6 +233,7 @@ class SimCluster {
 
   ClusterOptions options_;
   std::vector<ServerId> members_;
+  std::size_t seed_size_ = 0;
   std::unique_ptr<EventLoop> owned_loop_;  ///< null when options_.loop is external
   EventLoop* loop_;
   Rng rng_;

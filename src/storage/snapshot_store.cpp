@@ -14,8 +14,11 @@ namespace escape::storage {
 namespace {
 
 /// Bump when the body layout changes; load refuses unknown versions instead
-/// of misparsing old files.
-constexpr std::uint8_t kSnapshotVersion = 1;
+/// of misparsing old files. v2 added the membership block after the
+/// configuration; v1 files still decode (membership stays empty and the
+/// node falls back to its bootstrap member list).
+constexpr std::uint8_t kSnapshotVersionV1 = 1;
+constexpr std::uint8_t kSnapshotVersion = 2;
 
 void throw_errno(const std::string& op, const std::string& path) {
   throw std::runtime_error(op + " failed for " + path + ": " + std::strerror(errno));
@@ -31,6 +34,7 @@ std::vector<std::uint8_t> encode_snapshot(const Snapshot& snapshot) {
   e.i64(snapshot.config.timer_period);
   e.i32(snapshot.config.priority);
   e.i64(snapshot.config.conf_clock);
+  rpc::encode_membership(e, snapshot.membership);
   e.bytes(snapshot.state);
   auto body = e.take();
   Encoder framed;
@@ -47,13 +51,15 @@ std::optional<Snapshot> decode_snapshot(const std::vector<std::uint8_t>& buf) {
     d.expect_end();
     if (crc32(body) != crc) return std::nullopt;
     Decoder bd(body);
-    if (bd.u8() != kSnapshotVersion) return std::nullopt;
+    const auto version = bd.u8();
+    if (version != kSnapshotVersion && version != kSnapshotVersionV1) return std::nullopt;
     Snapshot s;
     s.last_included_index = bd.i64();
     s.last_included_term = bd.i64();
     s.config.timer_period = bd.i64();
     s.config.priority = bd.i32();
     s.config.conf_clock = bd.i64();
+    if (version >= kSnapshotVersion) s.membership = rpc::decode_membership(bd);
     s.state = bd.bytes();
     bd.expect_end();
     return s;

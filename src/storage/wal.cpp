@@ -21,6 +21,7 @@ std::vector<std::uint8_t> encode_entry_payload(const rpc::LogEntry& e) {
   Encoder enc;
   enc.i64(e.term);
   enc.i64(e.index);
+  enc.u8(static_cast<std::uint8_t>(e.kind));
   enc.bytes(e.command);
   return enc.take();
 }
@@ -30,6 +31,11 @@ rpc::LogEntry decode_entry_payload(const std::vector<std::uint8_t>& p) {
   rpc::LogEntry e;
   e.term = d.i64();
   e.index = d.i64();
+  const auto kind = d.u8();
+  if (kind > static_cast<std::uint8_t>(rpc::EntryKind::kConfChange)) {
+    throw DecodeError("invalid WAL entry kind");
+  }
+  e.kind = static_cast<rpc::EntryKind>(kind);
   e.command = d.bytes();
   d.expect_end();
   return e;

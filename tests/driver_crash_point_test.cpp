@@ -33,6 +33,7 @@
 #include "common/rng.h"
 #include "core/escape_policy.h"
 #include "raft/driver.h"
+#include "raft/membership.h"
 #include "raft/raft_node.h"
 
 namespace escape::raft {
@@ -498,6 +499,108 @@ TEST(DriverCrashPointTest, AsyncPersistEveryKillPointRecoversSafely) {
     EXPECT_EQ(second->node().commit_index(), 7) << "kill event " << event;
     EXPECT_EQ(second->node().log().last_index(), 7) << "kill event " << event;
     EXPECT_EQ(second->node().conf_clock(), 1) << "kill event " << event;
+  }
+}
+
+// --- joint-consensus crash points --------------------------------------------
+// The same kill-point enumeration, but the script walks a follower through a
+// full joint-consensus handoff: Cold,new (joint) then Cnew as configuration
+// entries in the replicated log. A membership is adopted on *append* and
+// reconstructed purely from snapshot + WAL on restart, so at every crash
+// point the recovered node's membership() must equal what the latest durable
+// conf entry says — never a phase-torn hybrid.
+
+rpc::Membership joint_membership() {
+  rpc::Membership m;
+  m.voters = {1, 2, 3, 4};
+  m.old_voters = {1, 2, 3};
+  return m;
+}
+
+rpc::Envelope make_conf_append(LogIndex prev, LogIndex index, const rpc::Membership& m,
+                               LogIndex commit) {
+  auto ae = make_append(2, prev, 2, {}, commit);
+  rpc::LogEntry e;
+  e.term = 2;
+  e.index = index;
+  e.kind = rpc::EntryKind::kConfChange;
+  e.command = encode_conf_entry(m);
+  ae.entries.push_back(std::move(e));
+  return {2, 1, ae};
+}
+
+/// Replicate, adopt Cold,new, adopt Cnew, learn the commit.
+std::vector<rpc::Envelope> make_reconfig_script() {
+  std::vector<rpc::Envelope> script;
+  script.push_back({2, 1, make_append(2, 0, 0, {1, 2}, 0)});
+  script.push_back(make_conf_append(2, 3, joint_membership(), 2));
+  script.push_back(make_conf_append(3, 4, finish_joint(joint_membership()), 3));
+  script.push_back({2, 1, make_append(2, 4, 2, {}, 4)});
+  return script;
+}
+
+/// What the durable log says the membership is: the last conf entry in the
+/// recovered WAL, or the bootstrap voter trio when none survived.
+rpc::Membership durable_membership(const storage::MemoryWal& wal) {
+  rpc::Membership m;
+  m.voters = {1, 2, 3};
+  for (const auto& e : wal.recovered()) {
+    if (e.kind == rpc::EntryKind::kConfChange) m = decode_conf_entry(e.command);
+  }
+  return m;
+}
+
+TEST(DriverCrashPointTest, JointConfigEveryKillPointRecoversMembership) {
+  std::size_t total_batches = 0;
+  {
+    storage::MemoryStateStore store;
+    storage::MemoryWal wal;
+    storage::MemorySnapshotStore snaps;
+    Incarnation dry(store, wal, snaps, std::nullopt);
+    ASSERT_EQ(dry.run(make_reconfig_script(), 0), make_reconfig_script().size());
+    ASSERT_FALSE(dry.crashed());
+    total_batches = dry.batches_completed();
+    ASSERT_EQ(dry.node().commit_index(), 4);
+    ASSERT_EQ(dry.node().membership(), finish_joint(joint_membership()));
+  }
+  ASSERT_GE(total_batches, 3u);
+
+  const auto script = make_reconfig_script();
+  for (std::size_t batch = 0; batch < total_batches; ++batch) {
+    for (const auto phase : {NodeDriver::Phase::kPersisted, NodeDriver::Phase::kSent}) {
+      storage::MemoryStateStore store;
+      storage::MemoryWal wal;
+      storage::MemorySnapshotStore snaps;
+
+      auto first = std::make_unique<Incarnation>(store, wal, snaps, KillPoint{batch, phase});
+      const std::size_t cursor = first->run(script, 0);
+      ASSERT_TRUE(first->crashed()) << "kill point (" << batch << ") never fired";
+      const LogIndex acked = highest_acked(first->sent());
+      first.reset();
+
+      auto second = std::make_unique<Incarnation>(store, wal, snaps, std::nullopt);
+      const auto& node = second->node();
+
+      // Membership rescan: whatever phase the crash tore through, the
+      // restarted node's view equals the latest durable conf entry — the
+      // joint config exactly when only Cold,new survived, never a mix.
+      EXPECT_EQ(node.membership(), durable_membership(wal))
+          << "batch " << batch << " phase " << static_cast<int>(phase);
+
+      // An acked conf entry is as durable as an acked command: the leader
+      // counts it toward the joint commit that drives the handoff forward.
+      EXPECT_GE(node.log().last_index(), acked)
+          << "batch " << batch << " phase " << static_cast<int>(phase);
+
+      // The survivor finishes the handoff and lands on Cnew.
+      const std::size_t end = second->run(script, cursor);
+      EXPECT_EQ(end, script.size());
+      EXPECT_FALSE(second->crashed());
+      second->deliver({2, 1, make_append(2, 4, 2, {}, 4)}, 100);
+      EXPECT_EQ(second->node().commit_index(), 4);
+      EXPECT_EQ(second->node().membership(), finish_joint(joint_membership()));
+      EXPECT_FALSE(second->node().membership().joint());
+    }
   }
 }
 

@@ -164,6 +164,45 @@ TEST(SimCheckTest, AggregateIsThreadCountInvariant) {
   EXPECT_EQ(a.failures.size(), b.failures.size());
 }
 
+TEST(SimCheckTest, MembershipActionsAreRetiredByDefaultButWeightable) {
+  // The membership verbs ship at weight 0 so every pre-existing seed keeps
+  // its byte-identical schedule; they only enter the vocabulary when asked.
+  ASSERT_TRUE(sim::default_action_weights().count("join-server"));
+  ASSERT_TRUE(sim::default_action_weights().count("leave-server"));
+  EXPECT_EQ(sim::default_action_weights().at("join-server"), 0);
+  EXPECT_EQ(sim::default_action_weights().at("leave-server"), 0);
+
+  SimCheckOptions weighted = small_options();
+  weighted.action_weights = {{"join-server", 25}, {"leave-server", 15}};
+  bool planned_join = false;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const FuzzCase c = make_fuzz_case(seed, weighted);
+    for (const auto& planned : c.plan.actions()) {
+      const std::string name = sim::action_name(planned.action);
+      planned_join = planned_join || name == "join-server";
+      if (name == "leave-server") {
+        // Leaves only ever target servers a prior join racked: the seed
+        // cluster's fault budget stays untouched by membership churn.
+        const auto& leave = std::get<sim::LeaveServer>(planned.action);
+        EXPECT_GT(leave.node.server, c.params.servers) << seed;
+      }
+    }
+  }
+  EXPECT_TRUE(planned_join);
+}
+
+TEST(SimCheckTest, WeightedMembershipFuzzRunHoldsAllInvariants) {
+  SimCheckOptions options = small_options();
+  options.action_weights = {{"join-server", 25}, {"leave-server", 15}};
+  const SimCheckResult result = sim::run_sim_check(options);
+  EXPECT_EQ(result.trials, options.trials);
+  ASSERT_TRUE(result.ok()) << result.failures.front().repro << " ("
+                           << (result.failures.front().violations.empty()
+                                   ? "trace diverged"
+                                   : result.failures.front().violations.front())
+                           << ")";
+}
+
 TEST(SimCheckTest, PassingTrialLeavesTheFailureRecordUntouched) {
   sim::SimCheckFailure untouched;
   (void)sim::run_fuzz_trial(7, small_options(), &untouched);
